@@ -1,0 +1,66 @@
+"""Cached workload builders shared by the benchmark modules.
+
+Benchmarks reuse the library's own cached dataset loaders; this module adds a
+few helpers (timed evaluation wrappers, environment-controlled scale knobs)
+so individual benchmark files stay small.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_H``
+    Number of top-h mappings used by the *generation* benchmarks
+    (Fig. 10e).  Defaults to 50 so that the plain-Murty baseline over the
+    full bipartite stays tractable on the largest datasets; set it to 100
+    (the paper's value) for a longer, more faithful run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.blocktree import BlockTreeConfig, build_block_tree
+from repro.query.ptq import evaluate_ptq_basic, evaluate_ptq_blocktree
+from repro.workloads.datasets import build_mapping_set, load_dataset, load_source_document
+from repro.workloads.queries import load_query
+
+__all__ = [
+    "bench_h",
+    "build_block_tree",
+    "BlockTreeConfig",
+    "build_mapping_set",
+    "load_dataset",
+    "load_source_document",
+    "load_query",
+    "time_query",
+    "evaluate_ptq_basic",
+    "evaluate_ptq_blocktree",
+]
+
+
+def bench_h(default: int = 50) -> int:
+    """Top-h used by the mapping-generation benchmarks (see module docs)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_H", default)))
+    except ValueError:
+        return default
+
+
+def time_query(func, *args, **kwargs) -> tuple[float, object]:
+    """Run ``func`` once and return (elapsed seconds, result)."""
+    started = time.perf_counter()
+    result = func(*args, **kwargs)
+    return time.perf_counter() - started, result
+
+
+def best_of(rounds: int, func, *args, **kwargs) -> tuple[float, object]:
+    """Run ``func`` ``rounds`` times; return (best elapsed seconds, last result).
+
+    Used for the per-query report rows, where a single measurement of a
+    millisecond-scale evaluation is too noisy to compare algorithms fairly.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(max(1, rounds)):
+        elapsed, result = time_query(func, *args, **kwargs)
+        best = min(best, elapsed)
+    return best, result

@@ -1,0 +1,53 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark module reproduces one table or figure of the paper's
+evaluation section.  Besides the pytest-benchmark timings, benchmarks record
+the rows/series the paper reports (capacities, o-ratios, compression ratios,
+block counts, query times, generation times) through the ``experiment_report``
+fixture; everything recorded is printed in the terminal summary so a single
+``pytest benchmarks/ --benchmark-only`` run shows the reproduced artefacts
+next to the timing table.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+
+#: experiment id -> list of (label, value) rows, in insertion order.
+_REPORTS: "OrderedDict[str, list[tuple[str, str]]]" = OrderedDict()
+
+
+class ExperimentReport:
+    """Collects human-readable result rows for one experiment (table/figure)."""
+
+    def __init__(self, experiment_id: str, title: str) -> None:
+        self.experiment_id = experiment_id
+        if experiment_id not in _REPORTS:
+            _REPORTS[experiment_id] = []
+            _REPORTS[experiment_id].append(("__title__", title))
+
+    def add_row(self, label: str, value) -> None:
+        """Record one labelled value (printed verbatim in the summary)."""
+        _REPORTS[self.experiment_id].append((label, str(value)))
+
+
+@pytest.fixture()
+def experiment_report():
+    """Factory fixture: ``experiment_report("fig9a", "Compression vs tau")``."""
+    return ExperimentReport
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: ARG001
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction report")
+    for experiment_id, rows in _REPORTS.items():
+        title = next((value for label, value in rows if label == "__title__"), experiment_id)
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"[{experiment_id}] {title}")
+        for label, value in rows:
+            if label == "__title__":
+                continue
+            terminalreporter.write_line(f"    {label}: {value}")

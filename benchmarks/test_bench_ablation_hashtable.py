@@ -1,0 +1,72 @@
+"""Ablation — the block tree's hash table / anchored-subtree lookup.
+
+Algorithm 4 uses the hash table H to find the highest block-tree node whose
+c-blocks cover a query subtree; without it, the query decomposes all the way
+down to the leaves and only leaf-level c-blocks can be shared.  This ablation
+quantifies how much of the block-tree speed-up comes from anchored subtrees
+versus leaf-level sharing.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.workloads.queries import QUERY_IDS
+
+from _workloads import (
+    build_block_tree,
+    build_mapping_set,
+    evaluate_ptq_blocktree,
+    load_query,
+    load_source_document,
+    best_of,
+    time_query,
+)
+
+
+def _tree_without_non_leaf_anchors(tree):
+    """A shallow variant of the block tree whose hash table only lists leaves."""
+    stripped = copy.copy(tree)
+    stripped.hash_table = {
+        path: node
+        for path, node in tree.hash_table.items()
+        if tree.target_schema.element_by_path(path).is_leaf
+    }
+    return stripped
+
+
+@pytest.mark.parametrize("query_id", ["Q1", "Q5", "Q7", "Q10"])
+def test_ablation_hashtable(benchmark, experiment_report, query_id):
+    mapping_set = build_mapping_set("D7", 100)
+    document = load_source_document("D7")
+    full_tree = build_block_tree(mapping_set)
+    leaf_only_tree = _tree_without_non_leaf_anchors(full_tree)
+    query = load_query(query_id)
+
+    result = benchmark.pedantic(
+        lambda: evaluate_ptq_blocktree(query, mapping_set, document, full_tree),
+        rounds=5,
+        iterations=1,
+    )
+
+    full_time, full_result = best_of(3, 
+        evaluate_ptq_blocktree, query, mapping_set, document, full_tree
+    )
+    leaf_time, leaf_result = best_of(3, 
+        evaluate_ptq_blocktree, query, mapping_set, document, leaf_only_tree
+    )
+    report = experiment_report(
+        "ablation-hashtable",
+        "Ablation: anchored-subtree lookup (full hash table) vs leaf-only c-block sharing",
+    )
+    report.add_row(
+        query_id,
+        f"full={full_time * 1000:6.1f} ms  leaf-only={leaf_time * 1000:6.1f} ms",
+    )
+    # The ablation must never change answers, only timings.
+    assert {(a.mapping_id, a.matches) for a in full_result} == {
+        (a.mapping_id, a.matches) for a in leaf_result
+    }
+    assert len(result) == len(full_result)

@@ -1,0 +1,50 @@
+"""Figure 10(a) — PTQ running time Tq for Q1-Q10 with a larger mapping set (|M| = 500).
+
+Same comparison as Figure 9(f); the paper observes that the block-tree
+advantage persists for larger mapping sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.queries import QUERY_IDS
+
+from _workloads import (
+    build_block_tree,
+    build_mapping_set,
+    evaluate_ptq_basic,
+    evaluate_ptq_blocktree,
+    load_query,
+    load_source_document,
+    best_of,
+    time_query,
+)
+
+
+@pytest.mark.parametrize("query_id", QUERY_IDS)
+def test_fig10a_query_time_m500(benchmark, experiment_report, query_id):
+    mapping_set = build_mapping_set("D7", 500)
+    document = load_source_document("D7")
+    tree = build_block_tree(mapping_set)
+    query = load_query(query_id)
+
+    result = benchmark.pedantic(
+        lambda: evaluate_ptq_blocktree(query, mapping_set, document, tree),
+        rounds=3,
+        iterations=1,
+    )
+
+    elapsed_basic, reference = best_of(3, evaluate_ptq_basic, query, mapping_set, document)
+    elapsed_tree, _ = best_of(3, evaluate_ptq_blocktree, query, mapping_set, document, tree)
+    saving = 1.0 - elapsed_tree / elapsed_basic if elapsed_basic > 0 else 0.0
+    report = experiment_report(
+        "fig10a",
+        "Fig 10(a): Tq per query, basic vs block-tree (D7, |M|=500; paper: block-tree still wins)",
+    )
+    report.add_row(
+        query_id,
+        f"basic={elapsed_basic * 1000:6.1f} ms  block-tree={elapsed_tree * 1000:6.1f} ms  "
+        f"saving={saving:5.1%}",
+    )
+    assert len(result) == len(reference)

@@ -1,0 +1,47 @@
+"""Figure 10(b) — block-tree PTQ time Tq vs the confidence threshold τ (query Q10).
+
+The paper observes a non-monotone shape: Tq rises as τ grows from very small
+values (fewer c-blocks help less), then falls again for large τ (the few
+remaining c-blocks are shared by many mappings and the decompose/merge
+overhead shrinks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _workloads import (
+    BlockTreeConfig,
+    build_block_tree,
+    build_mapping_set,
+    evaluate_ptq_blocktree,
+    load_query,
+    load_source_document,
+)
+
+TAUS = [0.02, 0.12, 0.22, 0.32, 0.42, 0.52, 0.65]
+
+
+@pytest.mark.parametrize("tau", TAUS)
+def test_fig10b_query_time_vs_tau(benchmark, experiment_report, tau):
+    mapping_set = build_mapping_set("D7", 100)
+    document = load_source_document("D7")
+    tree = build_block_tree(mapping_set, BlockTreeConfig(tau=tau))
+    query = load_query("Q10")
+
+    result = benchmark.pedantic(
+        lambda: evaluate_ptq_blocktree(query, mapping_set, document, tree),
+        rounds=5,
+        iterations=1,
+    )
+    from _workloads import best_of, time_query
+
+    elapsed, _ = best_of(3, evaluate_ptq_blocktree, query, mapping_set, document, tree)
+    report = experiment_report(
+        "fig10b", "Fig 10(b): block-tree Tq vs tau (Q10, D7, |M|=100; paper: rises then falls)"
+    )
+    report.add_row(
+        f"tau={tau:<5}",
+        f"Tq={elapsed * 1000:6.2f} ms  c-blocks={tree.num_blocks}",
+    )
+    assert len(result) > 0

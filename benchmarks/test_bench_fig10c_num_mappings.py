@@ -1,0 +1,50 @@
+"""Figure 10(c) — PTQ time Tq vs the number of possible mappings |M| (query Q10).
+
+The paper reports the block-tree algorithm consistently outperforming the
+basic algorithm over a wide range of mapping-set sizes (average improvement
+~47%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _workloads import (
+    build_block_tree,
+    build_mapping_set,
+    evaluate_ptq_basic,
+    evaluate_ptq_blocktree,
+    load_query,
+    load_source_document,
+    best_of,
+    time_query,
+)
+
+SIZES = [30, 50, 70, 100, 140, 200]
+
+
+@pytest.mark.parametrize("num_mappings", SIZES)
+def test_fig10c_query_time_vs_m(benchmark, experiment_report, num_mappings):
+    mapping_set = build_mapping_set("D7", num_mappings)
+    document = load_source_document("D7")
+    tree = build_block_tree(mapping_set)
+    query = load_query("Q10")
+
+    result = benchmark.pedantic(
+        lambda: evaluate_ptq_blocktree(query, mapping_set, document, tree),
+        rounds=5,
+        iterations=1,
+    )
+    elapsed_basic, _ = best_of(3, evaluate_ptq_basic, query, mapping_set, document)
+    elapsed_tree, _ = best_of(3, evaluate_ptq_blocktree, query, mapping_set, document, tree)
+    saving = 1.0 - elapsed_tree / elapsed_basic if elapsed_basic > 0 else 0.0
+    report = experiment_report(
+        "fig10c",
+        "Fig 10(c): Tq vs |M| (Q10, D7; paper: block-tree consistently faster, avg ~47%)",
+    )
+    report.add_row(
+        f"|M|={num_mappings:<4}",
+        f"basic={elapsed_basic * 1000:6.1f} ms  block-tree={elapsed_tree * 1000:6.1f} ms  "
+        f"saving={saving:5.1%}",
+    )
+    assert len(result) > 0

@@ -1,0 +1,53 @@
+"""Figure 10(d) — top-k PTQ vs ordinary PTQ, varying k (query Q10, |M| = 100).
+
+The paper reports that the top-k constraint improves query time dramatically
+for small k (90.3% at k = 10) and converges to the full PTQ cost as k
+approaches |M|.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.topk import evaluate_topk_ptq
+
+from _workloads import (
+    build_block_tree,
+    build_mapping_set,
+    evaluate_ptq_blocktree,
+    load_query,
+    load_source_document,
+    best_of,
+    time_query,
+)
+
+K_VALUES = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig10d_topk_query_time(benchmark, experiment_report, k):
+    mapping_set = build_mapping_set("D7", 100)
+    document = load_source_document("D7")
+    tree = build_block_tree(mapping_set)
+    query = load_query("Q10")
+
+    result = benchmark.pedantic(
+        lambda: evaluate_topk_ptq(query, mapping_set, document, k=k, block_tree=tree),
+        rounds=5,
+        iterations=1,
+    )
+    elapsed_normal, _ = best_of(3, evaluate_ptq_blocktree, query, mapping_set, document, tree)
+    elapsed_topk, _ = best_of(3, 
+        evaluate_topk_ptq, query, mapping_set, document, k=k, block_tree=tree
+    )
+    saving = 1.0 - elapsed_topk / elapsed_normal if elapsed_normal > 0 else 0.0
+    report = experiment_report(
+        "fig10d",
+        "Fig 10(d): top-k PTQ vs normal PTQ (Q10, D7, |M|=100; paper: ~90% faster at k=10)",
+    )
+    report.add_row(
+        f"k={k:<4}",
+        f"normal={elapsed_normal * 1000:6.1f} ms  top-k={elapsed_topk * 1000:6.1f} ms  "
+        f"saving={saving:5.1%}",
+    )
+    assert len(result) <= k

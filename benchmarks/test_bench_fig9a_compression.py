@@ -1,0 +1,39 @@
+"""Figure 9(a) — compression ratio of the block tree vs the confidence threshold τ.
+
+For D7 with |M| = 100, the paper reports ~14.6% space saving at τ = 0.2,
+dropping as τ grows (fewer c-blocks are created).  The benchmark times the
+block-tree construction at each τ and reports the measured compression ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _workloads import BlockTreeConfig, build_block_tree, build_mapping_set
+
+TAUS = [0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+@pytest.mark.parametrize("tau", TAUS)
+def test_fig9a_compression_ratio(benchmark, experiment_report, tau):
+    mapping_set = build_mapping_set("D7", 100)
+    tree = benchmark.pedantic(
+        lambda: build_block_tree(mapping_set, BlockTreeConfig(tau=tau)),
+        rounds=3,
+        iterations=1,
+    )
+    ratio = tree.compression_ratio()
+    report = experiment_report(
+        "fig9a", "Fig 9(a): compression ratio vs tau (D7, |M|=100; paper: ~11-15%, peak at small tau)"
+    )
+    report.add_row(f"tau={tau:<4}", f"compression={ratio:6.2%}  c-blocks={tree.num_blocks}")
+    assert -1.0 < ratio < 1.0
+
+
+def test_fig9a_ratio_decreases_with_tau(experiment_report):
+    mapping_set = build_mapping_set("D7", 100)
+    low = build_block_tree(mapping_set, BlockTreeConfig(tau=0.05)).compression_ratio()
+    high = build_block_tree(mapping_set, BlockTreeConfig(tau=0.9)).compression_ratio()
+    report = experiment_report("fig9a", "Fig 9(a): compression ratio vs tau")
+    report.add_row("shape check", f"ratio(tau=0.05)={low:.2%} >= ratio(tau=0.9)={high:.2%}")
+    assert low >= high

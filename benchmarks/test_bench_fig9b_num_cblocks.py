@@ -1,0 +1,40 @@
+"""Figure 9(b) — number of c-blocks created vs the confidence threshold τ.
+
+The paper observes the block count dropping from ~1300 towards the MAX_B cap
+as τ grows, with a knee around τ = 0.1 after which the drop slows (many
+c-blocks are shared by far more than τ·|M| mappings).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _workloads import BlockTreeConfig, build_block_tree, build_mapping_set
+
+TAUS = [0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+
+@pytest.mark.parametrize("tau", TAUS)
+def test_fig9b_num_cblocks(benchmark, experiment_report, tau):
+    mapping_set = build_mapping_set("D7", 100)
+    tree = benchmark.pedantic(
+        lambda: build_block_tree(mapping_set, BlockTreeConfig(tau=tau)),
+        rounds=3,
+        iterations=1,
+    )
+    report = experiment_report(
+        "fig9b", "Fig 9(b): number of c-blocks vs tau (D7, |M|=100; paper: ~1300 down to ~800)"
+    )
+    report.add_row(f"tau={tau:<4}", f"c-blocks={tree.num_blocks}")
+    assert tree.num_blocks >= 0
+
+
+def test_fig9b_monotone_shape(experiment_report):
+    mapping_set = build_mapping_set("D7", 100)
+    counts = {
+        tau: build_block_tree(mapping_set, BlockTreeConfig(tau=tau)).num_blocks
+        for tau in (0.02, 0.2, 0.9)
+    }
+    report = experiment_report("fig9b", "Fig 9(b): number of c-blocks vs tau")
+    report.add_row("shape check", f"{counts[0.02]} >= {counts[0.2]} >= {counts[0.9]}")
+    assert counts[0.02] >= counts[0.2] >= counts[0.9]

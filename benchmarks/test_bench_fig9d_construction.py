@@ -1,0 +1,32 @@
+"""Figure 9(d) — block-tree construction time Tc per dataset, for |M| ∈ {100, 200}.
+
+The paper builds the block tree for every Table II dataset within a few
+seconds; construction time grows with the mapping-set size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.datasets import DATASET_IDS
+
+from _workloads import BlockTreeConfig, build_block_tree, build_mapping_set
+
+SIZES = [100, 200]
+
+
+@pytest.mark.parametrize("num_mappings", SIZES)
+@pytest.mark.parametrize("dataset_id", DATASET_IDS)
+def test_fig9d_construction_time(benchmark, experiment_report, dataset_id, num_mappings):
+    mapping_set = build_mapping_set(dataset_id, num_mappings)
+    tree = benchmark.pedantic(
+        lambda: build_block_tree(mapping_set, BlockTreeConfig()), rounds=3, iterations=1
+    )
+    report = experiment_report(
+        "fig9d", "Fig 9(d): block-tree construction time Tc per dataset (paper: a few seconds)"
+    )
+    report.add_row(
+        f"{dataset_id} |M|={num_mappings}",
+        f"Tc={tree.construction_seconds * 1000:.1f} ms, c-blocks={tree.num_blocks}",
+    )
+    assert tree.num_blocks >= 0

@@ -1,0 +1,45 @@
+"""Figure 9(e) — block-tree construction time Tc vs the MAX_B budget.
+
+Construction time grows with MAX_B until the number of c-blocks that *can*
+be created is exhausted (the paper observes saturation above MAX_B ≈ 180),
+after which a larger budget changes nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _workloads import BlockTreeConfig, build_block_tree, build_mapping_set
+
+MAX_B_VALUES = [20, 60, 100, 160, 200, 260, 300]
+
+
+@pytest.mark.parametrize("max_blocks", MAX_B_VALUES)
+def test_fig9e_construction_vs_maxb(benchmark, experiment_report, max_blocks):
+    mapping_set = build_mapping_set("D7", 100)
+    config = BlockTreeConfig(tau=0.02, max_blocks=max_blocks)
+    tree = benchmark.pedantic(
+        lambda: build_block_tree(mapping_set, config), rounds=3, iterations=1
+    )
+    report = experiment_report(
+        "fig9e",
+        "Fig 9(e): construction time vs MAX_B (D7, tau=0.02; paper: grows then saturates)",
+    )
+    report.add_row(
+        f"MAX_B={max_blocks:<4}",
+        f"Tc={tree.construction_seconds * 1000:.1f} ms, non-leaf c-blocks={tree.non_leaf_blocks_created}",
+    )
+    assert tree.non_leaf_blocks_created <= max_blocks
+
+
+def test_fig9e_saturation(experiment_report):
+    mapping_set = build_mapping_set("D7", 100)
+    small = build_block_tree(mapping_set, BlockTreeConfig(tau=0.02, max_blocks=20))
+    large = build_block_tree(mapping_set, BlockTreeConfig(tau=0.02, max_blocks=10_000))
+    report = experiment_report("fig9e", "Fig 9(e): construction time vs MAX_B")
+    report.add_row(
+        "saturation check",
+        f"non-leaf blocks: MAX_B=20 -> {small.non_leaf_blocks_created}, "
+        f"MAX_B=10000 -> {large.non_leaf_blocks_created}",
+    )
+    assert small.non_leaf_blocks_created <= large.non_leaf_blocks_created

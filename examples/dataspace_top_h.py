@@ -1,0 +1,59 @@
+"""Dataspace-style mapping generation: partitioning vs plain Murty ranking.
+
+Systems such as Dataspace or GoogleBase (Section V of the paper) maintain
+mappings between many user-defined schemas and must derive top-h possible
+mappings for each of them quickly.  This example compares the paper's
+divide-and-conquer (partition) generator with the plain Murty baseline on
+every dataset of Table II, and shows how the schema matchings decompose into
+many small partitions — the sparsity that makes the approach effective.
+
+Run with:  python examples/dataspace_top_h.py  [h]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import repro
+from repro.mapping.partition import partition_matching
+
+
+def timed(func, *args, **kwargs):
+    started = time.perf_counter()
+    result = func(*args, **kwargs)
+    return time.perf_counter() - started, result
+
+
+def main(h: int = 25) -> None:
+    print(f"deriving the top-{h} possible mappings for every Table II matching\n")
+    print(f"{'dataset':<8} {'capacity':>9} {'partitions':>11} {'largest':>8} "
+          f"{'murty':>9} {'partition':>10} {'speedup':>8}")
+
+    for dataset_id in repro.DATASET_IDS:
+        dataset = repro.load_dataset(dataset_id)
+        matching = dataset.matching
+        partitions = partition_matching(matching)
+        largest = max(partition.size for partition in partitions)
+
+        murty_time, murty_set = timed(
+            repro.generate_top_h_mappings, matching, h, method="murty"
+        )
+        partition_time, partition_set = timed(
+            repro.generate_top_h_mappings, matching, h, method="partition"
+        )
+        # Both generators must agree on the mapping scores.
+        assert [round(m.score, 6) for m in murty_set] == [
+            round(m.score, 6) for m in partition_set
+        ]
+        speedup = murty_time / partition_time if partition_time else float("inf")
+        print(f"{dataset_id:<8} {matching.capacity:>9} {len(partitions):>11} {largest:>8} "
+              f"{murty_time:>8.2f}s {partition_time:>9.2f}s {speedup:>7.1f}x")
+
+    print("\nthe partition-based generator wins on every dataset because XML schema "
+          "matchings are sparse:\nmost partitions contain only a handful of elements, so "
+          "each Murty sub-problem is tiny.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 25)

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` can fall back to a legacy editable install when
+PEP 660 editable wheels cannot be built (offline environments without the
+``wheel`` package).
+"""
+from setuptools import setup
+
+setup()

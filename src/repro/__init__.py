@@ -1,0 +1,189 @@
+"""repro — a reproduction of "Managing Uncertainty of XML Schema Matching" (ICDE 2010).
+
+The library manages the uncertainty of XML schema matching by representing a
+schema matching as a set of *possible mappings* with probabilities, storing
+them compactly in a *block tree*, and answering *probabilistic twig queries*
+(PTQ) over that representation.  It also implements the paper's
+divide-and-conquer (partition-based) generation of the top-h possible
+mappings from a scored schema matching.
+
+Typical usage::
+
+    import repro
+
+    source = repro.load_corpus_schema("xcbl")
+    target = repro.load_corpus_schema("apertum")
+    matching = repro.SchemaMatcher().match(source, target)
+    mappings = repro.generate_top_h_mappings(matching, h=100)
+    block_tree = repro.build_block_tree(mappings)
+
+    document = repro.generate_document(source, target_nodes=3000)
+    query = repro.parse_twig("Order/DeliverTo/Contact/EMail")
+    result = repro.evaluate_ptq_blocktree(query, mappings, document, block_tree)
+    for answer in result:
+        print(answer.mapping_id, answer.probability, len(answer.matches))
+"""
+
+from repro.exceptions import (
+    AssignmentError,
+    BlockTreeError,
+    DatasetError,
+    DocumentConformanceError,
+    DocumentError,
+    MappingError,
+    MatchingError,
+    QueryError,
+    ReproError,
+    RewriteError,
+    SchemaError,
+    SchemaParseError,
+    TwigParseError,
+)
+from repro.schema import (
+    Schema,
+    SchemaElement,
+    available_schemas,
+    load_corpus_schema,
+    parse_schema,
+    parse_schema_xml,
+    schema_to_text,
+    schema_to_xml,
+)
+from repro.document import (
+    DocumentNode,
+    XMLDocument,
+    document_to_xml,
+    generate_document,
+    generate_order_document,
+    parse_document_xml,
+)
+from repro.matching import (
+    Correspondence,
+    MatcherConfig,
+    SchemaMatcher,
+    SchemaMatching,
+)
+from repro.mapping import (
+    BipartiteGraph,
+    GenerationMethod,
+    Mapping,
+    MappingSet,
+    generate_top_h_mappings,
+    partition_matching,
+    rank_mappings_murty,
+    rank_mappings_partitioned,
+    solve_max_weight_matching,
+)
+from repro.core import Block, BlockTree, BlockTreeConfig, BlockTreeNode, build_block_tree
+from repro.query import (
+    PTQAnswer,
+    PTQResult,
+    TwigNode,
+    TwigQuery,
+    evaluate_ptq_basic,
+    evaluate_ptq_blocktree,
+    evaluate_topk_ptq,
+    filter_mappings,
+    parse_twig,
+    resolve_query,
+)
+from repro.stats import (
+    cblock_size_distribution,
+    compression_ratio,
+    o_ratio,
+    pairwise_o_ratios,
+)
+from repro.workloads import (
+    DATASET_IDS,
+    QUERY_IDS,
+    QUERY_STRINGS,
+    build_mapping_set,
+    load_dataset,
+    load_query,
+    load_source_document,
+    standard_datasets,
+    standard_queries,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "SchemaError",
+    "SchemaParseError",
+    "DocumentError",
+    "DocumentConformanceError",
+    "MatchingError",
+    "MappingError",
+    "AssignmentError",
+    "BlockTreeError",
+    "QueryError",
+    "TwigParseError",
+    "RewriteError",
+    "DatasetError",
+    # schema substrate
+    "Schema",
+    "SchemaElement",
+    "parse_schema",
+    "parse_schema_xml",
+    "schema_to_text",
+    "schema_to_xml",
+    "available_schemas",
+    "load_corpus_schema",
+    # documents
+    "DocumentNode",
+    "XMLDocument",
+    "generate_document",
+    "generate_order_document",
+    "document_to_xml",
+    "parse_document_xml",
+    # matching
+    "Correspondence",
+    "SchemaMatching",
+    "SchemaMatcher",
+    "MatcherConfig",
+    # mappings
+    "Mapping",
+    "MappingSet",
+    "BipartiteGraph",
+    "GenerationMethod",
+    "generate_top_h_mappings",
+    "rank_mappings_murty",
+    "rank_mappings_partitioned",
+    "partition_matching",
+    "solve_max_weight_matching",
+    # block tree
+    "Block",
+    "BlockTree",
+    "BlockTreeConfig",
+    "BlockTreeNode",
+    "build_block_tree",
+    # queries
+    "TwigNode",
+    "TwigQuery",
+    "parse_twig",
+    "resolve_query",
+    "PTQAnswer",
+    "PTQResult",
+    "filter_mappings",
+    "evaluate_ptq_basic",
+    "evaluate_ptq_blocktree",
+    "evaluate_topk_ptq",
+    # statistics
+    "o_ratio",
+    "pairwise_o_ratios",
+    "compression_ratio",
+    "cblock_size_distribution",
+    # workloads
+    "DATASET_IDS",
+    "QUERY_IDS",
+    "QUERY_STRINGS",
+    "load_dataset",
+    "standard_datasets",
+    "build_mapping_set",
+    "load_source_document",
+    "load_query",
+    "standard_queries",
+]

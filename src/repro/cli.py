@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+The CLI exposes the library's pipeline for quick, scriptable inspection::
+
+    python -m repro schemas                      # list the corpus schemas
+    python -m repro show-schema apertum          # print a schema tree
+    python -m repro datasets                     # Table II summary
+    python -m repro match D7                     # run the matcher, show correspondences
+    python -m repro mappings D7 --h 20           # top-h possible mappings
+    python -m repro blocktree D7 --tau 0.2       # block-tree statistics
+    python -m repro query D7 Q7                  # evaluate one of the paper's queries
+    python -m repro query D7 "Order/DeliverTo/Contact/EMail" --top-k 10
+
+Every command writes plain text to stdout and returns a non-zero exit code on
+invalid input, so the CLI composes well with shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.core.blocktree import BlockTreeConfig, build_block_tree
+from repro.exceptions import ReproError
+from repro.query.parser import parse_twig
+from repro.query.ptq import evaluate_ptq_basic, evaluate_ptq_blocktree
+from repro.query.topk import evaluate_topk_ptq
+from repro.schema.corpus import SCHEMA_SIZES, available_schemas, load_corpus_schema
+from repro.schema.parser import schema_to_text
+from repro.workloads.datasets import (
+    DATASET_IDS,
+    build_mapping_set,
+    load_dataset,
+    load_source_document,
+)
+from repro.workloads.queries import QUERY_ALIASES, QUERY_STRINGS, load_query
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Managing uncertainty of XML schema matching (ICDE 2010 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("schemas", help="list the synthetic corpus schemas")
+
+    show_schema = subparsers.add_parser("show-schema", help="print a corpus schema tree")
+    show_schema.add_argument("standard", help="schema name, e.g. apertum, xcbl, cidx")
+    show_schema.add_argument("--max-lines", type=int, default=60,
+                             help="truncate output after this many lines (default 60)")
+
+    subparsers.add_parser("datasets", help="summarise the Table II datasets")
+
+    match = subparsers.add_parser("match", help="run the matcher on a dataset")
+    match.add_argument("dataset", help="dataset id, e.g. D7")
+    match.add_argument("--limit", type=int, default=20, help="correspondences to print")
+
+    mappings = subparsers.add_parser("mappings", help="generate top-h possible mappings")
+    mappings.add_argument("dataset")
+    mappings.add_argument("--h", type=int, default=20, dest="h", help="number of mappings")
+    mappings.add_argument("--method", choices=("partition", "murty"), default="partition")
+
+    blocktree = subparsers.add_parser("blocktree", help="build a block tree and show statistics")
+    blocktree.add_argument("dataset")
+    blocktree.add_argument("--num-mappings", type=int, default=100)
+    blocktree.add_argument("--tau", type=float, default=0.2)
+
+    query = subparsers.add_parser("query", help="evaluate a probabilistic twig query")
+    query.add_argument("dataset")
+    query.add_argument("query", help="a query id (Q1..Q10) or a twig pattern string")
+    query.add_argument("--num-mappings", type=int, default=100)
+    query.add_argument("--top-k", type=int, default=None)
+    query.add_argument("--algorithm", choices=("block-tree", "basic"), default="block-tree")
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------------- #
+def _cmd_schemas(args, out) -> int:  # noqa: ARG001
+    for name in available_schemas():
+        out.write(f"{name:<12} {SCHEMA_SIZES[name]:>5} elements\n")
+    return 0
+
+
+def _cmd_show_schema(args, out) -> int:
+    schema = load_corpus_schema(args.standard)
+    lines = schema_to_text(schema).splitlines()
+    for line in lines[: args.max_lines]:
+        out.write(line + "\n")
+    if len(lines) > args.max_lines:
+        out.write(f"... ({len(lines) - args.max_lines} more elements)\n")
+    return 0
+
+
+def _cmd_datasets(args, out) -> int:  # noqa: ARG001
+    out.write(f"{'id':<5} {'source':<10} {'|S|':>5} {'target':<10} {'|T|':>5} "
+              f"{'opt':<4} {'capacity':>9}\n")
+    for dataset_id in DATASET_IDS:
+        row = load_dataset(dataset_id).describe()
+        out.write(f"{row['id']:<5} {row['S']:<10} {row['|S|']:>5} {row['T']:<10} "
+                  f"{row['|T|']:>5} {row['opt']:<4} {row['capacity']:>9}\n")
+    return 0
+
+
+def _cmd_match(args, out) -> int:
+    dataset = load_dataset(args.dataset)
+    matching = dataset.matching
+    out.write(f"{args.dataset}: {matching.capacity} correspondences\n")
+    ranked = sorted(matching, key=lambda c: -c.score)[: args.limit]
+    for correspondence in ranked:
+        source_path = dataset.source_schema.get(correspondence.source_id).path
+        target_path = dataset.target_schema.get(correspondence.target_id).path
+        out.write(f"  {correspondence.score:.3f}  {source_path}  ~  {target_path}\n")
+    return 0
+
+
+def _cmd_mappings(args, out) -> int:
+    dataset = load_dataset(args.dataset)
+    started = time.perf_counter()
+    mapping_set = build_mapping_set(args.dataset, args.h, method=args.method)
+    elapsed = time.perf_counter() - started
+    out.write(f"{args.dataset}: top-{len(mapping_set)} mappings via {args.method} "
+              f"in {elapsed:.2f}s (o-ratio {mapping_set.o_ratio():.2f})\n")
+    for mapping in list(mapping_set)[:10]:
+        out.write(f"  mapping {mapping.mapping_id:<3} p={mapping.probability:.4f} "
+                  f"score={mapping.score:.2f} correspondences={len(mapping)}\n")
+    del dataset
+    return 0
+
+
+def _cmd_blocktree(args, out) -> int:
+    mapping_set = build_mapping_set(args.dataset, args.num_mappings)
+    tree = build_block_tree(mapping_set, BlockTreeConfig(tau=args.tau))
+    info = tree.describe()
+    out.write(f"block tree for {args.dataset} (|M|={args.num_mappings}, tau={args.tau}):\n")
+    for key in ("num_blocks", "non_leaf_blocks_created", "hash_entries", "max_block_size",
+                "mean_block_size", "mean_block_support", "compression_ratio",
+                "construction_seconds"):
+        value = info[key]
+        if isinstance(value, float):
+            value = f"{value:.4f}"
+        out.write(f"  {key:<26} {value}\n")
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    mapping_set = build_mapping_set(args.dataset, args.num_mappings)
+    document = load_source_document(args.dataset)
+    if args.query.upper() in QUERY_STRINGS:
+        query = load_query(args.query)
+        out.write(f"{args.query.upper()}: {QUERY_STRINGS[args.query.upper()]}\n")
+    else:
+        query = parse_twig(args.query, aliases=QUERY_ALIASES)
+
+    tree = build_block_tree(mapping_set) if args.algorithm == "block-tree" else None
+    started = time.perf_counter()
+    if args.top_k is not None:
+        result = evaluate_topk_ptq(query, mapping_set, document, k=args.top_k, block_tree=tree)
+    elif tree is not None:
+        result = evaluate_ptq_blocktree(query, mapping_set, document, tree)
+    else:
+        result = evaluate_ptq_basic(query, mapping_set, document)
+    elapsed = time.perf_counter() - started
+
+    out.write(f"{len(result)} answers ({len(result.non_empty())} non-empty) "
+              f"in {elapsed * 1000:.1f} ms using {args.algorithm}\n")
+    for answer in list(result)[:10]:
+        out.write(f"  mapping {answer.mapping_id:<4} p={answer.probability:.4f} "
+                  f"matches={len(answer.matches)}\n")
+    distribution = result.value_distribution()
+    if distribution:
+        out.write("value distribution of the output node:\n")
+        for value, probability in sorted(distribution.items(), key=lambda kv: -kv[1])[:10]:
+            out.write(f"  {probability:.3f}  {value!r}\n")
+    return 0
+
+
+_COMMANDS = {
+    "schemas": _cmd_schemas,
+    "show-schema": _cmd_show_schema,
+    "datasets": _cmd_datasets,
+    "match": _cmd_match,
+    "mappings": _cmd_mappings,
+    "blocktree": _cmd_blocktree,
+    "query": _cmd_query,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as error:
+        out.write(f"error: {error}\n")
+        return 2

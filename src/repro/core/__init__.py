@@ -1,0 +1,20 @@
+"""The block tree: a compact representation of possible mappings.
+
+This is the paper's primary contribution (Section III): blocks capture sets
+of correspondences shared by many possible mappings, *c-blocks* (constrained
+blocks) additionally cover a complete subtree of the target schema and are
+shared by at least ``τ·|M|`` mappings, and the *block tree* organises c-blocks
+along the structure of the target schema together with a path hash table used
+during query evaluation.
+"""
+
+from repro.core.block import Block
+from repro.core.blocktree import BlockTree, BlockTreeConfig, BlockTreeNode, build_block_tree
+
+__all__ = [
+    "Block",
+    "BlockTree",
+    "BlockTreeConfig",
+    "BlockTreeNode",
+    "build_block_tree",
+]

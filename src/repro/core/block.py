@@ -1,0 +1,70 @@
+"""Blocks and c-blocks (Definitions 1 and 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import BlockTreeError
+from repro.matching.correspondence import CorrespondenceKey
+
+__all__ = ["Block"]
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """A c-block: correspondences shared by a set of mappings, anchored at a target element.
+
+    Following Definition 2, a c-block ``b`` has
+
+    * an *anchor* ``b.a`` — a target schema element (here ``anchor_id``);
+    * a correspondence set ``b.C`` containing exactly one correspondence for
+      every element of the target subtree rooted at the anchor; and
+    * a mapping-id set ``b.M`` — the possible mappings that all contain
+      ``b.C`` — whose size is at least ``τ·|M|``.
+
+    Instances are immutable; the block tree builder is the only producer.
+    """
+
+    anchor_id: int
+    correspondences: frozenset[CorrespondenceKey]
+    mapping_ids: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.anchor_id < 0:
+            raise BlockTreeError(f"block anchor id must be non-negative, got {self.anchor_id}")
+        if not self.correspondences:
+            raise BlockTreeError("a block must contain at least one correspondence")
+        if not self.mapping_ids:
+            raise BlockTreeError("a block must be shared by at least one mapping")
+        if self.anchor_id not in {target_id for _, target_id in self.correspondences}:
+            raise BlockTreeError(
+                f"block anchored at target element {self.anchor_id} has no correspondence "
+                "for its anchor"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of correspondences in the block (``|b.C|``)."""
+        return len(self.correspondences)
+
+    @property
+    def support(self) -> int:
+        """Number of mappings sharing the block (``|b.M|``)."""
+        return len(self.mapping_ids)
+
+    def covered_target_ids(self) -> set[int]:
+        """Target element ids covered by the block's correspondences."""
+        return {target_id for _, target_id in self.correspondences}
+
+    def source_for_target(self, target_id: int) -> int | None:
+        """Source element paired with ``target_id`` in this block, or ``None``."""
+        for source_id, block_target_id in self.correspondences:
+            if block_target_id == target_id:
+                return source_id
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(anchor={self.anchor_id}, correspondences={len(self.correspondences)}, "
+            f"mappings={len(self.mapping_ids)})"
+        )

@@ -1,0 +1,368 @@
+"""Block-tree construction (Section III-B, Algorithms 1 and 2).
+
+The block tree ``X`` mirrors the structure of the target schema ``T``.  Every
+node may carry a list of c-blocks anchored at the corresponding target
+element.  Construction proceeds bottom-up (post-order over ``T``):
+
+* at a **leaf**, ``init_block`` groups the mappings by the correspondence
+  they contain for that leaf and keeps the groups with at least ``τ·|M|``
+  members (Definition 2);
+* at a **non-leaf** node, Lemma 2 allows pruning: if any child produced no
+  c-block, the node cannot have one either.  Otherwise ``gen_non_leaf``
+  combines each of the node's own single-correspondence blocks with one
+  c-block per child (Lemma 1), intersecting their mapping sets and keeping
+  combinations that retain enough support.  The two construction budgets
+  ``MAX_B`` (c-blocks created at non-leaf nodes) and ``MAX_F`` (failed
+  combination attempts) bound the work.
+
+A hash table ``H`` maps target-schema paths to block-tree nodes that carry at
+least one c-block; probabilistic twig query evaluation uses it to find the
+highest anchored subtree covering a query.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.block import Block
+from repro.exceptions import BlockTreeError
+from repro.mapping.mapping_set import (
+    CORRESPONDENCE_BYTES,
+    MAPPING_HEADER_BYTES,
+    MAPPING_ID_BYTES,
+    MappingSet,
+)
+from repro.schema.element import SchemaElement
+from repro.schema.schema import Schema
+
+__all__ = ["BlockTreeConfig", "BlockTreeNode", "BlockTree", "build_block_tree"]
+
+#: Estimated storage cost of one block-tree node and one hash-table entry.
+TREE_NODE_BYTES = 8
+HASH_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True, slots=True)
+class BlockTreeConfig:
+    """Construction parameters of the block tree.
+
+    Parameters
+    ----------
+    tau:
+        Confidence threshold ``τ``: a c-block must be shared by at least
+        ``τ·|M|`` mappings.  The paper's default is 0.2.
+    max_blocks:
+        ``MAX_B`` — the maximum number of c-blocks created at non-leaf nodes
+        over the whole tree.  Default 500 (the paper's default).
+    max_failures:
+        ``MAX_F`` — the maximum number of failed block-combination attempts
+        per non-leaf node.  Default 500.
+    """
+
+    tau: float = 0.2
+    max_blocks: int = 500
+    max_failures: int = 500
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.tau <= 1.0):
+            raise BlockTreeError(f"tau must be in (0, 1], got {self.tau}")
+        if self.max_blocks < 0 or self.max_failures < 0:
+            raise BlockTreeError("max_blocks and max_failures must be non-negative")
+
+
+@dataclass
+class BlockTreeNode:
+    """One node of the block tree: a target element and its anchored c-blocks."""
+
+    element_id: int
+    path: str
+    children: list["BlockTreeNode"] = field(default_factory=list)
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def has_blocks(self) -> bool:
+        """``True`` when at least one c-block is anchored here."""
+        return bool(self.blocks)
+
+    def __repr__(self) -> str:
+        return f"BlockTreeNode(path={self.path!r}, blocks={len(self.blocks)})"
+
+
+class BlockTree:
+    """The block tree ``X`` plus its hash table ``H`` and storage accounting.
+
+    Use :func:`build_block_tree` to construct one; the class itself only
+    provides lookups and statistics over the finished structure.
+    """
+
+    def __init__(
+        self,
+        target_schema: Schema,
+        mapping_set: MappingSet,
+        config: BlockTreeConfig,
+    ) -> None:
+        self.target_schema = target_schema
+        self.mapping_set = mapping_set
+        self.config = config
+        self._nodes: dict[int, BlockTreeNode] = {}
+        self.root: Optional[BlockTreeNode] = None
+        #: The hash table H: target-schema path -> block-tree node (only for
+        #: nodes that carry at least one c-block).
+        self.hash_table: dict[str, BlockTreeNode] = {}
+        #: Construction statistics, filled in by the builder.
+        self.construction_seconds: float = 0.0
+        self.non_leaf_blocks_created: int = 0
+        self.failed_attempts: int = 0
+
+        self._build_skeleton()
+
+    # ------------------------------------------------------------------ #
+    # Skeleton
+    # ------------------------------------------------------------------ #
+    def _build_skeleton(self) -> None:
+        root_element = self.target_schema.root
+        if root_element is None:
+            raise BlockTreeError("cannot build a block tree over a schema with no root")
+        for element in self.target_schema.iter_preorder():
+            node = BlockTreeNode(element_id=element.element_id, path=element.path)
+            self._nodes[element.element_id] = node
+            if element.parent is not None:
+                self._nodes[element.parent.element_id].children.append(node)
+        self.root = self._nodes[root_element.element_id]
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def node_for_element(self, element_id: int) -> BlockTreeNode:
+        """Return the block-tree node mirroring target element ``element_id``."""
+        try:
+            return self._nodes[element_id]
+        except KeyError:
+            raise BlockTreeError(f"no block-tree node for target element {element_id}") from None
+
+    def node_for_path(self, path: str) -> Optional[BlockTreeNode]:
+        """Hash-table lookup: the node for ``path`` if it carries c-blocks, else ``None``."""
+        return self.hash_table.get(path)
+
+    def blocks_at(self, element_id: int) -> list[Block]:
+        """Return the c-blocks anchored at target element ``element_id``."""
+        return list(self.node_for_element(element_id).blocks)
+
+    def iter_blocks(self) -> Iterator[Block]:
+        """Yield every c-block in the tree (pre-order over the target schema)."""
+        for element in self.target_schema.iter_preorder():
+            yield from self._nodes[element.element_id].blocks
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of c-blocks stored in the tree."""
+        return sum(len(node.blocks) for node in self._nodes.values())
+
+    # ------------------------------------------------------------------ #
+    # Storage accounting (compression ratio of Section VI-B.2)
+    # ------------------------------------------------------------------ #
+    def block_storage_bytes(self) -> int:
+        """Estimated bytes to store all c-blocks (correspondences + mapping ids)."""
+        total = 0
+        for block in self.iter_blocks():
+            total += CORRESPONDENCE_BYTES * block.size
+            total += MAPPING_ID_BYTES * block.support
+        return total
+
+    def residual_correspondences(self, mapping_id: int) -> frozenset:
+        """Correspondences of a mapping that no c-block containing it covers.
+
+        This is the effect of the paper's ``remove_duplicate_corr`` step: a
+        mapping stores pointers to the blocks it belongs to plus only these
+        residual correspondences.
+        """
+        mapping = self.mapping_set[mapping_id]
+        covered: set = set()
+        for block in self.iter_blocks():
+            if mapping_id in block.mapping_ids:
+                covered.update(block.correspondences)
+        return frozenset(mapping.correspondences - covered)
+
+    def compressed_storage_bytes(self) -> int:
+        """Estimated bytes of the block-tree representation of the mapping set.
+
+        Counts the blocks, the tree skeleton, the hash table, and for every
+        mapping its header, its block pointers and its residual (uncovered)
+        correspondences.
+        """
+        total = self.block_storage_bytes()
+        total += TREE_NODE_BYTES * len(self._nodes)
+        total += HASH_ENTRY_BYTES * len(self.hash_table)
+        block_membership: dict[int, int] = {m.mapping_id: 0 for m in self.mapping_set}
+        covered_by_mapping: dict[int, set] = {m.mapping_id: set() for m in self.mapping_set}
+        for block in self.iter_blocks():
+            for mapping_id in block.mapping_ids:
+                block_membership[mapping_id] += 1
+                covered_by_mapping[mapping_id].update(block.correspondences)
+        for mapping in self.mapping_set:
+            residual = len(mapping.correspondences - covered_by_mapping[mapping.mapping_id])
+            total += MAPPING_HEADER_BYTES
+            total += MAPPING_ID_BYTES * block_membership[mapping.mapping_id]
+            total += CORRESPONDENCE_BYTES * residual
+        return total
+
+    def compression_ratio(self) -> float:
+        """The paper's compression ratio: ``1 - B / naive``.
+
+        ``B`` is the compressed (block tree + hash table + residual mappings)
+        size and ``naive`` the size of storing every mapping with all of its
+        correspondences.
+        """
+        naive = self.mapping_set.naive_storage_bytes()
+        if naive == 0:
+            return 0.0
+        return 1.0 - self.compressed_storage_bytes() / naive
+
+    def describe(self) -> dict:
+        """Summary of the tree: block counts, sizes, support and storage."""
+        sizes = [block.size for block in self.iter_blocks()]
+        supports = [block.support for block in self.iter_blocks()]
+        return {
+            "num_blocks": self.num_blocks,
+            "non_leaf_blocks_created": self.non_leaf_blocks_created,
+            "hash_entries": len(self.hash_table),
+            "max_block_size": max(sizes, default=0),
+            "mean_block_size": sum(sizes) / len(sizes) if sizes else 0.0,
+            "mean_block_support": sum(supports) / len(supports) if supports else 0.0,
+            "compression_ratio": self.compression_ratio(),
+            "construction_seconds": self.construction_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockTree(target={self.target_schema.name!r}, blocks={self.num_blocks}, "
+            f"tau={self.config.tau})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Construction (Algorithms 1 and 2)
+# --------------------------------------------------------------------------- #
+class _Builder:
+    """Stateful helper running the post-order construction."""
+
+    def __init__(self, tree: BlockTree) -> None:
+        self.tree = tree
+        self.mapping_set = tree.mapping_set
+        self.config = tree.config
+        self.min_support = self.config.tau * len(self.mapping_set)
+        self.non_leaf_count = 0  # the paper's global `count` (bounded by MAX_B)
+
+    # -- init_block: single-correspondence blocks for one target element ---- #
+    def init_block(self, element: SchemaElement) -> list[Block]:
+        groups: dict[int, list[int]] = {}
+        for mapping in self.mapping_set:
+            source_id = mapping.source_for_target(element.element_id)
+            if source_id is not None:
+                groups.setdefault(source_id, []).append(mapping.mapping_id)
+        blocks = []
+        for source_id in sorted(groups):
+            mapping_ids = groups[source_id]
+            if len(mapping_ids) >= self.min_support:
+                blocks.append(
+                    Block(
+                        anchor_id=element.element_id,
+                        correspondences=frozenset({(source_id, element.element_id)}),
+                        mapping_ids=frozenset(mapping_ids),
+                    )
+                )
+        return blocks
+
+    # -- gen_non_leaf: combine own blocks with one block per child ---------- #
+    def gen_non_leaf(self, element: SchemaElement, node: BlockTreeNode) -> int:
+        own_blocks = self.init_block(element)
+        if not own_blocks:
+            return 0
+        child_block_lists = [
+            self.tree.node_for_element(child.element_id).blocks for child in element.children
+        ]
+        created = 0
+        failures = 0
+        for own_block in own_blocks:
+            for combination in itertools.product(*child_block_lists):
+                if (
+                    self.non_leaf_count >= self.config.max_blocks
+                    or failures >= self.config.max_failures
+                ):
+                    self.tree.failed_attempts += failures
+                    return created
+                mapping_ids = own_block.mapping_ids
+                for child_block in combination:
+                    mapping_ids = mapping_ids & child_block.mapping_ids
+                    if len(mapping_ids) < self.min_support:
+                        break
+                if len(mapping_ids) >= self.min_support:
+                    correspondences = set(own_block.correspondences)
+                    for child_block in combination:
+                        correspondences.update(child_block.correspondences)
+                    node.blocks.append(
+                        Block(
+                            anchor_id=element.element_id,
+                            correspondences=frozenset(correspondences),
+                            mapping_ids=frozenset(mapping_ids),
+                        )
+                    )
+                    created += 1
+                    self.non_leaf_count += 1
+                else:
+                    failures += 1
+        self.tree.failed_attempts += failures
+        return created
+
+    # -- construct_c_block: post-order recursion over the target schema ----- #
+    def construct(self, element: SchemaElement) -> int:
+        node = self.tree.node_for_element(element.element_id)
+        if element.is_leaf:
+            node.blocks.extend(self.init_block(element))
+            created = len(node.blocks)
+        else:
+            children_all_have_blocks = True
+            for child in element.children:
+                if self.construct(child) == 0:
+                    children_all_have_blocks = False
+            if not children_all_have_blocks:
+                return 0
+            created = self.gen_non_leaf(element, node)
+        if created > 0:
+            self.tree.hash_table[element.path] = node
+        return created
+
+
+def build_block_tree(
+    mapping_set: MappingSet,
+    config: BlockTreeConfig | None = None,
+) -> BlockTree:
+    """Build the block tree of a mapping set (Algorithm 1).
+
+    Parameters
+    ----------
+    mapping_set:
+        The possible mappings ``M`` (with probabilities) of a schema matching.
+    config:
+        Construction parameters; defaults to the paper's defaults
+        (``τ=0.2``, ``MAX_B=500``, ``MAX_F=500``).
+
+    Returns
+    -------
+    BlockTree
+        The finished tree, with its hash table and construction statistics
+        (``construction_seconds`` corresponds to the paper's ``Tc``).
+    """
+    config = config or BlockTreeConfig()
+    target_schema = mapping_set.matching.target
+    tree = BlockTree(target_schema, mapping_set, config)
+    builder = _Builder(tree)
+    started = time.perf_counter()
+    assert target_schema.root is not None
+    builder.construct(target_schema.root)
+    tree.construction_seconds = time.perf_counter() - started
+    tree.non_leaf_blocks_created = builder.non_leaf_count
+    return tree

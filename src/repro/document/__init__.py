@@ -1,0 +1,21 @@
+"""XML document substrate.
+
+Documents conform to a :class:`repro.schema.Schema` (the paper's *source
+documents* ``dS``), carry text values at their leaves and maintain the
+interval (pre/post order) labelling needed by structural joins during twig
+matching.
+"""
+
+from repro.document.node import DocumentNode
+from repro.document.document import XMLDocument
+from repro.document.generator import generate_document, generate_order_document
+from repro.document.serializer import document_to_xml, parse_document_xml
+
+__all__ = [
+    "DocumentNode",
+    "XMLDocument",
+    "generate_document",
+    "generate_order_document",
+    "document_to_xml",
+    "parse_document_xml",
+]

@@ -1,0 +1,190 @@
+"""The :class:`XMLDocument` tree."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.exceptions import DocumentConformanceError, DocumentError
+from repro.document.node import DocumentNode
+from repro.schema.schema import Schema
+
+__all__ = ["XMLDocument"]
+
+
+class XMLDocument:
+    """An XML document that conforms to a :class:`~repro.schema.Schema`.
+
+    The document is the paper's ``dS``: it conforms to the *source* schema,
+    and probabilistic twig queries posed on the target schema are answered by
+    rewriting them onto this document.
+
+    Nodes are added with :meth:`add_root` / :meth:`add_child`; after the tree
+    is complete, :meth:`finalize` assigns region-encoding intervals and builds
+    the per-element and per-label indexes used by the twig-matching engine.
+
+    Parameters
+    ----------
+    schema:
+        The schema the document conforms to.  Every node added must
+        instantiate an element of this schema, and the parent/child structure
+        must follow the schema's structure.
+    name:
+        Optional document name (for example ``"Order.xml"``).
+    """
+
+    def __init__(self, schema: Schema, name: str = "document") -> None:
+        self.schema = schema
+        self.name = name
+        self.root: Optional[DocumentNode] = None
+        self._nodes: list[DocumentNode] = []
+        self._by_element: dict[int, list[DocumentNode]] = {}
+        self._by_label: dict[str, list[DocumentNode]] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_root(self, element_id: int, value: Optional[str] = None) -> DocumentNode:
+        """Create the document root as an instance of schema element ``element_id``."""
+        self._check_mutable()
+        if self.root is not None:
+            raise DocumentError(f"document {self.name!r} already has a root")
+        element = self.schema.get(element_id)
+        if not element.is_root:
+            raise DocumentConformanceError(
+                f"document root must instantiate the schema root, got {element.path!r}"
+            )
+        node = DocumentNode(0, element.label, element_id, None, value)
+        self.root = node
+        self._register(node)
+        return node
+
+    def add_child(
+        self, parent: DocumentNode, element_id: int, value: Optional[str] = None
+    ) -> DocumentNode:
+        """Create a node under ``parent`` instantiating schema element ``element_id``.
+
+        Raises
+        ------
+        DocumentConformanceError
+            If the schema element is not a child of the parent's schema
+            element (the document would not conform to the schema).
+        """
+        self._check_mutable()
+        element = self.schema.get(element_id)
+        parent_element = self.schema.get(parent.element_id)
+        if element.parent is not parent_element:
+            raise DocumentConformanceError(
+                f"element {element.path!r} is not a child of {parent_element.path!r} "
+                f"in schema {self.schema.name!r}"
+            )
+        node = DocumentNode(len(self._nodes), element.label, element_id, parent, value)
+        parent.children.append(node)
+        self._register(node)
+        return node
+
+    def _register(self, node: DocumentNode) -> None:
+        self._nodes.append(node)
+        self._by_element.setdefault(node.element_id, []).append(node)
+        self._by_label.setdefault(node.label, []).append(node)
+
+    def _check_mutable(self) -> None:
+        if self._finalized:
+            raise DocumentError(f"document {self.name!r} is finalized and cannot be modified")
+
+    def finalize(self) -> "XMLDocument":
+        """Assign region-encoding intervals and freeze the document.
+
+        Returns the document itself so the call can be chained.
+        """
+        if self.root is None:
+            raise DocumentError(f"document {self.name!r} has no root")
+        counter = 0
+        stack: list[tuple[DocumentNode, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                node.end = counter
+                counter += 1
+                continue
+            node.start = counter
+            counter += 1
+            stack.append((node, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+        self._finalized = True
+        return self
+
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` has been called."""
+        return self._finalized
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[DocumentNode]:
+        return iter(self._nodes)
+
+    def get(self, node_id: int) -> DocumentNode:
+        """Return the node with ``node_id``."""
+        if 0 <= node_id < len(self._nodes):
+            return self._nodes[node_id]
+        raise DocumentError(f"document {self.name!r} has no node with id {node_id}")
+
+    def nodes_of_element(self, element_id: int) -> list[DocumentNode]:
+        """Return all nodes instantiating the schema element ``element_id``."""
+        return list(self._by_element.get(element_id, ()))
+
+    def nodes_with_label(self, label: str) -> list[DocumentNode]:
+        """Return all nodes with tag name ``label``."""
+        return list(self._by_label.get(label, ()))
+
+    def iter_preorder(self) -> Iterator[DocumentNode]:
+        """Yield nodes in document order."""
+        if self.root is None:
+            return
+        yield from self.root.iter_subtree()
+
+    def depth(self) -> int:
+        """Return the maximum node level."""
+        return max((node.level for node in self._nodes), default=0)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check conformance and structural invariants; raise on violation."""
+        if self.root is None:
+            raise DocumentError(f"document {self.name!r} has no root")
+        for node in self._nodes:
+            element = self.schema.get(node.element_id)
+            if node.label != element.label:
+                raise DocumentConformanceError(
+                    f"node {node.node_id} labelled {node.label!r} but instantiates "
+                    f"{element.path!r}"
+                )
+            if node.parent is not None:
+                parent_element = self.schema.get(node.parent.element_id)
+                if element.parent is not parent_element:
+                    raise DocumentConformanceError(
+                        f"node {node.node_id} ({element.path!r}) has parent instance of "
+                        f"{parent_element.path!r}"
+                    )
+        if self._finalized:
+            for node in self._nodes:
+                if node.start < 0 or node.end <= node.start:
+                    raise DocumentError(
+                        f"node {node.node_id} has an invalid region {node.start}..{node.end}"
+                    )
+                for child in node.children:
+                    if not (node.start < child.start and child.end <= node.end):
+                        raise DocumentError(
+                            f"region encoding of node {child.node_id} not nested in its parent"
+                        )
+
+    def __repr__(self) -> str:
+        return f"XMLDocument(name={self.name!r}, nodes={len(self._nodes)}, schema={self.schema.name!r})"

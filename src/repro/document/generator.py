@@ -1,0 +1,114 @@
+"""Synthetic document generation.
+
+The paper's query experiments use ``Order.xml``, an XCBL sample purchase
+order with 3473 element nodes.  :func:`generate_order_document` produces the
+analogous document for the synthetic XCBL schema; :func:`generate_document`
+is the general generator for any corpus schema.
+"""
+
+from __future__ import annotations
+
+from repro._rng import make_rng
+from repro.document.document import XMLDocument
+from repro.document.node import DocumentNode
+from repro.document.values import value_for_label
+from repro.exceptions import DocumentError
+from repro.schema.corpus import load_corpus_schema
+from repro.schema.element import SchemaElement
+from repro.schema.schema import Schema
+
+__all__ = ["generate_document", "generate_order_document", "ORDER_DOCUMENT_TARGET_NODES"]
+
+#: Node count of the paper's source document (XCBL ``Order.xml``).
+ORDER_DOCUMENT_TARGET_NODES = 3473
+
+
+def _instantiate_subtree(
+    document: XMLDocument,
+    element: SchemaElement,
+    parent_node: DocumentNode | None,
+    rng,
+) -> DocumentNode:
+    """Instantiate ``element`` and, recursively, one copy of each descendant."""
+    if parent_node is None:
+        node = document.add_root(element.element_id)
+    else:
+        node = document.add_child(parent_node, element.element_id)
+    if element.is_leaf:
+        node.value = value_for_label(element.label, rng)
+    else:
+        for child in element.children:
+            _instantiate_subtree(document, child, node, rng)
+    return node
+
+
+def generate_document(
+    schema: Schema,
+    target_nodes: int | None = None,
+    seed: int | None = None,
+    name: str | None = None,
+) -> XMLDocument:
+    """Generate a document conforming to ``schema``.
+
+    The generator first instantiates every schema element exactly once (so
+    the document exercises the whole schema), then repeatedly adds extra
+    instances of *repeatable* elements until ``target_nodes`` is reached.
+
+    Parameters
+    ----------
+    schema:
+        The (frozen) schema to conform to.
+    target_nodes:
+        Approximate total node count.  ``None`` stops after the single-pass
+        instantiation.  The result may overshoot by at most the size of one
+        repeated subtree.
+    seed:
+        Base seed for value generation and repetition choices.
+    name:
+        Document name; defaults to ``"<schema>.xml"``.
+
+    Raises
+    ------
+    DocumentError
+        If ``target_nodes`` is requested but the schema has no repeatable
+        element to expand.
+    """
+    rng = make_rng(seed, f"document:{schema.name}")
+    document = XMLDocument(schema, name or f"{schema.name}.xml")
+    assert schema.root is not None
+    _instantiate_subtree(document, schema.root, None, rng)
+
+    if target_nodes is not None and len(document) < target_nodes:
+        repeatable = [element for element in schema.iter_preorder() if element.repeatable]
+        if not repeatable:
+            raise DocumentError(
+                f"schema {schema.name!r} has no repeatable elements; cannot grow the "
+                f"document to {target_nodes} nodes"
+            )
+        # Prefer repeating smaller subtrees when the remaining budget is small,
+        # so the final size lands close to the target.
+        sizes = {element.element_id: element.subtree_size() for element in repeatable}
+        while len(document) < target_nodes:
+            remaining = target_nodes - len(document)
+            candidates = [e for e in repeatable if sizes[e.element_id] <= remaining]
+            if not candidates:
+                candidates = [min(repeatable, key=lambda e: sizes[e.element_id])]
+            element = rng.choice(candidates)
+            parents = document.nodes_of_element(element.parent.element_id)  # type: ignore[union-attr]
+            parent_node = rng.choice(parents)
+            _instantiate_subtree(document, element, parent_node, rng)
+
+    document.finalize()
+    return document
+
+
+def generate_order_document(
+    seed: int | None = None, target_nodes: int = ORDER_DOCUMENT_TARGET_NODES
+) -> XMLDocument:
+    """Generate the XCBL purchase-order source document used by the benchmarks.
+
+    Mirrors the paper's ``Order.xml`` (3473 nodes, conforming to the XCBL
+    schema).
+    """
+    schema = load_corpus_schema("xcbl", seed=seed)
+    return generate_document(schema, target_nodes=target_nodes, seed=seed, name="Order.xml")

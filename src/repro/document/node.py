@@ -1,0 +1,94 @@
+"""Nodes of an XML document tree."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["DocumentNode"]
+
+
+class DocumentNode:
+    """A single element node of an XML document.
+
+    Each node records the id of the schema element it instantiates
+    (``element_id``), its label, an optional text value (for leaves) and the
+    region encoding ``(start, end, level)`` assigned by
+    :meth:`repro.document.document.XMLDocument.finalize`.  The region encoding
+    is the classic interval labelling used by structural-join algorithms:
+    node ``a`` is an ancestor of node ``b`` iff
+    ``a.start < b.start and b.end <= a.end``.
+    """
+
+    __slots__ = (
+        "node_id",
+        "label",
+        "element_id",
+        "parent",
+        "children",
+        "value",
+        "start",
+        "end",
+        "level",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        label: str,
+        element_id: int,
+        parent: Optional["DocumentNode"] = None,
+        value: Optional[str] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.label = label
+        self.element_id = element_id
+        self.parent = parent
+        self.children: list[DocumentNode] = []
+        self.value = value
+        # Region encoding; filled in by XMLDocument.finalize().
+        self.start = -1
+        self.end = -1
+        self.level = 0 if parent is None else parent.level + 1
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    @property
+    def is_leaf(self) -> bool:
+        """``True`` when the node has no element children."""
+        return not self.children
+
+    def iter_subtree(self) -> Iterator["DocumentNode"]:
+        """Yield this node and all descendants in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_ancestors(self) -> Iterator["DocumentNode"]:
+        """Yield proper ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def is_ancestor_of(self, other: "DocumentNode") -> bool:
+        """Region-encoding ancestor test (requires a finalized document)."""
+        return self.start < other.start and other.end <= self.end
+
+    def is_parent_of(self, other: "DocumentNode") -> bool:
+        """``True`` when ``other`` is a direct child of this node."""
+        return other.parent is self
+
+    def path_labels(self) -> list[str]:
+        """Return the labels on the root-to-node path (root first)."""
+        labels = [self.label]
+        for ancestor in self.iter_ancestors():
+            labels.append(ancestor.label)
+        labels.reverse()
+        return labels
+
+    def __repr__(self) -> str:
+        value = f", value={self.value!r}" if self.value is not None else ""
+        return f"DocumentNode(id={self.node_id}, label={self.label!r}{value})"

@@ -1,0 +1,84 @@
+"""Deterministic text-value generation for synthetic documents.
+
+Leaf values are derived from the leaf's label: contact names become person
+names, city elements become city names, price-like elements become decimal
+strings, and so on.  The choice is driven by a :class:`random.Random`
+instance owned by the document generator, so a given seed always yields the
+same document.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+__all__ = ["value_for_label"]
+
+_PERSON_NAMES = (
+    "Cathy", "Bob", "Alice", "David", "Erin", "Frank", "Grace", "Henry",
+    "Irene", "Jack", "Karen", "Leo", "Mona", "Nina", "Oscar", "Paula",
+)
+_CITIES = (
+    "Hong Kong", "Leipzig", "Berlin", "Shanghai", "Singapore", "London",
+    "Zurich", "Seattle", "Taipei", "Rotterdam", "Lyon", "Osaka",
+)
+_COUNTRIES = (
+    "China", "Germany", "Singapore", "United Kingdom", "Switzerland",
+    "United States", "Japan", "France", "Netherlands", "Italy",
+)
+_STREETS = (
+    "Pokfulam Road", "Main Street", "Harbour View", "Industrial Ave",
+    "Market Square", "Canton Road", "Des Voeux Road", "Queensway",
+)
+_COMPANIES = (
+    "Acme Trading", "Globex", "Initech", "Umbrella Logistics", "Wayne Supplies",
+    "Stark Components", "Tyrell Parts", "Cyberdyne Tools",
+)
+_PRODUCTS = (
+    "steel bolt", "copper wire", "ball bearing", "hex nut", "gasket",
+    "circuit board", "power supply", "hydraulic pump", "valve", "sensor",
+)
+_CARRIERS = ("DHL", "FedEx", "UPS", "Maersk", "Hapag-Lloyd", "SF Express")
+_CURRENCIES = ("USD", "EUR", "HKD", "CNY", "GBP", "JPY")
+
+_TOKEN_SPLIT = re.compile(r"[_\-]|(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+
+
+def _tokens(label: str) -> set[str]:
+    return {token.lower() for token in _TOKEN_SPLIT.split(label) if token}
+
+
+def value_for_label(label: str, rng: random.Random) -> str:
+    """Return a plausible text value for a leaf element named ``label``."""
+    tokens = _tokens(label)
+
+    if tokens & {"email", "mail"}:
+        name = rng.choice(_PERSON_NAMES).lower()
+        return f"{name}@{rng.choice(('example.com', 'trade.org', 'b2b.net'))}"
+    if "name" in tokens and tokens & {"contact", "party", "person"}:
+        return rng.choice(_PERSON_NAMES)
+    if "name" in tokens:
+        return rng.choice(_COMPANIES)
+    if "city" in tokens:
+        return rng.choice(_CITIES)
+    if "country" in tokens or "region" in tokens:
+        return rng.choice(_COUNTRIES)
+    if "street" in tokens:
+        return f"{rng.randint(1, 200)} {rng.choice(_STREETS)}"
+    if tokens & {"carrier", "mode"}:
+        return rng.choice(_CARRIERS)
+    if "currency" in tokens:
+        return rng.choice(_CURRENCIES)
+    if "date" in tokens or "period" in tokens:
+        return f"2009-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+    if tokens & {"description", "note", "instructions", "item"}:
+        return rng.choice(_PRODUCTS)
+    if tokens & {"price", "amount", "total", "charge", "value", "rate"}:
+        return f"{rng.randint(1, 9999)}.{rng.randint(0, 99):02d}"
+    if tokens & {"quantity", "qty", "days", "lines", "percent", "percentage", "no", "number"}:
+        return str(rng.randint(1, 500))
+    if tokens & {"id", "code", "reference", "revision", "status", "type"}:
+        return f"{rng.choice('ABCDEFGH')}{rng.randint(1000, 99999)}"
+    if "phone" in tokens or "fax" in tokens:
+        return f"+852-{rng.randint(20000000, 39999999)}"
+    return f"{rng.choice(_PRODUCTS)} {rng.randint(1, 99)}"

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one base class at an integration boundary.  The subclasses
+partition the failure modes along the package structure: schema construction,
+document construction, matching, mapping generation, block-tree construction
+and query processing.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "SchemaParseError",
+    "DocumentError",
+    "DocumentConformanceError",
+    "MatchingError",
+    "MappingError",
+    "AssignmentError",
+    "BlockTreeError",
+    "QueryError",
+    "TwigParseError",
+    "RewriteError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a schema is structurally invalid (cycles, duplicate ids...)."""
+
+
+class SchemaParseError(SchemaError):
+    """Raised when textual schema notation or XSD-like input cannot be parsed."""
+
+
+class DocumentError(ReproError):
+    """Raised when an XML document is structurally invalid."""
+
+
+class DocumentConformanceError(DocumentError):
+    """Raised when a document does not conform to the schema it claims to follow."""
+
+
+class MatchingError(ReproError):
+    """Raised for invalid schema matchings (unknown elements, bad scores...)."""
+
+
+class MappingError(ReproError):
+    """Raised for invalid possible mappings or mapping sets."""
+
+
+class AssignmentError(MappingError):
+    """Raised when the assignment substrate (Hungarian/Murty) receives bad input."""
+
+
+class BlockTreeError(ReproError):
+    """Raised for invalid block-tree configurations or construction failures."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid twig queries or query-evaluation failures."""
+
+
+class TwigParseError(QueryError):
+    """Raised when a twig-pattern string cannot be parsed."""
+
+
+class RewriteError(QueryError):
+    """Raised when a target query cannot be rewritten under a mapping."""
+
+
+class DatasetError(ReproError):
+    """Raised when a workload dataset identifier or configuration is invalid."""

@@ -1,0 +1,33 @@
+"""Possible-mapping model and top-h mapping generation.
+
+A *possible mapping* (:class:`Mapping`) is a one-to-one partial matching
+between source and target schema elements, drawn from the correspondences of
+a :class:`~repro.matching.matching.SchemaMatching` and annotated with a
+probability.  A :class:`MappingSet` is the paper's ``M``: the set of possible
+mappings representing one schema matching, with probabilities summing to one.
+
+Top-h mappings are produced either by Murty's ranking algorithm over the
+whole bipartite (:mod:`repro.mapping.murty`, the paper's baseline) or by the
+paper's divide-and-conquer partitioning approach
+(:mod:`repro.mapping.partition`).
+"""
+
+from repro.mapping.mapping import Mapping
+from repro.mapping.mapping_set import MappingSet
+from repro.mapping.bipartite import BipartiteGraph
+from repro.mapping.assignment import solve_max_weight_matching
+from repro.mapping.murty import rank_mappings_murty
+from repro.mapping.partition import partition_matching, rank_mappings_partitioned
+from repro.mapping.generator import generate_top_h_mappings, GenerationMethod
+
+__all__ = [
+    "Mapping",
+    "MappingSet",
+    "BipartiteGraph",
+    "solve_max_weight_matching",
+    "rank_mappings_murty",
+    "partition_matching",
+    "rank_mappings_partitioned",
+    "generate_top_h_mappings",
+    "GenerationMethod",
+]

@@ -1,0 +1,172 @@
+"""Bipartite-graph view of a schema matching.
+
+The paper (Section V, Figure 7) models the retrieval of top-h mappings as a
+maximum bipartite matching problem: source elements on one side, target
+elements on the other, correspondences as weighted edges, and an *image* node
+per element to model the "matches nothing" choice.  Because every image edge
+has weight zero, ranking assignments of that bipartite is equivalent to
+ranking the sets of real correspondence edges that form a one-to-one partial
+matching, which is how :class:`BipartiteGraph` exposes the problem: the image
+nodes are implicit (an element not covered by the returned edge set is
+unmatched).
+
+The class also implements the paper's *partitioning* (Definition 6): the
+connected components of the correspondence graph, each a much smaller
+bipartite on which the assignment algorithms run independently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.exceptions import AssignmentError
+from repro.matching.correspondence import CorrespondenceKey
+from repro.matching.matching import SchemaMatching
+
+__all__ = ["BipartiteGraph"]
+
+
+class BipartiteGraph:
+    """A weighted bipartite graph between source and target element ids.
+
+    Parameters
+    ----------
+    source_ids:
+        Source-side node ids (rows of the weight matrix).
+    target_ids:
+        Target-side node ids (columns).
+    weights:
+        Edge weights, keyed by ``(source_id, target_id)``; only pairs present
+        here are real correspondences, every other pair has implicit weight 0
+        (i.e. "leave both elements unmatched instead").
+    """
+
+    def __init__(
+        self,
+        source_ids: Iterable[int],
+        target_ids: Iterable[int],
+        weights: dict[CorrespondenceKey, float],
+    ) -> None:
+        self.source_ids: list[int] = sorted(set(source_ids))
+        self.target_ids: list[int] = sorted(set(target_ids))
+        source_set = set(self.source_ids)
+        target_set = set(self.target_ids)
+        for (source_id, target_id), weight in weights.items():
+            if source_id not in source_set or target_id not in target_set:
+                raise AssignmentError(
+                    f"edge ({source_id}, {target_id}) references a node outside the graph"
+                )
+            if weight < 0:
+                raise AssignmentError(
+                    f"edge ({source_id}, {target_id}) has negative weight {weight!r}"
+                )
+        self.weights: dict[CorrespondenceKey, float] = dict(weights)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_matching(
+        cls, matching: SchemaMatching, include_unmatched_elements: bool = True
+    ) -> "BipartiteGraph":
+        """Build the bipartite of a schema matching.
+
+        ``include_unmatched_elements=True`` reproduces the paper's baseline
+        setting where the bipartite spans *all* ``|S.N| + |T.N|`` elements
+        (its size is what makes plain Murty expensive); ``False`` restricts
+        the graph to elements that participate in at least one correspondence,
+        which is how the per-partition subproblems are built.
+        """
+        weights = {c.key: c.score for c in matching}
+        if include_unmatched_elements:
+            source_ids: Iterable[int] = matching.source.element_ids()
+            target_ids: Iterable[int] = matching.target.element_ids()
+        else:
+            source_ids = matching.matched_source_ids()
+            target_ids = matching.matched_target_ids()
+        return cls(source_ids, target_ids, weights)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Total number of nodes (the paper's ``|S.N| + |T.N|``)."""
+        return len(self.source_ids) + len(self.target_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of weighted (real correspondence) edges."""
+        return len(self.weights)
+
+    def max_weight(self) -> float:
+        """Largest edge weight (0 for an edgeless graph)."""
+        return max(self.weights.values(), default=0.0)
+
+    # ------------------------------------------------------------------ #
+    # Partitioning (Definition 6 of the paper)
+    # ------------------------------------------------------------------ #
+    def connected_components(self) -> list["BipartiteGraph"]:
+        """Split the graph into maximal connected sub-bipartites.
+
+        Only nodes incident to at least one edge are placed in components;
+        isolated nodes can only pair with their image (contribute score 0 to
+        every mapping) and are therefore irrelevant to the ranking.
+        Components are returned in a deterministic order (by their smallest
+        source id).
+        """
+        parent: dict[tuple[str, int], tuple[str, int]] = {}
+
+        def find(node: tuple[str, int]) -> tuple[str, int]:
+            root = node
+            while parent[root] != root:
+                root = parent[root]
+            while parent[node] != root:
+                parent[node], node = root, parent[node]
+            return root
+
+        def union(a: tuple[str, int], b: tuple[str, int]) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_b] = root_a
+
+        for source_id, target_id in self.weights:
+            left = ("s", source_id)
+            right = ("t", target_id)
+            parent.setdefault(left, left)
+            parent.setdefault(right, right)
+            union(left, right)
+
+        groups: dict[tuple[str, int], dict[str, set[int] | dict]] = {}
+        for (source_id, target_id), weight in self.weights.items():
+            root = find(("s", source_id))
+            group = groups.setdefault(
+                root, {"sources": set(), "targets": set(), "weights": {}}
+            )
+            group["sources"].add(source_id)  # type: ignore[union-attr]
+            group["targets"].add(target_id)  # type: ignore[union-attr]
+            group["weights"][(source_id, target_id)] = weight  # type: ignore[index]
+
+        components = [
+            BipartiteGraph(group["sources"], group["targets"], group["weights"])  # type: ignore[arg-type]
+            for group in groups.values()
+        ]
+        components.sort(key=lambda g: g.source_ids[0])
+        return components
+
+    def restrict(self, keys: Iterable[CorrespondenceKey]) -> "BipartiteGraph":
+        """Return the subgraph containing only the given edges (and their nodes)."""
+        keys = set(keys)
+        missing = keys - set(self.weights)
+        if missing:
+            raise AssignmentError(f"edges {sorted(missing)} are not in the graph")
+        weights = {key: self.weights[key] for key in keys}
+        sources = {source_id for source_id, _ in keys}
+        targets = {target_id for _, target_id in keys}
+        return BipartiteGraph(sources, targets, weights)
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(sources={len(self.source_ids)}, targets={len(self.target_ids)}, "
+            f"edges={self.num_edges})"
+        )

@@ -1,0 +1,88 @@
+"""High-level top-h possible-mapping generation.
+
+:func:`generate_top_h_mappings` is the public entry point: it runs either the
+plain Murty ranking (the paper's baseline) or the partition-based
+divide-and-conquer approach (the paper's contribution, Algorithm 5), turns
+the ranked correspondence sets into :class:`~repro.mapping.mapping.Mapping`
+objects and normalises their scores into probabilities, yielding the
+:class:`~repro.mapping.mapping_set.MappingSet` that the block tree and the
+probabilistic twig queries consume.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.exceptions import MappingError
+from repro.mapping.mapping import Mapping
+from repro.mapping.mapping_set import MappingSet
+from repro.mapping.murty import RankedMapping, rank_mappings_murty
+from repro.mapping.partition import rank_mappings_partitioned
+from repro.matching.matching import SchemaMatching
+
+__all__ = ["GenerationMethod", "generate_top_h_mappings", "mapping_set_from_ranking"]
+
+
+class GenerationMethod(str, Enum):
+    """How to derive the top-h mappings from a schema matching."""
+
+    #: Plain Murty ranking over the full bipartite (the paper's baseline).
+    MURTY = "murty"
+    #: Partition the matching first, rank each partition, merge (Algorithm 5).
+    PARTITION = "partition"
+
+
+def mapping_set_from_ranking(
+    matching: SchemaMatching, ranking: list[RankedMapping]
+) -> MappingSet:
+    """Build a normalised :class:`MappingSet` from a ranked list of mappings."""
+    if not ranking:
+        raise MappingError("cannot build a mapping set from an empty ranking")
+    mappings = [
+        Mapping(mapping_id=index, correspondences=edges, score=score)
+        for index, (score, edges) in enumerate(ranking)
+    ]
+    return MappingSet(matching, mappings, normalize=True)
+
+
+def generate_top_h_mappings(
+    matching: SchemaMatching,
+    h: int,
+    method: GenerationMethod | str = GenerationMethod.PARTITION,
+    backend: str = "auto",
+    merge_strategy: str = "lazy",
+) -> MappingSet:
+    """Generate the top-h possible mappings of ``matching``.
+
+    Parameters
+    ----------
+    matching:
+        The schema matching (set of scored correspondences).
+    h:
+        Number of mappings to retain.  Fewer may be returned when the
+        matching admits fewer distinct mappings.
+    method:
+        :class:`GenerationMethod` (or its string value): ``"partition"``
+        (default, the paper's fast approach) or ``"murty"`` (baseline).
+    backend:
+        Assignment backend (``"auto"``, ``"python"`` or ``"scipy"``).
+    merge_strategy:
+        Partition-merge strategy, ``"lazy"`` or ``"exhaustive"``; ignored by
+        the Murty method.
+
+    Returns
+    -------
+    MappingSet
+        Mappings ordered by non-increasing score, ids ``0 .. len-1``, with
+        probabilities proportional to their scores.
+    """
+    if h <= 0:
+        raise MappingError(f"h must be positive, got {h}")
+    method = GenerationMethod(method)
+    if method is GenerationMethod.MURTY:
+        ranking = rank_mappings_murty(matching, h, backend=backend)
+    else:
+        ranking = rank_mappings_partitioned(
+            matching, h, backend=backend, merge_strategy=merge_strategy
+        )
+    return mapping_set_from_ranking(matching, ranking)

@@ -1,0 +1,33 @@
+"""Schema matching substrate.
+
+This package plays the role of COMA++ in the paper: given a source and a
+target schema it produces a :class:`SchemaMatching` — a set of
+:class:`Correspondence` objects (element pairs annotated with a similarity
+score).  Downstream, the mapping generator turns a matching into possible
+mappings with probabilities, and the block tree organises those mappings.
+"""
+
+from repro.matching.correspondence import Correspondence
+from repro.matching.matching import SchemaMatching
+from repro.matching.matcher import SchemaMatcher, MatcherConfig
+from repro.matching.similarity import (
+    tokenize,
+    levenshtein,
+    edit_similarity,
+    trigram_similarity,
+    token_set_similarity,
+    name_similarity,
+)
+
+__all__ = [
+    "Correspondence",
+    "SchemaMatching",
+    "SchemaMatcher",
+    "MatcherConfig",
+    "tokenize",
+    "levenshtein",
+    "edit_similarity",
+    "trigram_similarity",
+    "token_set_similarity",
+    "name_similarity",
+]

@@ -1,0 +1,44 @@
+"""Correspondences: scored element pairs in a schema matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import MatchingError
+
+__all__ = ["Correspondence", "CorrespondenceKey"]
+
+#: A correspondence's identity: ``(source element id, target element id)``.
+CorrespondenceKey = tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Correspondence:
+    """A single correspondence ``(x, y)`` between schema elements with a score.
+
+    ``source_id`` and ``target_id`` are element ids in the source and target
+    schemas of the matching this correspondence belongs to.  The ``score`` is
+    the matcher's similarity value in ``[0, 1]``, interpreted by the mapping
+    generator as the (unnormalised) confidence that the pair carries the same
+    meaning.
+    """
+
+    source_id: int
+    target_id: int
+    score: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.score <= 1.0):
+            raise MatchingError(
+                f"correspondence score must be in [0, 1], got {self.score!r}"
+            )
+        if self.source_id < 0 or self.target_id < 0:
+            raise MatchingError("correspondence element ids must be non-negative")
+
+    @property
+    def key(self) -> CorrespondenceKey:
+        """The ``(source_id, target_id)`` pair identifying this correspondence."""
+        return (self.source_id, self.target_id)
+
+    def __repr__(self) -> str:
+        return f"Correspondence({self.source_id}~{self.target_id}, score={self.score:.3f})"

@@ -1,0 +1,148 @@
+"""The :class:`SchemaMatching` container (the paper's ``U``)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.exceptions import MatchingError
+from repro.matching.correspondence import Correspondence, CorrespondenceKey
+from repro.schema.schema import Schema
+
+__all__ = ["SchemaMatching"]
+
+
+class SchemaMatching:
+    """A schema matching ``U`` between a source schema ``S`` and target schema ``T``.
+
+    The matching is a set of scored correspondences.  The *capacity* (the
+    ``Cap.`` column of Table II in the paper) is the number of
+    correspondences it contains.
+
+    Parameters
+    ----------
+    source:
+        The source schema ``S``.
+    target:
+        The target schema ``T``.
+    correspondences:
+        Optional initial correspondences; more can be added with :meth:`add`.
+    name:
+        Optional name, e.g. the dataset id (``"D7"``).
+    """
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        correspondences: Optional[Iterable[Correspondence]] = None,
+        name: str = "matching",
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.name = name
+        self._by_key: dict[CorrespondenceKey, Correspondence] = {}
+        self._by_source: dict[int, list[Correspondence]] = {}
+        self._by_target: dict[int, list[Correspondence]] = {}
+        for correspondence in correspondences or ():
+            self.add(correspondence)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, correspondence: Correspondence) -> None:
+        """Add a correspondence, validating that both elements exist.
+
+        Raises
+        ------
+        MatchingError
+            If an element id is out of range for its schema or the pair is
+            already present.
+        """
+        if not (0 <= correspondence.source_id < len(self.source)):
+            raise MatchingError(
+                f"source element id {correspondence.source_id} not in schema "
+                f"{self.source.name!r}"
+            )
+        if not (0 <= correspondence.target_id < len(self.target)):
+            raise MatchingError(
+                f"target element id {correspondence.target_id} not in schema "
+                f"{self.target.name!r}"
+            )
+        if correspondence.key in self._by_key:
+            raise MatchingError(f"duplicate correspondence {correspondence.key}")
+        self._by_key[correspondence.key] = correspondence
+        self._by_source.setdefault(correspondence.source_id, []).append(correspondence)
+        self._by_target.setdefault(correspondence.target_id, []).append(correspondence)
+
+    def add_pair(self, source_id: int, target_id: int, score: float) -> Correspondence:
+        """Convenience wrapper building and adding a :class:`Correspondence`."""
+        correspondence = Correspondence(source_id, target_id, score)
+        self.add(correspondence)
+        return correspondence
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Number of correspondences (the ``Cap.`` column of Table II)."""
+        return len(self._by_key)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self) -> Iterator[Correspondence]:
+        return iter(self._by_key.values())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._by_key
+
+    def get(self, source_id: int, target_id: int) -> Optional[Correspondence]:
+        """Return the correspondence for the pair, or ``None`` if absent."""
+        return self._by_key.get((source_id, target_id))
+
+    def score(self, source_id: int, target_id: int) -> float:
+        """Return the score of the pair, or ``0.0`` if the pair is absent."""
+        correspondence = self._by_key.get((source_id, target_id))
+        return correspondence.score if correspondence is not None else 0.0
+
+    def for_source(self, source_id: int) -> list[Correspondence]:
+        """Return all correspondences of the given source element."""
+        return list(self._by_source.get(source_id, ()))
+
+    def for_target(self, target_id: int) -> list[Correspondence]:
+        """Return all correspondences of the given target element."""
+        return list(self._by_target.get(target_id, ()))
+
+    def matched_source_ids(self) -> set[int]:
+        """Return source element ids participating in at least one correspondence."""
+        return set(self._by_source)
+
+    def matched_target_ids(self) -> set[int]:
+        """Return target element ids participating in at least one correspondence."""
+        return set(self._by_target)
+
+    def keys(self) -> set[CorrespondenceKey]:
+        """Return all ``(source_id, target_id)`` pairs."""
+        return set(self._by_key)
+
+    def describe(self) -> dict:
+        """Return a summary dictionary (sizes, capacity, score statistics)."""
+        scores = [c.score for c in self._by_key.values()]
+        return {
+            "name": self.name,
+            "source": self.source.name,
+            "target": self.target.name,
+            "source_size": len(self.source),
+            "target_size": len(self.target),
+            "capacity": self.capacity,
+            "min_score": min(scores) if scores else None,
+            "max_score": max(scores) if scores else None,
+            "mean_score": sum(scores) / len(scores) if scores else None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SchemaMatching(name={self.name!r}, {self.source.name!r}->{self.target.name!r}, "
+            f"capacity={self.capacity})"
+        )

@@ -1,0 +1,188 @@
+"""Element-name similarity measures used by the matcher.
+
+The measures are deliberately classical — tokenisation, Levenshtein edit
+distance, character trigrams and a soft token-set overlap — because the
+matcher only needs to produce *plausible* correspondences with near-tied
+scores, the way COMA++'s linguistic matchers do.  All functions are pure and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+__all__ = [
+    "tokenize",
+    "normalize_tokens",
+    "levenshtein",
+    "edit_similarity",
+    "trigram_similarity",
+    "token_set_similarity",
+    "name_similarity",
+    "path_similarity",
+]
+
+# Split on underscores/hyphens/dots and on camel-case boundaries, including
+# acronym boundaries ("POLine" -> ["PO", "Line"], "BuyerPartID" -> ["Buyer",
+# "Part", "ID"]).
+_SPLIT_RE = re.compile(
+    r"[_\-.\s]+|(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])"
+)
+
+#: Small domain synonym/abbreviation dictionary, playing the role of the
+#: auxiliary thesauri real matchers such as COMA++ ship with.  Tokens are
+#: rewritten to a canonical representative before comparison.
+_SYNONYMS: dict[str, str] = {
+    "ship": "deliver",
+    "shipping": "delivery",
+    "bill": "invoice",
+    "billing": "invoice",
+    "vendor": "seller",
+    "supplier": "seller",
+    "purchaser": "buyer",
+    "customer": "buyer",
+    "po": "order",
+    "qty": "quantity",
+    "amt": "amount",
+    "no": "number",
+    "num": "number",
+}
+
+
+@lru_cache(maxsize=65536)
+def tokenize(label: str) -> tuple[str, ...]:
+    """Split an element label into lower-case word tokens.
+
+    >>> tokenize("BuyerPartID")
+    ('buyer', 'part', 'id')
+    >>> tokenize("CONTACT_NAME")
+    ('contact', 'name')
+    """
+    return tuple(token.lower() for token in _SPLIT_RE.split(label) if token)
+
+
+@lru_cache(maxsize=65536)
+def normalize_tokens(label: str) -> tuple[str, ...]:
+    """Tokenise ``label`` and map every token through the synonym dictionary.
+
+    >>> normalize_tokens("ShipToParty")
+    ('deliver', 'to', 'party')
+    """
+    return tuple(_SYNONYMS.get(token, token) for token in tokenize(label))
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic Levenshtein edit distance between two strings."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the shorter string in the inner loop for a smaller row.
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def edit_similarity(a: str, b: str) -> float:
+    """Normalised edit similarity in ``[0, 1]`` (1 means equal strings)."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def _trigrams(text: str) -> set[str]:
+    padded = f"##{text.lower()}##"
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+
+def trigram_similarity(a: str, b: str) -> float:
+    """Dice coefficient over padded character trigrams, in ``[0, 1]``."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    grams_a = _trigrams(a)
+    grams_b = _trigrams(b)
+    return 2.0 * len(grams_a & grams_b) / (len(grams_a) + len(grams_b))
+
+
+def token_set_similarity(tokens_a: tuple[str, ...], tokens_b: tuple[str, ...]) -> float:
+    """Soft token-overlap similarity in ``[0, 1]``.
+
+    Each token of the smaller set is greedily aligned to its most similar
+    token (by edit similarity) in the other set; the result is the mean of
+    the best alignments, scaled by a Jaccard-style length penalty.  Identical
+    token sets score 1, disjoint and dissimilar sets score near 0.
+    """
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+    if len(tokens_a) > len(tokens_b):
+        tokens_a, tokens_b = tokens_b, tokens_a
+    total = 0.0
+    for token in tokens_a:
+        best = 0.0
+        for other in tokens_b:
+            if token == other:
+                best = 1.0
+                break
+            similarity = edit_similarity(token, other)
+            if similarity > best:
+                best = similarity
+        total += best
+    coverage = total / len(tokens_a)
+    length_penalty = len(tokens_a) / len(tokens_b)
+    return coverage * (0.5 + 0.5 * length_penalty)
+
+
+@lru_cache(maxsize=262144)
+def name_similarity(a: str, b: str) -> float:
+    """Combined linguistic similarity between two element labels, in ``[0, 1]``.
+
+    Blends soft token overlap after synonym normalisation (dominant signal,
+    robust to casing conventions and domain vocabulary), trigram similarity
+    (robust to abbreviations) and whole-name edit similarity.
+    """
+    if a == b:
+        return 1.0
+    tokens_a = normalize_tokens(a)
+    tokens_b = normalize_tokens(b)
+    token_score = token_set_similarity(tokens_a, tokens_b)
+    joined_a = "".join(tokens_a)
+    joined_b = "".join(tokens_b)
+    trigram_score = trigram_similarity(joined_a, joined_b)
+    edit_score = edit_similarity(joined_a, joined_b)
+    return 0.6 * token_score + 0.25 * trigram_score + 0.15 * edit_score
+
+
+@lru_cache(maxsize=262144)
+def path_similarity(path_a: str, path_b: str) -> float:
+    """Similarity of two root-to-element label paths, in ``[0, 1]``.
+
+    Paths are dot-separated label sequences (``"Order.ShipToParty.Address"``);
+    all labels are tokenised, synonym-normalised and compared as token sets.
+    This is the *context* signal that lets a matcher prefer the address of
+    the delivery party over the (identically labelled) address of the billing
+    party when matching a ``DeliverTo`` subtree.
+    """
+    if path_a == path_b:
+        return 1.0
+    tokens_a: tuple[str, ...] = tuple(
+        token for label in path_a.split(".") for token in normalize_tokens(label)
+    )
+    tokens_b: tuple[str, ...] = tuple(
+        token for label in path_b.split(".") for token in normalize_tokens(label)
+    )
+    return token_set_similarity(tuple(sorted(set(tokens_a))), tuple(sorted(set(tokens_b))))

@@ -1,0 +1,36 @@
+"""Twig queries and probabilistic twig query (PTQ) evaluation.
+
+A twig query (:class:`TwigQuery`) is a small tree pattern posed against the
+*target* schema.  Because the relationship between the target and the source
+schema is uncertain (a set of possible mappings with probabilities), a
+*probabilistic twig query* returns, for every relevant mapping, the matches
+obtained by rewriting the query onto the source document together with the
+mapping's probability (Definition 4 of the paper).
+
+Two evaluation algorithms are provided: :func:`evaluate_ptq_basic`
+(Algorithm 3 — rewrite and match once per mapping) and
+:func:`evaluate_ptq_blocktree` (Algorithm 4 — decompose the query over the
+block tree so mappings that share correspondences are evaluated only once).
+:func:`evaluate_topk_ptq` restricts evaluation to the k most probable
+mappings (Definition 5).
+"""
+
+from repro.query.twig import TwigNode, TwigQuery
+from repro.query.parser import parse_twig
+from repro.query.resolve import resolve_query
+from repro.query.results import PTQAnswer, PTQResult
+from repro.query.ptq import evaluate_ptq_basic, evaluate_ptq_blocktree, filter_mappings
+from repro.query.topk import evaluate_topk_ptq
+
+__all__ = [
+    "TwigNode",
+    "TwigQuery",
+    "parse_twig",
+    "resolve_query",
+    "PTQAnswer",
+    "PTQResult",
+    "filter_mappings",
+    "evaluate_ptq_basic",
+    "evaluate_ptq_blocktree",
+    "evaluate_topk_ptq",
+]

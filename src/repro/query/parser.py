@@ -1,0 +1,186 @@
+"""Parsing twig-query strings.
+
+The syntax follows the paper's Table III queries, a small XPath-like
+fragment::
+
+    query      :=  axis? step ( axis step )*
+    axis       :=  '/' | '//'
+    step       :=  NAME predicate*
+    predicate  :=  '[' rel-path ( '=' value )? ']'
+    rel-path   :=  ('.')? axis? step ( axis step )*
+    value      :=  '"' ... '"'  |  "'" ... "'"
+
+Examples from the paper::
+
+    Order/DeliverTo/Address[./City][./Country]/Street
+    Order/POLine[./LineNo]//UnitPrice
+    Order[./DeliverTo[.//EMail]//Street]/POLine[.//UnitPrice]/Quantity
+    //InvoiceParty//ContactName
+
+Predicate paths become branch children of the step they qualify; the main
+path continues as another child.  An optional ``aliases`` mapping expands
+short labels (the paper abbreviates ``UnitPrice`` as ``UP`` and
+``BuyerPartID`` as ``BPID``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Optional
+
+from repro.exceptions import TwigParseError
+from repro.query.twig import AXIS_CHILD, AXIS_DESCENDANT, TwigNode, TwigQuery
+
+__all__ = ["parse_twig"]
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_\-]*")
+
+
+class _Scanner:
+    """Character scanner with a tiny amount of lookahead."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def skip_spaces(self) -> None:
+        while not self.eof() and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise TwigParseError(
+                f"expected {char!r} at position {self.pos} in {self.text!r}, "
+                f"found {self.peek()!r}"
+            )
+        self.pos += 1
+
+    def take_axis(self, default: Optional[str] = None) -> Optional[str]:
+        """Consume a leading '/', '//' if present; return the axis or ``default``."""
+        if self.peek() == "/":
+            if self.peek(1) == "/":
+                self.pos += 2
+                return AXIS_DESCENDANT
+            self.pos += 1
+            return AXIS_CHILD
+        return default
+
+    def take_name(self) -> str:
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise TwigParseError(
+                f"expected an element name at position {self.pos} in {self.text!r}"
+            )
+        self.pos = match.end()
+        return match.group(0)
+
+    def take_value(self) -> str:
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise TwigParseError(
+                f"expected a quoted value at position {self.pos} in {self.text!r}"
+            )
+        end = self.text.find(quote, self.pos + 1)
+        if end < 0:
+            raise TwigParseError(f"unterminated string literal in {self.text!r}")
+        value = self.text[self.pos + 1 : end]
+        self.pos = end + 1
+        return value
+
+
+def _parse_path(
+    scanner: _Scanner,
+    aliases: Mapping[str, str],
+    on_main_path: bool,
+    default_axis: str,
+) -> tuple[TwigNode, TwigNode]:
+    """Parse ``axis? step (axis step)*``; return (first node, last node)."""
+    axis = scanner.take_axis(default=default_axis)
+    first = _parse_step(scanner, aliases, on_main_path, axis or default_axis)
+    last = first
+    while True:
+        scanner.skip_spaces()
+        if scanner.peek() != "/":
+            break
+        axis = scanner.take_axis()
+        step = _parse_step(scanner, aliases, on_main_path, axis or AXIS_CHILD)
+        last.add_child(step)
+        last = step
+    return first, last
+
+
+def _parse_step(
+    scanner: _Scanner, aliases: Mapping[str, str], on_main_path: bool, axis: str
+) -> TwigNode:
+    scanner.skip_spaces()
+    name = scanner.take_name()
+    label = aliases.get(name, name)
+    node = TwigNode(label, axis=axis, on_main_path=on_main_path)
+    scanner.skip_spaces()
+    while scanner.peek() == "[":
+        _parse_predicate(scanner, node, aliases)
+        scanner.skip_spaces()
+    return node
+
+
+def _parse_predicate(scanner: _Scanner, owner: TwigNode, aliases: Mapping[str, str]) -> None:
+    scanner.expect("[")
+    scanner.skip_spaces()
+    if scanner.peek() == ".":
+        scanner.pos += 1
+        if scanner.peek() != "/":
+            # A bare "." self-reference: "[. = 'value']" constrains the value
+            # of the step that owns the predicate.
+            scanner.skip_spaces()
+            if scanner.peek() == "=":
+                scanner.pos += 1
+                scanner.skip_spaces()
+                owner.value = scanner.take_value()
+                scanner.skip_spaces()
+            scanner.expect("]")
+            return
+    first, last = _parse_path(scanner, aliases, on_main_path=False, default_axis=AXIS_CHILD)
+    scanner.skip_spaces()
+    if scanner.peek() == "=":
+        scanner.pos += 1
+        scanner.skip_spaces()
+        last.value = scanner.take_value()
+        scanner.skip_spaces()
+    scanner.expect("]")
+    owner.add_child(first)
+
+
+def parse_twig(text: str, aliases: Optional[Mapping[str, str]] = None) -> TwigQuery:
+    """Parse a twig-query string into a :class:`TwigQuery`.
+
+    Parameters
+    ----------
+    text:
+        The query string (see module docstring for the grammar).
+    aliases:
+        Optional label expansions applied to every step name, e.g.
+        ``{"UP": "UnitPrice", "BPID": "BuyerPartID"}``.
+
+    Raises
+    ------
+    TwigParseError
+        On any syntax error; the message includes the offending position.
+    """
+    if not text or not text.strip():
+        raise TwigParseError("empty twig query")
+    scanner = _Scanner(text.strip())
+    aliases = aliases or {}
+    root, _ = _parse_path(scanner, aliases, on_main_path=True, default_axis=AXIS_CHILD)
+    scanner.skip_spaces()
+    if not scanner.eof():
+        raise TwigParseError(
+            f"unexpected trailing characters at position {scanner.pos} in {text!r}"
+        )
+    return TwigQuery(root, text=text.strip())

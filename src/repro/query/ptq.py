@@ -1,0 +1,322 @@
+"""Probabilistic twig query evaluation (Algorithms 3 and 4).
+
+Both algorithms share the same pipeline:
+
+1. **resolve** the query against the target schema
+   (:func:`repro.query.resolve.resolve_query`);
+2. **filter** irrelevant mappings — those lacking a correspondence for some
+   query node (:func:`filter_mappings`);
+3. **evaluate** the query per mapping.
+
+They differ only in step 3: :func:`evaluate_ptq_basic` rewrites and matches
+the whole query once per mapping (Algorithm 3, ``query_basic``), while
+:func:`evaluate_ptq_blocktree` walks the query top-down, uses the block
+tree's hash table to find anchored subtrees whose c-blocks let it evaluate a
+sub-query *once per block* instead of once per mapping, and re-assembles
+partial results with structural joins (Algorithm 4, ``twig_query_tree`` /
+``query_subtree``).
+
+The two produce identical :class:`~repro.query.results.PTQResult` contents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.blocktree import BlockTree
+from repro.document.document import XMLDocument
+from repro.exceptions import QueryError
+from repro.mapping.mapping import Mapping
+from repro.mapping.mapping_set import MappingSet
+from repro.query.resolve import Embedding, resolve_query
+from repro.query.results import CanonicalMatch, PTQAnswer, PTQResult
+from repro.query.twig import TwigNode, TwigQuery
+from repro.query.twigmatch import Match, match_twig, stack_join
+
+__all__ = [
+    "filter_mappings",
+    "evaluate_ptq_basic",
+    "evaluate_ptq_blocktree",
+    "evaluate_ptq",
+]
+
+#: Per-mapping results inside the evaluators: mapping id -> list of matches.
+MappingResults = dict[int, list[Match]]
+
+
+# --------------------------------------------------------------------------- #
+# Shared pipeline pieces
+# --------------------------------------------------------------------------- #
+def filter_mappings(
+    mapping_set: MappingSet | Sequence[Mapping], embeddings: list[Embedding]
+) -> list[Mapping]:
+    """Drop mappings that cannot produce any match (the paper's ``filter_mappings``).
+
+    A mapping is *relevant* when, for at least one embedding of the query
+    into the target schema, it contains a correspondence for every query
+    node's target element.
+    """
+    mappings = list(mapping_set)
+    if not embeddings:
+        return []
+    required_sets = [set(embedding.values()) for embedding in embeddings]
+    return [
+        mapping
+        for mapping in mappings
+        if any(mapping.covers_targets(required) for required in required_sets)
+    ]
+
+
+def _element_map_for_mapping(
+    qnode: TwigNode, embedding: Embedding, mapping: Mapping
+) -> Optional[dict[int, int]]:
+    """Rewrite the resolved subquery under ``mapping`` (query node -> source element)."""
+    element_map: dict[int, int] = {}
+    for node in qnode.iter_subtree():
+        source_id = mapping.source_for_target(embedding[node.node_id])
+        if source_id is None:
+            return None
+        element_map[node.node_id] = source_id
+    return element_map
+
+
+def _single_node_matches(
+    document: XMLDocument, qnode: TwigNode, source_element_id: int
+) -> list[Match]:
+    """Matches of the single-node query ``q0`` (root only), with its value predicate."""
+    candidates = document.nodes_of_element(source_element_id)
+    if qnode.value is not None:
+        candidates = [node for node in candidates if node.value == qnode.value]
+    return [{qnode.node_id: candidate} for candidate in candidates]
+
+
+def _canonicalize(matches: list[Match]) -> frozenset[CanonicalMatch]:
+    return frozenset(
+        tuple(sorted((query_node_id, node.node_id) for query_node_id, node in match.items()))
+        for match in matches
+    )
+
+
+def _build_result(
+    query: TwigQuery,
+    document: XMLDocument,
+    per_mapping: dict[int, frozenset[CanonicalMatch]],
+    mapping_set: MappingSet | Sequence[Mapping],
+) -> PTQResult:
+    probabilities = {mapping.mapping_id: mapping.probability for mapping in mapping_set}
+    answers = [
+        PTQAnswer(mapping_id=mapping_id, probability=probabilities[mapping_id], matches=matches)
+        for mapping_id, matches in per_mapping.items()
+    ]
+    return PTQResult(query, answers, document=document)
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 3: query_basic
+# --------------------------------------------------------------------------- #
+def _twig_query(
+    qnode: TwigNode,
+    mappings: Sequence[Mapping],
+    document: XMLDocument,
+    embedding: Embedding,
+) -> MappingResults:
+    """The paper's ``twig_query``: rewrite and match once per mapping."""
+    results: MappingResults = {}
+    for mapping in mappings:
+        element_map = _element_map_for_mapping(qnode, embedding, mapping)
+        if element_map is None:
+            results[mapping.mapping_id] = []
+        else:
+            results[mapping.mapping_id] = match_twig(document, qnode, element_map)
+    return results
+
+
+def evaluate_ptq_basic(
+    query: TwigQuery,
+    mapping_set: MappingSet,
+    document: XMLDocument,
+    mappings: Optional[Sequence[Mapping]] = None,
+) -> PTQResult:
+    """Evaluate a PTQ with the basic per-mapping algorithm (Algorithm 3).
+
+    Parameters
+    ----------
+    query:
+        The twig query over the target schema.
+    mapping_set:
+        The possible mappings of the schema matching.
+    document:
+        The source document.
+    mappings:
+        Optional subset of mappings to consider (used by the top-k variant);
+        defaults to the whole mapping set.
+    """
+    target_schema = mapping_set.matching.target
+    embeddings = resolve_query(query, target_schema)
+    candidates = mappings if mappings is not None else mapping_set
+    relevant = filter_mappings(candidates, embeddings)
+
+    per_mapping: dict[int, frozenset[CanonicalMatch]] = {}
+    for embedding in embeddings:
+        required = set(embedding.values())
+        covered = [mapping for mapping in relevant if mapping.covers_targets(required)]
+        results = _twig_query(query.root, covered, document, embedding)
+        for mapping_id, matches in results.items():
+            canonical = _canonicalize(matches)
+            per_mapping[mapping_id] = per_mapping.get(mapping_id, frozenset()) | canonical
+    return _build_result(query, document, per_mapping, mapping_set)
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 4: twig_query_tree / query_subtree
+# --------------------------------------------------------------------------- #
+def _query_subtree(
+    qnode: TwigNode,
+    tree_node,
+    mappings: Sequence[Mapping],
+    document: XMLDocument,
+    embedding: Embedding,
+) -> MappingResults:
+    """The paper's ``query_subtree``: evaluate once per c-block, replicate per mapping."""
+    results: MappingResults = {}
+    covered_ids: set[int] = set()
+    relevant_ids = {mapping.mapping_id for mapping in mappings}
+    subquery_nodes = list(qnode.iter_subtree())
+
+    for block in tree_node.blocks:
+        shared_ids = block.mapping_ids & relevant_ids
+        if not shared_ids:
+            continue
+        block_sources = {target_id: source_id for source_id, target_id in block.correspondences}
+        element_map: dict[int, int] = {}
+        usable = True
+        for node in subquery_nodes:
+            source_id = block_sources.get(embedding[node.node_id])
+            if source_id is None:
+                usable = False
+                break
+            element_map[node.node_id] = source_id
+        if not usable:
+            continue
+        matches = match_twig(document, qnode, element_map)
+        for mapping_id in shared_ids:
+            results[mapping_id] = matches
+            covered_ids.add(mapping_id)
+
+    for mapping in mappings:
+        if mapping.mapping_id in covered_ids:
+            continue
+        element_map = _element_map_for_mapping(qnode, embedding, mapping)
+        if element_map is None:
+            results[mapping.mapping_id] = []
+        else:
+            results[mapping.mapping_id] = match_twig(document, qnode, element_map)
+    return results
+
+
+def _twig_query_tree(
+    qnode: TwigNode,
+    mappings: Sequence[Mapping],
+    document: XMLDocument,
+    block_tree: BlockTree,
+    embedding: Embedding,
+) -> MappingResults:
+    """The paper's ``twig_query_tree``: recursive decomposition over the block tree."""
+    target_schema = block_tree.target_schema
+    target_element = target_schema.get(embedding[qnode.node_id])
+    tree_node = block_tree.node_for_path(target_element.path)
+    if tree_node is not None and tree_node.blocks:
+        return _query_subtree(qnode, tree_node, mappings, document, embedding)
+
+    if qnode.is_leaf:
+        return _twig_query(qnode, mappings, document, embedding)
+
+    # Decompose: q0 is the root-only query; q1..qf are the child subtrees.
+    # Mappings sharing the same source element for q0 share the same match
+    # list (and, lower down, mappings covered by the same c-block share the
+    # same sub-result object), so joins are cached on the identity of their
+    # operands: the join of a shared pair of lists is computed only once for
+    # all mappings that share it.
+    root_results: MappingResults = {}
+    root_match_cache: dict[int, list[Match]] = {}
+    for mapping in mappings:
+        source_id = mapping.source_for_target(embedding[qnode.node_id])
+        if source_id is None:
+            root_results[mapping.mapping_id] = []
+        else:
+            if source_id not in root_match_cache:
+                root_match_cache[source_id] = _single_node_matches(document, qnode, source_id)
+            root_results[mapping.mapping_id] = root_match_cache[source_id]
+
+    child_results = [
+        _twig_query_tree(child, mappings, document, block_tree, embedding)
+        for child in qnode.children
+    ]
+
+    results: MappingResults = {}
+    join_cache: dict[tuple[int, int, int], list[Match]] = {}
+    for mapping in mappings:
+        combined = root_results[mapping.mapping_id]
+        for child, child_result in zip(qnode.children, child_results):
+            if not combined:
+                break
+            child_matches = child_result[mapping.mapping_id]
+            cache_key = (id(combined), id(child_matches), child.node_id)
+            cached = join_cache.get(cache_key)
+            if cached is None:
+                cached = stack_join(combined, child_matches, qnode.node_id, child.node_id)
+                join_cache[cache_key] = cached
+            combined = cached
+        results[mapping.mapping_id] = combined
+    return results
+
+
+def evaluate_ptq_blocktree(
+    query: TwigQuery,
+    mapping_set: MappingSet,
+    document: XMLDocument,
+    block_tree: BlockTree,
+    mappings: Optional[Sequence[Mapping]] = None,
+) -> PTQResult:
+    """Evaluate a PTQ with the block-tree algorithm (Algorithm 4).
+
+    Produces exactly the same answers as :func:`evaluate_ptq_basic`, but
+    mappings that share the correspondences of a c-block are evaluated only
+    once per block.
+
+    Raises
+    ------
+    QueryError
+        If the block tree was not built over the same target schema as the
+        mapping set's matching.
+    """
+    target_schema = mapping_set.matching.target
+    if block_tree.target_schema is not target_schema:
+        raise QueryError(
+            "the block tree's target schema differs from the mapping set's target schema"
+        )
+    embeddings = resolve_query(query, target_schema)
+    candidates = mappings if mappings is not None else mapping_set
+    relevant = filter_mappings(candidates, embeddings)
+
+    per_mapping: dict[int, frozenset[CanonicalMatch]] = {}
+    for embedding in embeddings:
+        required = set(embedding.values())
+        covered = [mapping for mapping in relevant if mapping.covers_targets(required)]
+        results = _twig_query_tree(query.root, covered, document, block_tree, embedding)
+        for mapping_id, matches in results.items():
+            canonical = _canonicalize(matches)
+            per_mapping[mapping_id] = per_mapping.get(mapping_id, frozenset()) | canonical
+    return _build_result(query, document, per_mapping, mapping_set)
+
+
+def evaluate_ptq(
+    query: TwigQuery,
+    mapping_set: MappingSet,
+    document: XMLDocument,
+    block_tree: Optional[BlockTree] = None,
+) -> PTQResult:
+    """Convenience dispatcher: use the block tree when one is provided."""
+    if block_tree is None:
+        return evaluate_ptq_basic(query, mapping_set, document)
+    return evaluate_ptq_blocktree(query, mapping_set, document, block_tree)

@@ -1,0 +1,92 @@
+"""Resolving twig queries against the target schema.
+
+A twig query is written with element *labels*; before it can be rewritten
+under mappings it must be *resolved* to concrete target-schema elements.  A
+resolution (or *embedding*) assigns one target element to every query node
+such that labels match and the query's axes (``/`` parent-child,
+``//`` ancestor-descendant) are respected by the target schema structure.
+
+Most queries have exactly one embedding, but labels that occur several times
+in the target schema (the corpus repeats the party subtree, so ``Address``
+or ``ContactName`` occur once per business role) can yield several; PTQ
+evaluation unions the answers over all of them.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError
+from repro.query.twig import AXIS_CHILD, TwigNode, TwigQuery
+from repro.schema.element import SchemaElement
+from repro.schema.schema import Schema
+
+__all__ = ["resolve_query", "Embedding"]
+
+#: An embedding: query node id -> target schema element id.
+Embedding = dict[int, int]
+
+
+def _candidates(
+    node: TwigNode, parent_element: SchemaElement | None, schema: Schema
+) -> list[SchemaElement]:
+    """Target elements that query node ``node`` may resolve to, given its parent's element."""
+    if parent_element is None:
+        # Query root: a child axis anchors it at the schema root, a
+        # descendant axis allows any element with the right label.
+        if node.axis == AXIS_CHILD:
+            root = schema.root
+            return [root] if root is not None and root.label == node.label else []
+        return schema.elements_by_label(node.label)
+    if node.axis == AXIS_CHILD:
+        return [child for child in parent_element.children if child.label == node.label]
+    return [
+        element
+        for element in parent_element.iter_descendants()
+        if element.label == node.label
+    ]
+
+
+def _embed_subtree(node: TwigNode, element: SchemaElement, schema: Schema) -> list[Embedding]:
+    """Embeddings of the query subtree rooted at ``node`` given that it maps to ``element``."""
+    per_child_embeddings: list[list[Embedding]] = []
+    for child in node.children:
+        child_embeddings: list[Embedding] = []
+        for candidate in _candidates(child, element, schema):
+            child_embeddings.extend(_embed_subtree(child, candidate, schema))
+        if not child_embeddings:
+            return []  # this branch of the query cannot be satisfied under `element`
+        per_child_embeddings.append(child_embeddings)
+
+    embeddings: list[Embedding] = [{node.node_id: element.element_id}]
+    for child_embeddings in per_child_embeddings:
+        extended: list[Embedding] = []
+        for base in embeddings:
+            for child_embedding in child_embeddings:
+                merged = dict(base)
+                merged.update(child_embedding)
+                extended.append(merged)
+        embeddings = extended
+    return embeddings
+
+
+def resolve_query(query: TwigQuery, schema: Schema) -> list[Embedding]:
+    """Return all embeddings of ``query`` into ``schema``.
+
+    Each embedding maps every query node id to a target element id.  The
+    result is empty when the query does not fit the schema at all (for
+    example a label that does not exist, or a ``/`` step whose elements are
+    not parent and child in the schema).
+
+    Raises
+    ------
+    QueryError
+        If the query has no nodes.
+    """
+    if not query.nodes:
+        raise QueryError("cannot resolve an empty query")
+    embeddings: list[Embedding] = []
+    for root_candidate in _candidates(query.root, None, schema):
+        embeddings.extend(_embed_subtree(query.root, root_candidate, schema))
+    unique: dict[tuple[tuple[int, int], ...], Embedding] = {}
+    for embedding in embeddings:
+        unique[tuple(sorted(embedding.items()))] = embedding
+    return list(unique.values())

@@ -1,0 +1,63 @@
+"""Top-k probabilistic twig queries (Definition 5, Section IV-C).
+
+A top-k PTQ returns only the k answer tuples with the highest probabilities.
+Because each answer's probability is exactly its mapping's probability, the
+k best answers come from the k most probable *relevant* mappings; so, as in
+the paper, evaluation simply sorts the relevant mappings by probability,
+keeps the first k, and runs the ordinary PTQ machinery on that subset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.blocktree import BlockTree
+from repro.document.document import XMLDocument
+from repro.exceptions import QueryError
+from repro.mapping.mapping_set import MappingSet
+from repro.query.ptq import evaluate_ptq_basic, evaluate_ptq_blocktree, filter_mappings
+from repro.query.resolve import resolve_query
+from repro.query.results import PTQResult
+from repro.query.twig import TwigQuery
+
+__all__ = ["evaluate_topk_ptq"]
+
+
+def evaluate_topk_ptq(
+    query: TwigQuery,
+    mapping_set: MappingSet,
+    document: XMLDocument,
+    k: int,
+    block_tree: Optional[BlockTree] = None,
+) -> PTQResult:
+    """Evaluate a top-k PTQ.
+
+    Parameters
+    ----------
+    query:
+        The twig query over the target schema.
+    mapping_set:
+        The possible mappings.
+    document:
+        The source document.
+    k:
+        Number of answers (mappings) to return.  If fewer than ``k`` mappings
+        are relevant, all of them are returned.
+    block_tree:
+        Optional block tree; when provided, the restricted evaluation uses
+        Algorithm 4, otherwise the basic algorithm.
+
+    Returns
+    -------
+    PTQResult
+        At most ``k`` answers, those with the highest probabilities.
+    """
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    embeddings = resolve_query(query, mapping_set.matching.target)
+    relevant = filter_mappings(mapping_set, embeddings)
+    relevant.sort(key=lambda mapping: (-mapping.probability, mapping.mapping_id))
+    selected = relevant[:k]
+    if block_tree is None:
+        return evaluate_ptq_basic(query, mapping_set, document, mappings=selected)
+    return evaluate_ptq_blocktree(query, mapping_set, document, block_tree, mappings=selected)

@@ -1,0 +1,133 @@
+"""Twig-pattern model."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.exceptions import QueryError
+
+__all__ = ["TwigNode", "TwigQuery", "AXIS_CHILD", "AXIS_DESCENDANT"]
+
+#: Parent-child axis (``/`` in the query syntax).
+AXIS_CHILD = "child"
+#: Ancestor-descendant axis (``//`` in the query syntax).
+AXIS_DESCENDANT = "descendant"
+
+
+class TwigNode:
+    """A node of a twig pattern.
+
+    Parameters
+    ----------
+    label:
+        Element tag name the node must match (in the *target* schema
+    axis:
+        Relationship of this node to its parent query node:
+        :data:`AXIS_CHILD` (``/``) or :data:`AXIS_DESCENDANT` (``//``).
+        For the query root the axis expresses its relationship to the
+        document root: ``child`` anchors the query at the root element,
+        ``descendant`` lets it start anywhere.
+    value:
+        Optional equality predicate on the node's text value.
+    on_main_path:
+        Whether this node lies on the query's main (non-predicate) path;
+        the last main-path node is the query's output node.
+    """
+
+    __slots__ = ("label", "axis", "value", "children", "on_main_path", "node_id", "parent")
+
+    def __init__(
+        self,
+        label: str,
+        axis: str = AXIS_CHILD,
+        value: Optional[str] = None,
+        on_main_path: bool = True,
+    ) -> None:
+        if axis not in (AXIS_CHILD, AXIS_DESCENDANT):
+            raise QueryError(f"unknown axis {axis!r}")
+        if not label:
+            raise QueryError("twig node label must be non-empty")
+        self.label = label
+        self.axis = axis
+        self.value = value
+        self.children: list[TwigNode] = []
+        self.on_main_path = on_main_path
+        self.node_id = -1  # assigned by TwigQuery
+        self.parent: Optional[TwigNode] = None
+
+    def add_child(self, child: "TwigNode") -> "TwigNode":
+        """Attach ``child`` and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def iter_subtree(self) -> Iterator["TwigNode"]:
+        """Yield this node and all descendants in pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    @property
+    def is_leaf(self) -> bool:
+        """``True`` when the node has no children."""
+        return not self.children
+
+    def __repr__(self) -> str:
+        axis_symbol = "/" if self.axis == AXIS_CHILD else "//"
+        value = f"={self.value!r}" if self.value is not None else ""
+        return f"TwigNode({axis_symbol}{self.label}{value}, children={len(self.children)})"
+
+
+class TwigQuery:
+    """A twig pattern: a rooted tree of :class:`TwigNode` objects.
+
+    The constructor assigns every node a ``node_id`` in pre-order; matches
+    are reported as tuples of document node ids indexed by these ids.
+    """
+
+    def __init__(self, root: TwigNode, text: str = "") -> None:
+        self.root = root
+        self.text = text
+        self.nodes: list[TwigNode] = []
+        for node in root.iter_subtree():
+            node.node_id = len(self.nodes)
+            self.nodes.append(node)
+        self._by_id = {node.node_id: node for node in self.nodes}
+        output_candidates = [node for node in self.nodes if node.on_main_path]
+        if not output_candidates:
+            raise QueryError("a twig query must have at least one main-path node")
+        # The output node is the deepest main-path node (the last step of the
+        # main path); pre-order guarantees it is the last one encountered.
+        self.output_node = output_candidates[-1]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def get(self, node_id: int) -> TwigNode:
+        """Return the query node with the given id."""
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise QueryError(f"query has no node with id {node_id}") from None
+
+    def labels(self) -> list[str]:
+        """Labels of all query nodes, in node-id order."""
+        return [node.label for node in self.nodes]
+
+    def subquery(self, node: TwigNode) -> "TwigQuery":
+        """Return the subquery rooted at ``node`` (sharing the node objects).
+
+        The returned query re-uses the original node ids, which is what the
+        decomposition in Algorithm 4 needs when re-assembling sub-results.
+        """
+        sub = object.__new__(TwigQuery)
+        sub.root = node
+        sub.text = f"{self.text}@{node.label}"
+        sub.nodes = list(node.iter_subtree())
+        sub._by_id = {n.node_id: n for n in sub.nodes}
+        output_candidates = [n for n in sub.nodes if n.on_main_path]
+        sub.output_node = output_candidates[-1] if output_candidates else sub.nodes[-1]
+        return sub
+
+    def __repr__(self) -> str:
+        return f"TwigQuery({self.text or self.root.label!r}, nodes={len(self.nodes)})"

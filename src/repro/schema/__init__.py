@@ -1,0 +1,29 @@
+"""XML schema substrate.
+
+This package models the *source* and *target* schemas (``S`` and ``T`` in the
+paper) as labelled ordered trees, provides a parser/serialiser for a compact
+indentation-based notation, and ships a deterministic synthetic corpus that
+stands in for the e-commerce schemas used in the paper's evaluation (XCBL,
+OpenTrans, Apertum, CIDX, Excel, Noris, Paragon).
+"""
+
+from repro.schema.element import SchemaElement
+from repro.schema.schema import Schema
+from repro.schema.parser import parse_schema, parse_schema_xml, schema_to_text, schema_to_xml
+from repro.schema.corpus import (
+    SCHEMA_NAMES,
+    available_schemas,
+    load_corpus_schema,
+)
+
+__all__ = [
+    "SchemaElement",
+    "Schema",
+    "parse_schema",
+    "parse_schema_xml",
+    "schema_to_text",
+    "schema_to_xml",
+    "SCHEMA_NAMES",
+    "available_schemas",
+    "load_corpus_schema",
+]

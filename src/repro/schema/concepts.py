@@ -1,0 +1,296 @@
+"""The purchase-order concept ontology behind the synthetic schema corpus.
+
+The paper evaluates on real e-commerce schemas (XCBL, OpenTrans, Apertum,
+CIDX, and the COMA++ evaluation schemas Excel, Noris and Paragon).  Those
+XSDs are not redistributable here, so the corpus derives every schema from a
+single *concept tree* describing a purchase order: order header, business
+parties with contacts and addresses, order lines, payment, tax and transport
+segments.
+
+Each concept carries a canonical token tuple plus optional per-standard
+synonym token tuples.  A standard's schema is produced by selecting a profile
+of concept groups, rendering tokens with the standard's casing convention
+(:mod:`repro.schema.naming`), and padding with *extension modules* drawn from
+a shared module library until the schema reaches the element count reported
+in Table II of the paper.
+
+The shared party subtree deliberately appears several times per schema
+(buyer, seller, deliver-to, invoice party).  A name-based matcher therefore
+produces near-tied correspondences between, say, the four ``ContactName``
+elements of one schema and the contact names of another — exactly the kind
+of ambiguity the paper's running example (Figure 1) is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+__all__ = [
+    "Concept",
+    "master_concept_tree",
+    "party_subtree",
+    "EXTENSION_MODULES",
+    "GROUP_NAMES",
+]
+
+
+@dataclass
+class Concept:
+    """A node of the concept tree.
+
+    Parameters
+    ----------
+    key:
+        Unique identifier of the concept (dot path in the concept tree).
+    tokens:
+        Canonical token tuple used to render the element label.
+    children:
+        Child concepts.
+    repeatable:
+        Whether document instances may repeat this element under one parent.
+    group:
+        Concept-group tag used by standard profiles to include or exclude
+        whole functional areas (``"header"``, ``"party.buyer"``, ``"lines"``,
+        ``"tax"``, ...).
+    synonyms:
+        Optional per-standard token tuples overriding ``tokens``
+        (for example OpenTrans spelling the order line concept
+        ``("order", "item")`` instead of ``("PO", "line")``).
+    """
+
+    key: str
+    tokens: tuple[str, ...]
+    children: list["Concept"] = field(default_factory=list)
+    repeatable: bool = False
+    group: str = "core"
+    synonyms: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def tokens_for(self, standard: str) -> tuple[str, ...]:
+        """Return the token tuple used by ``standard`` for this concept."""
+        return self.synonyms.get(standard, self.tokens)
+
+    def iter_subtree(self) -> Iterator["Concept"]:
+        """Yield this concept and all descendants in pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def add(
+        self,
+        key: str,
+        tokens: Sequence[str],
+        repeatable: bool = False,
+        group: Optional[str] = None,
+        synonyms: Optional[dict[str, Sequence[str]]] = None,
+    ) -> "Concept":
+        """Append a child concept and return it (builder helper)."""
+        child = Concept(
+            key=f"{self.key}.{key}",
+            tokens=tuple(tokens),
+            repeatable=repeatable,
+            group=group if group is not None else self.group,
+            synonyms={k: tuple(v) for k, v in (synonyms or {}).items()},
+        )
+        self.children.append(child)
+        return child
+
+
+#: Names of the concept groups a profile can include.
+GROUP_NAMES = (
+    "header",
+    "party.buyer",
+    "party.seller",
+    "party.deliver",
+    "party.invoice",
+    "lines",
+    "payment",
+    "tax",
+    "transport",
+    "summary",
+)
+
+
+def party_subtree(parent: Concept, key: str, tokens: Sequence[str], group: str,
+                  synonyms: Optional[dict[str, Sequence[str]]] = None) -> Concept:
+    """Attach the shared business-party subtree under ``parent``.
+
+    The party subtree (identifier, name, contact and postal address) is the
+    main source of ambiguity in the corpus because it repeats for every
+    business role.
+    """
+    party = parent.add(key, tokens, group=group, synonyms=synonyms)
+    party.add("party_id", ("party", "ID"))
+    party.add("party_name", ("party", "name"))
+    contact = party.add("contact", ("contact",))
+    contact.add("contact_name", ("contact", "name"))
+    contact.add("email", ("E", "mail"), synonyms={"opentrans": ("e", "mail")})
+    contact.add("phone", ("phone",))
+    contact.add("fax", ("fax",))
+    address = party.add("address", ("address",))
+    address.add("street", ("street",))
+    address.add("city", ("city",))
+    address.add("postal_code", ("postal", "code"))
+    address.add("region", ("region",))
+    address.add("country", ("country",))
+    return party
+
+
+def master_concept_tree() -> Concept:
+    """Build and return the root of the master purchase-order concept tree."""
+    order = Concept(key="order", tokens=("order",), group="core")
+
+    header = order.add("header", ("order", "header"), group="header")
+    header.add("order_number", ("order", "number"), group="header")
+    header.add("order_date", ("order", "date"), group="header")
+    header.add("currency", ("currency",), group="header")
+    header.add("order_type", ("order", "type"), group="header")
+    header.add("reference", ("customer", "reference"), group="header")
+
+    party_subtree(
+        order, "buyer", ("buyer",), group="party.buyer",
+        synonyms={"opentrans": ("buyer", "party"), "xcbl": ("buyer", "party")},
+    )
+    party_subtree(
+        order, "seller", ("seller",), group="party.seller",
+        synonyms={"opentrans": ("supplier", "party"), "xcbl": ("seller", "party")},
+    )
+    party_subtree(
+        order, "deliver_to", ("deliver", "to"), group="party.deliver",
+        synonyms={
+            "opentrans": ("delivery", "party"),
+            "xcbl": ("ship", "to", "party"),
+            "cidx": ("ship", "to"),
+        },
+    )
+    party_subtree(
+        order, "invoice_party", ("invoice", "party"), group="party.invoice",
+        synonyms={"xcbl": ("bill", "to", "party"), "cidx": ("bill", "to")},
+    )
+
+    # The deliver-to role also has delivery specifics in most standards.
+    deliver = next(c for c in order.children if c.key == "order.deliver_to")
+    deliver.add("delivery_date", ("delivery", "date"), group="party.deliver")
+    deliver.add("shipping_method", ("shipping", "method"), group="party.deliver")
+
+    line = order.add(
+        "po_line", ("PO", "line"), repeatable=True, group="lines",
+        synonyms={
+            "opentrans": ("order", "item", "line"),
+            "xcbl": ("line", "item", "detail"),
+            "cidx": ("order", "line", "item"),
+        },
+    )
+    line.add("line_no", ("line", "no"), group="lines",
+             synonyms={"opentrans": ("line", "item", "number")})
+    line.add("buyer_part_id", ("buyer", "part", "ID"), group="lines")
+    line.add("supplier_part_id", ("supplier", "part", "ID"), group="lines")
+    line.add("item_description", ("item", "description"), group="lines")
+    line.add("quantity", ("quantity",), group="lines")
+    line.add("unit_of_measure", ("unit", "of", "measure"), group="lines")
+    line.add("unit_price", ("unit", "price"), group="lines")
+    line.add("line_total", ("line", "total"), group="lines")
+    line.add("requested_delivery_date", ("requested", "delivery", "date"), group="lines")
+
+    payment = order.add("payment_terms", ("payment", "terms"), group="payment")
+    payment.add("terms_note", ("terms", "note"), group="payment")
+    payment.add("discount_percent", ("discount", "percent"), group="payment")
+    payment.add("net_days", ("net", "days"), group="payment")
+
+    tax = order.add("tax_summary", ("tax", "summary"), group="tax")
+    tax.add("tax_code", ("tax", "code"), group="tax")
+    tax.add("tax_rate", ("tax", "rate"), group="tax")
+    tax.add("tax_amount", ("tax", "amount"), group="tax")
+
+    transport = order.add("transport_info", ("transport", "info"), group="transport")
+    transport.add("carrier", ("carrier",), group="transport")
+    transport.add("transport_mode", ("transport", "mode"), group="transport")
+    transport.add("tracking_number", ("tracking", "number"), group="transport")
+
+    summary = order.add("order_summary", ("order", "summary"), group="summary")
+    summary.add("total_amount", ("total", "amount"), group="summary")
+    summary.add("total_tax", ("total", "tax"), group="summary")
+    summary.add("number_of_lines", ("number", "of", "lines"), group="summary")
+
+    return order
+
+
+# --------------------------------------------------------------------------- #
+# Extension-module library used for padding schemas to their Table II sizes.
+# --------------------------------------------------------------------------- #
+
+#: Child-field token tuples that extension modules draw from.
+_MODULE_FIELD_POOL: tuple[tuple[str, ...], ...] = (
+    ("code",),
+    ("description",),
+    ("type",),
+    ("value",),
+    ("amount",),
+    ("currency",),
+    ("quantity",),
+    ("start", "date"),
+    ("end", "date"),
+    ("reference", "ID"),
+    ("status",),
+    ("name",),
+    ("note",),
+    ("unit",),
+    ("percentage",),
+    ("document", "ID"),
+    ("issue", "date"),
+    ("revision",),
+    ("language",),
+    ("priority",),
+)
+
+#: (module name tokens, number of fields) — shared across standards so that
+#: two large schemas padded from this library develop genuine extra
+#: correspondences, which is what drives the high capacities of Table II's
+#: XCBL/OpenTrans matchings.
+EXTENSION_MODULES: tuple[tuple[tuple[str, ...], int], ...] = (
+    (("shipment", "schedule"), 6),
+    (("packaging", "info"), 5),
+    (("hazardous", "material"), 6),
+    (("customs", "info"), 7),
+    (("allowance", "charge"), 6),
+    (("attachment", "list"), 4),
+    (("note", "list"), 3),
+    (("contract", "reference"), 5),
+    (("validity", "period"), 4),
+    (("dimensions",), 6),
+    (("quality", "info"), 5),
+    (("batch", "info"), 5),
+    (("serial", "numbers"), 3),
+    (("warranty", "terms"), 4),
+    (("price", "list"), 6),
+    (("discount", "schedule"), 5),
+    (("delivery", "schedule"), 7),
+    (("substitution", "item"), 6),
+    (("accounting", "info"), 6),
+    (("cost", "center"), 4),
+    (("project", "reference"), 5),
+    (("approval", "info"), 5),
+    (("change", "history"), 5),
+    (("document", "reference"), 5),
+    (("party", "tax", "info"), 5),
+    (("bank", "account"), 6),
+    (("payment", "card"), 5),
+    (("freight", "terms"), 4),
+    (("insurance", "info"), 5),
+    (("inspection", "info"), 5),
+    (("returns", "policy"), 4),
+    (("license", "info"), 4),
+    (("country", "of", "origin"), 3),
+    (("commodity", "code"), 3),
+    (("measurement", "list"), 5),
+    (("special", "handling"), 4),
+    (("temperature", "control"), 4),
+    (("lot", "info"), 4),
+    (("marking", "instructions"), 4),
+    (("routing", "info"), 5),
+)
+
+
+def module_field_tokens(index: int) -> tuple[str, ...]:
+    """Return the ``index``-th field token tuple, cycling over the pool."""
+    return _MODULE_FIELD_POOL[index % len(_MODULE_FIELD_POOL)]

@@ -1,0 +1,256 @@
+"""Deterministic synthetic schema corpus standing in for the paper's datasets.
+
+The paper's evaluation (Table II) uses seven real e-commerce schemas.  Those
+XSDs (and the COMA++ matcher outputs over them) are not available offline, so
+this module generates, for each standard, a purchase-order schema tree with
+
+* the same element count as the paper reports (|Excel| = 48, |Noris| = 66,
+  |Paragon| = 69, |CIDX| = 39, |Apertum| = 166, |OpenTrans| = 247,
+  |XCBL| = 1076),
+* a shared conceptual core (header, parties, order lines, payment, tax,
+  transport) spelled with per-standard vocabulary and casing conventions, and
+* padding "extension modules" drawn from a shared library, so that two large
+  schemas develop many genuine extra correspondences while small schemas stay
+  sparse.
+
+Everything is deterministic: the same standard name and seed always produce
+an identical schema, element ids included.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro._rng import make_rng
+from repro.exceptions import DatasetError
+from repro.schema.concepts import (
+    EXTENSION_MODULES,
+    master_concept_tree,
+    module_field_tokens,
+)
+from repro.schema.naming import render_label
+from repro.schema.schema import Schema
+
+__all__ = ["SCHEMA_NAMES", "SCHEMA_SIZES", "available_schemas", "load_corpus_schema"]
+
+
+#: Standard → (casing style, target element count, included concept groups).
+_PROFILES: dict[str, dict] = {
+    "xcbl": {
+        "casing": "camel",
+        "size": 1076,
+        "groups": None,  # None means: include every concept group.
+        "root_tokens": ("order",),
+    },
+    "opentrans": {
+        "casing": "upper_snake",
+        "size": 247,
+        "groups": None,
+        "root_tokens": ("order",),
+    },
+    "apertum": {
+        "casing": "camel",
+        "size": 166,
+        "groups": None,
+        "root_tokens": ("order",),
+    },
+    "cidx": {
+        "casing": "camel",
+        "size": 39,
+        "groups": {"header", "party.buyer", "lines", "core"},
+        "root_tokens": ("order",),
+    },
+    "excel": {
+        "casing": "title_snake",
+        "size": 48,
+        "groups": {"header", "party.buyer", "lines", "payment", "summary", "core"},
+        "root_tokens": ("purchase", "order"),
+    },
+    "noris": {
+        "casing": "lower_camel",
+        "size": 66,
+        "groups": {
+            "header", "party.buyer", "party.deliver", "lines", "tax", "summary", "core",
+        },
+        "root_tokens": ("purchase", "order"),
+    },
+    "paragon": {
+        "casing": "camel",
+        "size": 69,
+        "groups": {
+            "header", "party.buyer", "party.seller", "lines", "payment", "tax",
+            "summary", "core",
+        },
+        "root_tokens": ("order",),
+    },
+}
+
+#: Canonical standard names, in the order used throughout the benchmarks.
+SCHEMA_NAMES: tuple[str, ...] = tuple(sorted(_PROFILES))
+
+#: Standard → element count (mirrors the |S| / |T| columns of Table II).
+SCHEMA_SIZES: dict[str, int] = {name: profile["size"] for name, profile in _PROFILES.items()}
+
+#: Container subtrees used when a very large schema (XCBL) needs more padding
+#: than one pass over the module library provides; each pass wraps the library
+#: in a differently named business-document section, keeping paths unique.
+_SECTION_TOKENS: tuple[tuple[str, ...], ...] = (
+    ("invoice", "detail"),
+    ("shipment", "notice"),
+    ("price", "catalog"),
+    ("order", "response"),
+    ("payment", "advice"),
+    ("planning", "schedule"),
+    ("quote", "request"),
+    ("availability", "check"),
+    ("remittance", "advice"),
+    ("catalog", "update"),
+)
+
+
+def available_schemas() -> tuple[str, ...]:
+    """Return the names of the standards in the corpus."""
+    return SCHEMA_NAMES
+
+
+def _build_core(schema: Schema, standard: str, profile: dict) -> None:
+    """Instantiate the selected part of the master concept tree into ``schema``."""
+    casing = profile["casing"]
+    groups = profile["groups"]
+    concept_root = master_concept_tree()
+
+    def include(concept) -> bool:
+        return groups is None or concept.group in groups
+
+    root = schema.add_root(
+        render_label(profile["root_tokens"], casing), concept=concept_root.key
+    )
+
+    def build(concept, parent_element) -> None:
+        for child in concept.children:
+            if not include(child):
+                continue
+            label = render_label(child.tokens_for(standard), casing)
+            element = schema.add_child(
+                parent_element, label, repeatable=child.repeatable, concept=child.key
+            )
+            build(child, element)
+
+    build(concept_root, root)
+
+
+def _add_module(schema: Schema, parent, standard: str, casing: str,
+                module_index: int, field_count: int, repeatable: bool,
+                budget: int) -> int:
+    """Add one extension module (capped at ``budget`` elements); return elements added."""
+    if budget <= 0:
+        return 0
+    name_tokens, declared_fields = EXTENSION_MODULES[module_index % len(EXTENSION_MODULES)]
+    field_count = min(field_count if field_count else declared_fields, max(budget - 1, 0))
+    label = render_label(name_tokens, casing)
+    concept_key = "ext." + ".".join(name_tokens)
+    module_element = schema.add_child(parent, label, repeatable=repeatable, concept=concept_key)
+    added = 1
+    for field_index in range(field_count):
+        tokens = module_field_tokens(module_index + field_index)
+        schema.add_child(
+            module_element,
+            render_label(tokens, casing),
+            concept=f"{concept_key}.{'.'.join(tokens)}",
+        )
+        added += 1
+    return added
+
+
+def _pad_schema(schema: Schema, standard: str, profile: dict, seed: int | None) -> None:
+    """Pad ``schema`` with extension modules until it reaches the profile size."""
+    casing = profile["casing"]
+    target = profile["size"]
+    rng = make_rng(seed, f"corpus:{standard}")
+    root = schema.root
+    assert root is not None
+
+    # Candidate attach points for the first pass: the root plus a couple of
+    # deep structural elements, so padding does not all hang off one node.
+    attach_points = [root]
+    for element in schema.iter_preorder():
+        if element.concept in ("order.po_line", "order.deliver_to", "order.transport_info"):
+            attach_points.append(element)
+
+    module_cursor = 0
+    section_cursor = 0
+    pass_parent = root
+    while len(schema) < target:
+        budget = target - len(schema)
+        if module_cursor > 0 and module_cursor % len(EXTENSION_MODULES) == 0:
+            # One full pass over the library is exhausted: open a new
+            # business-document section so module paths stay unique.
+            section_tokens = _SECTION_TOKENS[section_cursor % len(_SECTION_TOKENS)]
+            section_label = render_label(section_tokens, casing)
+            pass_parent = schema.add_child(
+                root, section_label, concept="section." + ".".join(section_tokens)
+            )
+            section_cursor += 1
+            budget -= 1
+            if budget <= 0:
+                break
+        if module_cursor < len(EXTENSION_MODULES):
+            parent = attach_points[module_cursor % len(attach_points)]
+        else:
+            parent = pass_parent
+        repeatable = rng.random() < 0.2
+        _add_module(
+            schema, parent, standard, casing,
+            module_index=module_cursor, field_count=0,
+            repeatable=repeatable, budget=budget,
+        )
+        module_cursor += 1
+
+
+def load_corpus_schema(standard: str, seed: int | None = None) -> Schema:
+    """Build (or fetch from cache) the synthetic schema for ``standard``.
+
+    Parameters
+    ----------
+    standard:
+        One of :data:`SCHEMA_NAMES` (case-insensitive); the aliases ``"ot"``
+        and ``"opentrans"`` both name the OpenTrans schema.
+    seed:
+        Base seed controlling the padding randomisation; ``None`` uses the
+        library default so all callers share one canonical corpus.
+
+    Returns
+    -------
+    Schema
+        A frozen schema whose element count equals the size reported for the
+        standard in Table II of the paper.
+
+    Raises
+    ------
+    DatasetError
+        If ``standard`` is unknown.
+    """
+    key = standard.strip().lower()
+    if key == "ot":
+        key = "opentrans"
+    if key not in _PROFILES:
+        raise DatasetError(
+            f"unknown schema standard {standard!r}; available: {', '.join(SCHEMA_NAMES)}"
+        )
+    return _load_corpus_schema_cached(key, seed)
+
+
+@lru_cache(maxsize=32)
+def _load_corpus_schema_cached(key: str, seed: int | None) -> Schema:
+    profile = _PROFILES[key]
+    schema = Schema(key)
+    _build_core(schema, key, profile)
+    if len(schema) > profile["size"]:
+        raise DatasetError(
+            f"profile for {key!r} selects {len(schema)} core elements, which exceeds "
+            f"the target size {profile['size']}"
+        )
+    _pad_schema(schema, key, profile, seed)
+    schema.freeze()
+    schema.validate()
+    return schema

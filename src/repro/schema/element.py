@@ -1,0 +1,152 @@
+"""Schema elements: the nodes of a schema tree."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+__all__ = ["SchemaElement"]
+
+
+class SchemaElement:
+    """A single element declaration in an XML schema tree.
+
+    An element has a *label* (its tag name), an integer *element id* that is
+    unique within its schema, an optional parent and an ordered list of
+    children.  The dot-separated *path* from the schema root (for example
+    ``"ORDER.IP.ICN"``) identifies the element uniquely and is the hash key
+    used by the block tree's hash table ``H``.
+
+    Elements are created by :class:`repro.schema.schema.Schema`; user code
+    normally obtains them from a schema rather than instantiating them
+    directly.
+
+    Parameters
+    ----------
+    element_id:
+        Identifier unique within the owning schema (assigned by the schema).
+    label:
+        Tag name of the element.
+    parent:
+        Parent element, or ``None`` for the schema root.
+    repeatable:
+        Whether documents may contain several sibling instances of this
+        element (used by the document generator; analogous to
+        ``maxOccurs > 1`` in XSD).
+    concept:
+        Optional semantic concept tag used by the synthetic corpus so that
+        different standards can spell the same concept differently.  It is
+        *not* consulted by the matcher (which works purely from labels and
+        structure) but is handy for ground-truth style analyses in tests.
+    """
+
+    __slots__ = (
+        "element_id",
+        "label",
+        "parent",
+        "children",
+        "repeatable",
+        "concept",
+        "_path",
+        "_depth",
+    )
+
+    def __init__(
+        self,
+        element_id: int,
+        label: str,
+        parent: Optional["SchemaElement"] = None,
+        repeatable: bool = False,
+        concept: Optional[str] = None,
+    ) -> None:
+        self.element_id = element_id
+        self.label = label
+        self.parent = parent
+        self.children: list[SchemaElement] = []
+        self.repeatable = repeatable
+        self.concept = concept
+        if parent is None:
+            self._path = label
+            self._depth = 0
+        else:
+            self._path = f"{parent.path}.{label}"
+            self._depth = parent.depth + 1
+
+    # ------------------------------------------------------------------ #
+    # Basic structural properties
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> str:
+        """Dot-separated label path from the schema root to this element."""
+        return self._path
+
+    @property
+    def depth(self) -> int:
+        """Number of edges between this element and the schema root."""
+        return self._depth
+
+    @property
+    def is_leaf(self) -> bool:
+        """``True`` when the element has no children."""
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        """``True`` when the element has no parent."""
+        return self.parent is None
+
+    @property
+    def fanout(self) -> int:
+        """Number of direct children."""
+        return len(self.children)
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def iter_subtree(self) -> Iterator["SchemaElement"]:
+        """Yield this element and all descendants in pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_descendants(self) -> Iterator["SchemaElement"]:
+        """Yield all proper descendants of this element in pre-order."""
+        iterator = self.iter_subtree()
+        next(iterator)  # skip self
+        yield from iterator
+
+    def iter_ancestors(self) -> Iterator["SchemaElement"]:
+        """Yield the proper ancestors of this element, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def subtree_size(self) -> int:
+        """Number of elements in the subtree rooted at this element."""
+        return sum(1 for _ in self.iter_subtree())
+
+    def is_ancestor_of(self, other: "SchemaElement") -> bool:
+        """Return ``True`` when ``other`` is a proper descendant of this element."""
+        if other is self:
+            return False
+        return other.path.startswith(self._path + ".")
+
+    def is_descendant_of(self, other: "SchemaElement") -> bool:
+        """Return ``True`` when this element is a proper descendant of ``other``."""
+        return other.is_ancestor_of(self)
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        return f"SchemaElement(id={self.element_id}, path={self._path!r})"
+
+    def __hash__(self) -> int:
+        return hash((id(self.parent) if self.parent is None else self._path, self.element_id))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SchemaElement):
+            return NotImplemented
+        return self.element_id == other.element_id and self._path == other._path

@@ -1,0 +1,64 @@
+"""Label-casing conventions for the synthetic schema corpus.
+
+Every element label in the corpus is derived from a tuple of *tokens*
+(for example ``("buyer", "part", "ID")``).  Each e-commerce standard in the
+corpus renders tokens with its own convention — CamelCase for XCBL-style
+schemas, ``UPPER_SNAKE`` for OpenTrans-style schemas, and so on — which is
+what makes cross-standard matching non-trivial for a name-based matcher while
+still leaving enough signal (shared tokens) for realistic correspondences.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_label", "CASING_STYLES"]
+
+#: Casing styles understood by :func:`render_label`.
+CASING_STYLES = ("camel", "upper_snake", "lower_camel", "title_snake")
+
+
+def _cap(token: str) -> str:
+    """Capitalise ``token`` unless it is an acronym (already all upper-case)."""
+    if token.isupper():
+        return token
+    return token[:1].upper() + token[1:]
+
+
+def render_label(tokens: Sequence[str], style: str) -> str:
+    """Render ``tokens`` as a single element label in the given casing style.
+
+    Parameters
+    ----------
+    tokens:
+        Non-empty sequence of word tokens; acronyms should be passed
+        upper-case (``"ID"``, ``"PO"``) so CamelCase styles preserve them.
+    style:
+        One of :data:`CASING_STYLES`:
+
+        ``camel``
+            ``("unit", "price")`` → ``"UnitPrice"``
+        ``upper_snake``
+            ``("unit", "price")`` → ``"UNIT_PRICE"``
+        ``lower_camel``
+            ``("unit", "price")`` → ``"unitPrice"``
+        ``title_snake``
+            ``("unit", "price")`` → ``"Unit_Price"``
+
+    Raises
+    ------
+    ValueError
+        If ``tokens`` is empty or ``style`` is unknown.
+    """
+    if not tokens:
+        raise ValueError("cannot render a label from an empty token sequence")
+    if style == "camel":
+        return "".join(_cap(token) for token in tokens)
+    if style == "upper_snake":
+        return "_".join(token.upper() for token in tokens)
+    if style == "lower_camel":
+        first = tokens[0] if tokens[0].isupper() else tokens[0].lower()
+        return first + "".join(_cap(token) for token in tokens[1:])
+    if style == "title_snake":
+        return "_".join(_cap(token) for token in tokens)
+    raise ValueError(f"unknown casing style {style!r}; expected one of {CASING_STYLES}")

@@ -1,0 +1,177 @@
+"""Parsing and serialising schemas.
+
+Two interchange formats are supported:
+
+* a compact, indentation-based textual notation (two spaces per level)::
+
+      Order
+        DeliverTo
+          Address
+            Street
+            City *
+
+  where a trailing ``*`` marks the element as *repeatable* (documents may
+  contain several instances under one parent, like ``maxOccurs="unbounded"``
+  in XSD);
+
+* a minimal XML/XSD-like notation where each element declaration is a tag and
+  nesting expresses the content model::
+
+      <Order>
+        <DeliverTo>
+          <Address>
+            <Street/>
+            <City repeatable="true"/>
+          </Address>
+        </DeliverTo>
+      </Order>
+
+Both formats round-trip through :func:`schema_to_text` / :func:`schema_to_xml`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import SchemaParseError
+from repro.schema.schema import Schema
+
+__all__ = ["parse_schema", "schema_to_text", "parse_schema_xml", "schema_to_xml"]
+
+_INDENT = "  "
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+def parse_schema(text: str, name: str = "schema") -> Schema:
+    """Parse the indentation-based schema notation into a :class:`Schema`.
+
+    Parameters
+    ----------
+    text:
+        Schema description; blank lines and lines starting with ``#`` are
+        ignored.  Indentation must be multiples of two spaces and may only
+        increase by one level at a time.
+    name:
+        Name given to the resulting schema.
+
+    Raises
+    ------
+    SchemaParseError
+        On malformed indentation, invalid element names, multiple roots or an
+        empty description.
+    """
+    schema = Schema(name)
+    # stack[i] is the most recently created element at depth i
+    stack: list = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        stripped = raw_line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        indent = len(raw_line) - len(raw_line.lstrip(" "))
+        if indent % len(_INDENT) != 0:
+            raise SchemaParseError(
+                f"line {line_number}: indentation must be a multiple of two spaces"
+            )
+        depth = indent // len(_INDENT)
+        repeatable = stripped.endswith("*")
+        label = stripped[:-1].strip() if repeatable else stripped
+        if not _NAME_RE.match(label):
+            raise SchemaParseError(f"line {line_number}: invalid element name {label!r}")
+        if depth == 0:
+            if schema.root is not None:
+                raise SchemaParseError(
+                    f"line {line_number}: multiple root elements ({label!r})"
+                )
+            element = schema.add_root(label, repeatable=repeatable)
+            stack = [element]
+        else:
+            if depth > len(stack):
+                raise SchemaParseError(
+                    f"line {line_number}: indentation jumps by more than one level"
+                )
+            parent = stack[depth - 1]
+            element = schema.add_child(parent, label, repeatable=repeatable)
+            del stack[depth:]
+            stack.append(element)
+    if schema.root is None:
+        raise SchemaParseError("schema description contains no elements")
+    return schema.freeze()
+
+
+def schema_to_text(schema: Schema) -> str:
+    """Serialise ``schema`` to the indentation-based notation."""
+    lines = []
+    for element in schema.iter_preorder():
+        suffix = " *" if element.repeatable else ""
+        lines.append(f"{_INDENT * element.depth}{element.label}{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+_TAG_RE = re.compile(
+    r"<\s*(?P<close>/)?\s*(?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)"
+    r"(?P<attrs>[^<>/]*)"
+    r"(?P<selfclose>/)?\s*>"
+)
+_ATTR_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_\-]*)\s*=\s*\"([^\"]*)\"")
+
+
+def parse_schema_xml(text: str, name: str = "schema") -> Schema:
+    """Parse the minimal XML-like schema notation into a :class:`Schema`.
+
+    Only element tags are interpreted; the sole recognised attribute is
+    ``repeatable="true"``.  Text content between tags is ignored, making the
+    parser tolerant of pretty-printing.
+
+    Raises
+    ------
+    SchemaParseError
+        On mismatched tags, multiple roots, or an empty document.
+    """
+    schema = Schema(name)
+    stack: list = []
+    for match in _TAG_RE.finditer(text):
+        tag_name = match.group("name")
+        attrs = dict(_ATTR_RE.findall(match.group("attrs") or ""))
+        repeatable = attrs.get("repeatable", "false").lower() == "true"
+        if match.group("close"):
+            if not stack:
+                raise SchemaParseError(f"unexpected closing tag </{tag_name}>")
+            top = stack.pop()
+            if top.label != tag_name:
+                raise SchemaParseError(
+                    f"closing tag </{tag_name}> does not match <{top.label}>"
+                )
+            continue
+        if not stack:
+            if schema.root is not None:
+                raise SchemaParseError(f"multiple root elements ({tag_name!r})")
+            element = schema.add_root(tag_name, repeatable=repeatable)
+        else:
+            element = schema.add_child(stack[-1], tag_name, repeatable=repeatable)
+        if not match.group("selfclose"):
+            stack.append(element)
+    if stack:
+        raise SchemaParseError(f"unclosed element <{stack[-1].label}>")
+    if schema.root is None:
+        raise SchemaParseError("schema document contains no elements")
+    return schema.freeze()
+
+
+def schema_to_xml(schema: Schema) -> str:
+    """Serialise ``schema`` to the minimal XML-like notation."""
+    lines: list[str] = []
+
+    def emit(element, depth: int) -> None:
+        indent = _INDENT * depth
+        attr = ' repeatable="true"' if element.repeatable else ""
+        if element.is_leaf:
+            lines.append(f"{indent}<{element.label}{attr}/>")
+        else:
+            lines.append(f"{indent}<{element.label}{attr}>")
+            for child in element.children:
+                emit(child, depth + 1)
+            lines.append(f"{indent}</{element.label}>")
+
+    if schema.root is not None:
+        emit(schema.root, 0)
+    return "\n".join(lines) + "\n"

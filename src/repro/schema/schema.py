@@ -1,0 +1,265 @@
+"""The :class:`Schema` tree: an XML schema as a labelled ordered tree."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.exceptions import SchemaError
+from repro.schema.element import SchemaElement
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """An XML schema represented as a rooted, ordered, labelled tree.
+
+    The paper models both the source schema ``S`` and the target schema ``T``
+    as element trees; correspondences, mappings and c-blocks all refer to
+    elements of these trees.  A :class:`Schema` owns its
+    :class:`~repro.schema.element.SchemaElement` objects, assigns them stable
+    integer ids in creation order, and maintains indexes by id, by path and
+    by label.
+
+    Elements are added through :meth:`add_root` and :meth:`add_child`; once a
+    schema has been handed to a matcher or a block tree it should be treated
+    as immutable (call :meth:`freeze` to enforce this).
+
+    Parameters
+    ----------
+    name:
+        Human-readable schema name (``"XCBL"``, ``"Apertum"`` ...).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.root: Optional[SchemaElement] = None
+        self._elements: list[SchemaElement] = []
+        self._by_path: dict[str, SchemaElement] = {}
+        self._by_label: dict[str, list[SchemaElement]] = {}
+        self._frozen = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_root(self, label: str, repeatable: bool = False, concept: str | None = None) -> SchemaElement:
+        """Create the root element.
+
+        Raises
+        ------
+        SchemaError
+            If the schema already has a root or has been frozen.
+        """
+        self._check_mutable()
+        if self.root is not None:
+            raise SchemaError(f"schema {self.name!r} already has a root element")
+        element = SchemaElement(0, label, None, repeatable=repeatable, concept=concept)
+        self.root = element
+        self._register(element)
+        return element
+
+    def add_child(
+        self,
+        parent: SchemaElement,
+        label: str,
+        repeatable: bool = False,
+        concept: str | None = None,
+    ) -> SchemaElement:
+        """Create a new element as the last child of ``parent``.
+
+        Raises
+        ------
+        SchemaError
+            If ``parent`` does not belong to this schema, the schema is
+            frozen, or the resulting path would collide with an existing one.
+        """
+        self._check_mutable()
+        if parent is not self.get(parent.element_id):
+            raise SchemaError(
+                f"parent element {parent!r} does not belong to schema {self.name!r}"
+            )
+        element = SchemaElement(
+            len(self._elements), label, parent, repeatable=repeatable, concept=concept
+        )
+        if element.path in self._by_path:
+            raise SchemaError(
+                f"schema {self.name!r} already contains an element at path {element.path!r}"
+            )
+        parent.children.append(element)
+        self._register(element)
+        return element
+
+    def freeze(self) -> "Schema":
+        """Mark the schema immutable; further structural edits raise.
+
+        Returns the schema itself so the call can be chained.
+        """
+        if self.root is None:
+            raise SchemaError(f"cannot freeze schema {self.name!r}: it has no root")
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has been called."""
+        return self._frozen
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise SchemaError(f"schema {self.name!r} is frozen and cannot be modified")
+
+    def _register(self, element: SchemaElement) -> None:
+        self._elements.append(element)
+        self._by_path[element.path] = element
+        self._by_label.setdefault(element.label, []).append(element)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[SchemaElement]:
+        return iter(self._elements)
+
+    def __contains__(self, element: object) -> bool:
+        if not isinstance(element, SchemaElement):
+            return False
+        return (
+            0 <= element.element_id < len(self._elements)
+            and self._elements[element.element_id] is element
+        )
+
+    def get(self, element_id: int) -> SchemaElement:
+        """Return the element with ``element_id``.
+
+        Raises
+        ------
+        SchemaError
+            If no such element exists.
+        """
+        if 0 <= element_id < len(self._elements):
+            return self._elements[element_id]
+        raise SchemaError(f"schema {self.name!r} has no element with id {element_id}")
+
+    def element_by_path(self, path: str) -> SchemaElement:
+        """Return the element whose dot path equals ``path``.
+
+        Raises
+        ------
+        SchemaError
+            If the path does not exist in this schema.
+        """
+        try:
+            return self._by_path[path]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no element at path {path!r}") from None
+
+    def has_path(self, path: str) -> bool:
+        """Return ``True`` when an element with the given dot path exists."""
+        return path in self._by_path
+
+    def elements_by_label(self, label: str) -> list[SchemaElement]:
+        """Return all elements whose tag name equals ``label`` (possibly empty)."""
+        return list(self._by_label.get(label, ()))
+
+    def labels(self) -> set[str]:
+        """Return the set of distinct labels used by the schema."""
+        return set(self._by_label)
+
+    # ------------------------------------------------------------------ #
+    # Traversal and statistics
+    # ------------------------------------------------------------------ #
+    def iter_preorder(self) -> Iterator[SchemaElement]:
+        """Yield all elements in document (pre-) order."""
+        if self.root is None:
+            return
+        yield from self.root.iter_subtree()
+
+    def iter_postorder(self) -> Iterator[SchemaElement]:
+        """Yield all elements in post-order (children before parents)."""
+        if self.root is None:
+            return
+        stack: list[tuple[SchemaElement, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+
+    def leaves(self) -> list[SchemaElement]:
+        """Return all leaf elements in document order."""
+        return [element for element in self.iter_preorder() if element.is_leaf]
+
+    def depth(self) -> int:
+        """Return the maximum element depth (root depth is 0)."""
+        return max((element.depth for element in self._elements), default=0)
+
+    def max_fanout(self) -> int:
+        """Return the largest number of children of any element."""
+        return max((element.fanout for element in self._elements), default=0)
+
+    def filter_elements(self, predicate: Callable[[SchemaElement], bool]) -> list[SchemaElement]:
+        """Return elements for which ``predicate`` holds, in document order."""
+        return [element for element in self.iter_preorder() if predicate(element)]
+
+    def subtree_paths(self, element: SchemaElement) -> list[str]:
+        """Return the dot paths of the subtree rooted at ``element``."""
+        return [node.path for node in element.iter_subtree()]
+
+    def validate(self) -> None:
+        """Check structural invariants and raise :class:`SchemaError` on violation.
+
+        Invariants checked:
+
+        * exactly one root, with no parent;
+        * every non-root element's parent belongs to the schema and lists it
+          among its children;
+        * element ids are ``0..len-1`` in creation order;
+        * paths are unique (guaranteed by construction but re-checked).
+        """
+        if self.root is None:
+            raise SchemaError(f"schema {self.name!r} has no root")
+        if self.root.parent is not None:
+            raise SchemaError(f"schema {self.name!r}: root has a parent")
+        seen_paths: set[str] = set()
+        for index, element in enumerate(self._elements):
+            if element.element_id != index:
+                raise SchemaError(
+                    f"schema {self.name!r}: element at position {index} has id {element.element_id}"
+                )
+            if element.path in seen_paths:
+                raise SchemaError(f"schema {self.name!r}: duplicate path {element.path!r}")
+            seen_paths.add(element.path)
+            if element.parent is None:
+                if element is not self.root:
+                    raise SchemaError(
+                        f"schema {self.name!r}: element {element.path!r} has no parent "
+                        "but is not the root"
+                    )
+            else:
+                if element.parent not in self:
+                    raise SchemaError(
+                        f"schema {self.name!r}: parent of {element.path!r} is foreign"
+                    )
+                if element not in element.parent.children:
+                    raise SchemaError(
+                        f"schema {self.name!r}: {element.path!r} missing from its parent's children"
+                    )
+        reachable = sum(1 for _ in self.iter_preorder())
+        if reachable != len(self._elements):
+            raise SchemaError(
+                f"schema {self.name!r}: {len(self._elements) - reachable} elements unreachable from root"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+    def element_ids(self) -> Iterable[int]:
+        """Return an iterable over all element ids."""
+        return range(len(self._elements))
+
+    def __repr__(self) -> str:
+        return f"Schema(name={self.name!r}, elements={len(self._elements)})"

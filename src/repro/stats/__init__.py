@@ -1,0 +1,24 @@
+"""Metrics reported in the paper's evaluation section.
+
+* :mod:`repro.stats.overlap` — the o-ratio of a mapping set (Table II).
+* :mod:`repro.stats.metrics` — block-tree statistics: compression ratio
+  (Fig. 9a), c-block counts (Fig. 9b) and the c-block size distribution
+  (Fig. 9c).
+"""
+
+from repro.stats.overlap import o_ratio, pairwise_o_ratios
+from repro.stats.metrics import (
+    block_support_distribution,
+    cblock_size_distribution,
+    compression_ratio,
+    size_distribution_histogram,
+)
+
+__all__ = [
+    "o_ratio",
+    "pairwise_o_ratios",
+    "cblock_size_distribution",
+    "block_support_distribution",
+    "size_distribution_histogram",
+    "compression_ratio",
+]

@@ -1,0 +1,51 @@
+"""Block-tree metrics used by the evaluation benchmarks."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.blocktree import BlockTree
+
+__all__ = [
+    "compression_ratio",
+    "cblock_size_distribution",
+    "block_support_distribution",
+    "size_distribution_histogram",
+]
+
+
+def compression_ratio(block_tree: BlockTree) -> float:
+    """Space saved by the block-tree representation (Fig. 9a).
+
+    Defined as ``1 - B / naive`` where ``B`` is the size of the block tree,
+    its hash table and the compressed mappings (correspondences covered by
+    blocks replaced by block pointers), and ``naive`` is the size of storing
+    every mapping in full.
+    """
+    return block_tree.compression_ratio()
+
+
+def cblock_size_distribution(block_tree: BlockTree) -> list[float]:
+    """Size of every c-block as a fraction of the target schema (Fig. 9c).
+
+    Each entry is ``|b.C| / |T|`` for one c-block ``b``; the paper plots the
+    histogram of these fractions.
+    """
+    target_size = len(block_tree.target_schema)
+    if target_size == 0:
+        return []
+    return [block.size / target_size for block in block_tree.iter_blocks()]
+
+
+def block_support_distribution(block_tree: BlockTree) -> list[int]:
+    """Number of mappings sharing each c-block (``|b.M|`` per block)."""
+    return [block.support for block in block_tree.iter_blocks()]
+
+
+def size_distribution_histogram(block_tree: BlockTree) -> dict[int, int]:
+    """Histogram of c-block sizes in number of correspondences.
+
+    Keys are block sizes (``|b.C|``), values are how many c-blocks have that
+    size; a convenient textual companion to :func:`cblock_size_distribution`.
+    """
+    return dict(sorted(Counter(block.size for block in block_tree.iter_blocks()).items()))

@@ -1,0 +1,35 @@
+"""Mapping-overlap statistics (the o-ratio of Table II)."""
+
+from __future__ import annotations
+
+from repro.mapping.mapping_set import MappingSet
+
+__all__ = ["o_ratio", "pairwise_o_ratios"]
+
+
+def o_ratio(mapping_set: MappingSet) -> float:
+    """Average pairwise overlap ratio of a mapping set.
+
+    For two mappings the overlap ratio is ``|mi ∩ mj| / |mi ∪ mj|`` over
+    their correspondence sets; the o-ratio of the set is the mean over all
+    unordered pairs.  High values motivate the block tree: shared
+    correspondences can be stored and queried once.
+    """
+    return mapping_set.o_ratio()
+
+
+def pairwise_o_ratios(mapping_set: MappingSet) -> list[list[float]]:
+    """Full symmetric matrix of pairwise overlap ratios.
+
+    Useful for inspecting the overlap structure (e.g. clusters of mappings
+    that differ only in one ambiguous element).  The diagonal is 1.
+    """
+    mappings = mapping_set.mappings
+    size = len(mappings)
+    matrix = [[1.0] * size for _ in range(size)]
+    for i in range(size):
+        for j in range(i + 1, size):
+            value = mappings[i].overlap_ratio(mappings[j])
+            matrix[i][j] = value
+            matrix[j][i] = value
+    return matrix

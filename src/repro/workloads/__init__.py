@@ -1,0 +1,40 @@
+"""Evaluation workloads: the paper's datasets (Table II) and queries (Table III).
+
+:func:`load_dataset` builds the schema matching for one of the dataset ids
+``"D1"`` … ``"D10"`` over the synthetic corpus, with the same source/target
+schema pairing and COMA++ option (fragment/context) as the paper;
+:func:`standard_queries` parses the ten purchase-order queries posed against
+D7's target schema.
+"""
+
+from repro.workloads.datasets import (
+    DATASET_IDS,
+    DATASET_SPECS,
+    Dataset,
+    build_mapping_set,
+    load_dataset,
+    load_source_document,
+    standard_datasets,
+)
+from repro.workloads.queries import (
+    QUERY_ALIASES,
+    QUERY_IDS,
+    QUERY_STRINGS,
+    load_query,
+    standard_queries,
+)
+
+__all__ = [
+    "DATASET_IDS",
+    "DATASET_SPECS",
+    "Dataset",
+    "load_dataset",
+    "standard_datasets",
+    "build_mapping_set",
+    "load_source_document",
+    "QUERY_IDS",
+    "QUERY_STRINGS",
+    "QUERY_ALIASES",
+    "load_query",
+    "standard_queries",
+]

@@ -1,0 +1,166 @@
+"""The paper's schema-matching datasets D1 – D10 (Table II), on the synthetic corpus.
+
+Each dataset pairs two corpus schemas and a COMA++ matching option
+(``f`` = fragment, ``c`` = context).  The paper's reported capacity and
+o-ratio are kept alongside, so benchmark output can show paper-vs-measured
+columns side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.document.document import XMLDocument
+from repro.document.generator import generate_document, generate_order_document
+from repro.exceptions import DatasetError
+from repro.mapping.generator import GenerationMethod, generate_top_h_mappings
+from repro.mapping.mapping_set import MappingSet
+from repro.matching.matcher import MatcherConfig, SchemaMatcher
+from repro.matching.matching import SchemaMatching
+from repro.schema.corpus import load_corpus_schema
+from repro.schema.schema import Schema
+
+__all__ = [
+    "DatasetSpec",
+    "Dataset",
+    "DATASET_SPECS",
+    "DATASET_IDS",
+    "load_dataset",
+    "standard_datasets",
+    "build_mapping_set",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """Static description of one Table II dataset."""
+
+    dataset_id: str
+    source: str
+    target: str
+    option: str  # "f" (fragment) or "c" (context)
+    paper_capacity: int
+    paper_o_ratio: float
+
+
+#: The ten matchings of Table II.
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    spec.dataset_id: spec
+    for spec in (
+        DatasetSpec("D1", "excel", "noris", "f", 30, 0.79),
+        DatasetSpec("D2", "excel", "paragon", "c", 47, 0.63),
+        DatasetSpec("D3", "excel", "paragon", "f", 31, 0.57),
+        DatasetSpec("D4", "noris", "paragon", "c", 41, 0.64),
+        DatasetSpec("D5", "noris", "paragon", "f", 21, 0.53),
+        DatasetSpec("D6", "opentrans", "apertum", "c", 77, 0.87),
+        DatasetSpec("D7", "xcbl", "apertum", "c", 226, 0.84),
+        DatasetSpec("D8", "xcbl", "cidx", "c", 127, 0.82),
+        DatasetSpec("D9", "xcbl", "opentrans", "c", 619, 0.91),
+        DatasetSpec("D10", "opentrans", "xcbl", "c", 619, 0.91),
+    )
+}
+
+#: Dataset ids in their Table II order.
+DATASET_IDS: tuple[str, ...] = tuple(DATASET_SPECS)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A loaded dataset: schemas plus the matcher-produced schema matching."""
+
+    spec: DatasetSpec
+    source_schema: Schema
+    target_schema: Schema
+    matching: SchemaMatching
+
+    @property
+    def dataset_id(self) -> str:
+        """The dataset id (``"D1"`` … ``"D10"``)."""
+        return self.spec.dataset_id
+
+    def describe(self) -> dict:
+        """Table II row for this dataset: sizes, option, capacity."""
+        return {
+            "id": self.spec.dataset_id,
+            "S": self.source_schema.name,
+            "|S|": len(self.source_schema),
+            "T": self.target_schema.name,
+            "|T|": len(self.target_schema),
+            "opt": self.spec.option,
+            "capacity": self.matching.capacity,
+            "paper_capacity": self.spec.paper_capacity,
+            "paper_o_ratio": self.spec.paper_o_ratio,
+        }
+
+
+def _matcher_for_option(option: str, seed: int | None) -> SchemaMatcher:
+    strategy = "fragment" if option == "f" else "context"
+    return SchemaMatcher(MatcherConfig(strategy=strategy, seed=seed))
+
+
+def load_dataset(dataset_id: str, seed: int | None = None) -> Dataset:
+    """Build (or fetch from cache) the schema matching for ``dataset_id``.
+
+    Raises
+    ------
+    DatasetError
+        If the dataset id is unknown.
+    """
+    key = dataset_id.strip().upper()
+    if key not in DATASET_SPECS:
+        raise DatasetError(
+            f"unknown dataset {dataset_id!r}; expected one of {', '.join(DATASET_IDS)}"
+        )
+    return _load_dataset_cached(key, seed)
+
+
+@lru_cache(maxsize=64)
+def _load_dataset_cached(key: str, seed: int | None) -> Dataset:
+    spec = DATASET_SPECS[key]
+    source_schema = load_corpus_schema(spec.source, seed=seed)
+    target_schema = load_corpus_schema(spec.target, seed=seed)
+    matcher = _matcher_for_option(spec.option, seed)
+    matching = matcher.match(source_schema, target_schema, name=key)
+    return Dataset(
+        spec=spec,
+        source_schema=source_schema,
+        target_schema=target_schema,
+        matching=matching,
+    )
+
+
+def standard_datasets(seed: int | None = None) -> list[Dataset]:
+    """Load all ten datasets in Table II order."""
+    return [load_dataset(dataset_id, seed=seed) for dataset_id in DATASET_IDS]
+
+
+@lru_cache(maxsize=64)
+def build_mapping_set(
+    dataset_id: str,
+    num_mappings: int = 100,
+    seed: int | None = None,
+    method: str = GenerationMethod.PARTITION.value,
+) -> MappingSet:
+    """Generate (and cache) the top-``num_mappings`` possible mappings of a dataset.
+
+    The paper's default mapping-set size is ``|M| = 100``.
+    """
+    dataset = load_dataset(dataset_id, seed=seed)
+    return generate_top_h_mappings(dataset.matching, num_mappings, method=method)
+
+
+@lru_cache(maxsize=8)
+def load_source_document(
+    dataset_id: str = "D7", seed: int | None = None, target_nodes: int | None = None
+) -> XMLDocument:
+    """Generate (and cache) the source document for a dataset's source schema.
+
+    For D7 (the paper's query dataset) the document mirrors ``Order.xml``
+    with roughly 3473 nodes; other datasets get a single-pass instantiation
+    of their source schema unless ``target_nodes`` is given.
+    """
+    dataset = load_dataset(dataset_id, seed=seed)
+    if dataset.spec.source == "xcbl" and target_nodes is None:
+        return generate_order_document(seed=seed)
+    return generate_document(dataset.source_schema, target_nodes=target_nodes, seed=seed)

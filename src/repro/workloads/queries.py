@@ -1,0 +1,69 @@
+"""The paper's query workload (Table III), posed against dataset D7's target schema.
+
+The queries are purchase-order twig patterns of varying size and shape,
+covering different portions of the target schema.  The paper abbreviates
+``UnitPrice`` as ``UP`` and ``BuyerPartID`` as ``BPID``; the alias table
+below expands them during parsing so the query strings stay close to the
+paper's wording.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.exceptions import DatasetError
+from repro.query.parser import parse_twig
+from repro.query.twig import TwigQuery
+
+__all__ = ["QUERY_ALIASES", "QUERY_STRINGS", "QUERY_IDS", "standard_queries", "load_query"]
+
+#: Label abbreviations used by the paper's Table III.
+QUERY_ALIASES: dict[str, str] = {
+    "UP": "UnitPrice",
+    "BPID": "BuyerPartID",
+    "IP": "InvoiceParty",
+    "ICN": "ContactName",
+}
+
+#: Query id -> twig pattern string (adapted from Table III).
+QUERY_STRINGS: dict[str, str] = {
+    "Q1": "Order/DeliverTo/Address[./City][./Country]/Street",
+    "Q2": "Order/DeliverTo/Contact/EMail",
+    "Q3": "Order/DeliverTo[./Address/City]/Contact/EMail",
+    "Q4": "Order/POLine[./LineNo]//UP",
+    "Q5": "Order/POLine[./LineNo][.//UP]/Quantity",
+    "Q6": "Order/POLine[./BPID][./LineNo][//UP]/Quantity",
+    "Q7": "Order[./DeliverTo//Street]/POLine[.//BPID][.//UP]/Quantity",
+    "Q8": "Order[./DeliverTo[.//EMail]//Street]/POLine[.//UP]/Quantity",
+    "Q9": "Order[./Buyer/Contact]/POLine[.//BPID]/Quantity",
+    "Q10": "Order[./Buyer/Contact][./DeliverTo//City]//BPID",
+}
+
+#: Query ids in Table III order.
+QUERY_IDS: tuple[str, ...] = tuple(QUERY_STRINGS)
+
+
+def load_query(query_id: str) -> TwigQuery:
+    """Parse and return one of the standard queries (``"Q1"`` … ``"Q10"``).
+
+    Raises
+    ------
+    DatasetError
+        If the query id is unknown.
+    """
+    key = query_id.strip().upper()
+    if key not in QUERY_STRINGS:
+        raise DatasetError(
+            f"unknown query {query_id!r}; expected one of {', '.join(QUERY_IDS)}"
+        )
+    return _load_query_cached(key)
+
+
+@lru_cache(maxsize=32)
+def _load_query_cached(key: str) -> TwigQuery:
+    return parse_twig(QUERY_STRINGS[key], aliases=QUERY_ALIASES)
+
+
+def standard_queries() -> dict[str, TwigQuery]:
+    """Parse all ten standard queries, keyed by query id."""
+    return {query_id: load_query(query_id) for query_id in QUERY_IDS}

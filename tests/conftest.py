@@ -1,0 +1,183 @@
+"""Shared fixtures for the test suite.
+
+Two families of fixtures exist:
+
+* **toy fixtures** — small hand-built schemas, matchings, mapping sets and a
+  document modelled on the paper's running example (Figures 1-3).  They are
+  cheap and used by most unit tests.
+* **corpus fixtures** — the D7 dataset (XCBL → Apertum), its mapping set,
+  block tree and source document, shared at session scope because they take
+  about a second to build and are reused by the integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocktree import BlockTreeConfig, build_block_tree
+from repro.document.document import XMLDocument
+from repro.mapping.mapping import Mapping
+from repro.mapping.mapping_set import MappingSet
+from repro.matching.matching import SchemaMatching
+from repro.schema.parser import parse_schema
+from repro.workloads.datasets import build_mapping_set, load_dataset, load_source_document
+
+
+# --------------------------------------------------------------------------- #
+# Toy schemas modelled on Figure 1 of the paper
+# --------------------------------------------------------------------------- #
+SOURCE_SCHEMA_TEXT = """
+Order
+  BillToParty
+    OrderContact
+      ContactName
+    ReceivingContact
+      ContactName
+    OtherContact
+      ContactName
+  SellerParty
+"""
+
+TARGET_SCHEMA_TEXT = """
+ORDER
+  SUPPLIER_PARTY
+    CONTACT_NAME
+  INVOICE_PARTY
+    CONTACT_NAME
+"""
+
+
+@pytest.fixture()
+def source_schema():
+    """The paper's source schema (Figure 1a), as a small element tree."""
+    return parse_schema(SOURCE_SCHEMA_TEXT, name="figure1a")
+
+
+@pytest.fixture()
+def target_schema():
+    """The paper's target schema (Figure 1b)."""
+    return parse_schema(TARGET_SCHEMA_TEXT, name="figure1b")
+
+
+def _element(schema, path):
+    return schema.element_by_path(path).element_id
+
+
+@pytest.fixture()
+def figure_elements(source_schema, target_schema):
+    """Short names for the Figure 1 elements (BCN, RCN, OCN, ICN, SCN, ...)."""
+    return {
+        # source
+        "Order": _element(source_schema, "Order"),
+        "BP": _element(source_schema, "Order.BillToParty"),
+        "SP": _element(source_schema, "Order.SellerParty"),
+        "BOC": _element(source_schema, "Order.BillToParty.OrderContact"),
+        "ROC": _element(source_schema, "Order.BillToParty.ReceivingContact"),
+        "OOC": _element(source_schema, "Order.BillToParty.OtherContact"),
+        "BCN": _element(source_schema, "Order.BillToParty.OrderContact.ContactName"),
+        "RCN": _element(source_schema, "Order.BillToParty.ReceivingContact.ContactName"),
+        "OCN": _element(source_schema, "Order.BillToParty.OtherContact.ContactName"),
+        # target
+        "ORDER": _element(target_schema, "ORDER"),
+        "T_SP": _element(target_schema, "ORDER.SUPPLIER_PARTY"),
+        "T_IP": _element(target_schema, "ORDER.INVOICE_PARTY"),
+        "SCN": _element(target_schema, "ORDER.SUPPLIER_PARTY.CONTACT_NAME"),
+        "ICN": _element(target_schema, "ORDER.INVOICE_PARTY.CONTACT_NAME"),
+    }
+
+
+@pytest.fixture()
+def figure_matching(source_schema, target_schema, figure_elements):
+    """A schema matching containing every correspondence used by Figure 3."""
+    e = figure_elements
+    matching = SchemaMatching(source_schema, target_schema, name="figure1")
+    pairs = [
+        (e["Order"], e["ORDER"], 0.95),
+        (e["BP"], e["T_IP"], 0.84),
+        (e["SP"], e["T_IP"], 0.60),
+        (e["BP"], e["T_SP"], 0.55),
+        (e["BCN"], e["ICN"], 0.84),
+        (e["RCN"], e["ICN"], 0.83),
+        (e["OCN"], e["ICN"], 0.75),
+        (e["BCN"], e["SCN"], 0.62),
+        (e["RCN"], e["SCN"], 0.61),
+        (e["OCN"], e["SCN"], 0.60),
+    ]
+    for source_id, target_id, score in pairs:
+        matching.add_pair(source_id, target_id, score)
+    return matching
+
+
+def _figure_mapping(mapping_id, elements, pairs, score):
+    keys = frozenset((elements[s], elements[t]) for s, t in pairs)
+    return Mapping(mapping_id=mapping_id, correspondences=keys, score=score)
+
+
+@pytest.fixture()
+def figure_mappings(figure_matching, figure_elements):
+    """The five possible mappings of Figure 3, as a normalised mapping set."""
+    e = figure_elements
+    mappings = [
+        _figure_mapping(0, e, [("Order", "ORDER"), ("BP", "T_IP"), ("BCN", "ICN"), ("RCN", "SCN")], 3.0),
+        _figure_mapping(1, e, [("Order", "ORDER"), ("BP", "T_IP"), ("BCN", "ICN"), ("OCN", "SCN")], 3.0),
+        _figure_mapping(2, e, [("Order", "ORDER"), ("SP", "T_IP"), ("RCN", "ICN"), ("OCN", "SCN"), ("BP", "T_SP")], 2.0),
+        _figure_mapping(3, e, [("Order", "ORDER"), ("BP", "T_IP"), ("RCN", "ICN"), ("BCN", "SCN")], 1.5),
+        _figure_mapping(4, e, [("Order", "ORDER"), ("BP", "T_IP"), ("OCN", "ICN"), ("BCN", "SCN")], 1.5),
+    ]
+    return MappingSet(figure_matching, mappings, normalize=True)
+
+
+@pytest.fixture()
+def figure_document(source_schema, figure_elements):
+    """The source document of Figure 2 (Cathy / Bob / Alice contact names)."""
+    e = figure_elements
+    document = XMLDocument(source_schema, name="figure2.xml")
+    order = document.add_root(e["Order"])
+    bp = document.add_child(order, e["BP"])
+    boc = document.add_child(bp, e["BOC"])
+    document.add_child(boc, e["BCN"], value="Cathy")
+    roc = document.add_child(bp, e["ROC"])
+    document.add_child(roc, e["RCN"], value="Bob")
+    ooc = document.add_child(bp, e["OOC"])
+    document.add_child(ooc, e["OCN"], value="Alice")
+    document.add_child(order, e["SP"])
+    return document.finalize()
+
+
+@pytest.fixture()
+def figure_block_tree(figure_mappings):
+    """Block tree over the Figure 3 mappings with the paper's τ = 0.4."""
+    return build_block_tree(figure_mappings, BlockTreeConfig(tau=0.4))
+
+
+# --------------------------------------------------------------------------- #
+# Corpus fixtures (session scope: ~1-2 s to build, reused by many tests)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def d7_dataset():
+    """The D7 dataset (XCBL → Apertum, context option)."""
+    return load_dataset("D7")
+
+
+@pytest.fixture(scope="session")
+def d7_mappings():
+    """Top-100 possible mappings of D7 (the paper's default |M|)."""
+    return build_mapping_set("D7", 100)
+
+
+@pytest.fixture(scope="session")
+def d7_block_tree(d7_mappings):
+    """Block tree over the D7 mapping set with default parameters."""
+    return build_block_tree(d7_mappings)
+
+
+@pytest.fixture(scope="session")
+def d7_document():
+    """The Order.xml-like source document for D7 (~3473 nodes)."""
+    return load_source_document("D7")
+
+
+@pytest.fixture(scope="session")
+def d1_dataset():
+    """The small D1 dataset (Excel → Noris, fragment option)."""
+    return load_dataset("D1")

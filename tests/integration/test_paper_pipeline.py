@@ -1,0 +1,123 @@
+"""End-to-end integration tests over the synthetic corpus datasets.
+
+These tests exercise the full pipeline the paper describes: match two
+e-commerce schemas, derive the top-h possible mappings, build the block tree,
+and answer probabilistic twig queries — checking the cross-algorithm
+equivalences (basic vs block-tree, Murty vs partition, full PTQ vs top-k)
+that the paper relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocktree import BlockTreeConfig, build_block_tree
+from repro.mapping.generator import generate_top_h_mappings
+from repro.query.ptq import evaluate_ptq_basic, evaluate_ptq_blocktree
+from repro.query.topk import evaluate_topk_ptq
+from repro.workloads.datasets import build_mapping_set, load_dataset
+from repro.workloads.queries import QUERY_IDS, load_query
+
+
+def _answers(result):
+    return {(answer.mapping_id, answer.matches) for answer in result}
+
+
+class TestD7QueryWorkload:
+    """All ten Table III queries over the D7 dataset."""
+
+    @pytest.mark.parametrize("query_id", QUERY_IDS)
+    def test_basic_and_blocktree_agree(self, query_id, d7_mappings, d7_document, d7_block_tree):
+        query = load_query(query_id)
+        basic = evaluate_ptq_basic(query, d7_mappings, d7_document)
+        block = evaluate_ptq_blocktree(query, d7_mappings, d7_document, d7_block_tree)
+        assert _answers(basic) == _answers(block)
+
+    @pytest.mark.parametrize("query_id", QUERY_IDS)
+    def test_queries_produce_answers(self, query_id, d7_mappings, d7_document):
+        query = load_query(query_id)
+        result = evaluate_ptq_basic(query, d7_mappings, d7_document)
+        assert len(result) > 0
+        assert result.non_empty(), f"{query_id} produced only empty answers"
+
+    def test_probabilities_are_mapping_probabilities(self, d7_mappings, d7_document):
+        query = load_query("Q2")
+        result = evaluate_ptq_basic(query, d7_mappings, d7_document)
+        probabilities = {m.mapping_id: m.probability for m in d7_mappings}
+        for answer in result:
+            assert answer.probability == pytest.approx(probabilities[answer.mapping_id])
+
+    def test_value_distribution_of_contact_query(self, d7_mappings, d7_document):
+        query = load_query("Q2")  # Order/DeliverTo/Contact/EMail
+        result = evaluate_ptq_basic(query, d7_mappings, d7_document)
+        distribution = result.value_distribution()
+        assert distribution
+        assert all(0.0 < probability <= 1.0 + 1e-9 for probability in distribution.values())
+        # e-mail shaped values
+        assert any("@" in (value or "") for value in distribution)
+
+
+class TestBlockTreeConfigurationRobustness:
+    """Fewer c-blocks may slow queries down but never change their answers."""
+
+    @pytest.mark.parametrize("tau", [0.05, 0.4, 0.8])
+    def test_tau_does_not_change_answers(self, tau, d7_mappings, d7_document):
+        query = load_query("Q7")
+        reference = evaluate_ptq_basic(query, d7_mappings, d7_document)
+        tree = build_block_tree(d7_mappings, BlockTreeConfig(tau=tau))
+        result = evaluate_ptq_blocktree(query, d7_mappings, d7_document, tree)
+        assert _answers(result) == _answers(reference)
+
+    def test_block_budget_does_not_change_answers(self, d7_mappings, d7_document):
+        query = load_query("Q10")
+        reference = evaluate_ptq_basic(query, d7_mappings, d7_document)
+        tree = build_block_tree(d7_mappings, BlockTreeConfig(tau=0.2, max_blocks=3, max_failures=5))
+        result = evaluate_ptq_blocktree(query, d7_mappings, d7_document, tree)
+        assert _answers(result) == _answers(reference)
+
+
+class TestTopKOnD7:
+    @pytest.mark.parametrize("k", [1, 10, 50, 200])
+    def test_topk_sizes(self, k, d7_mappings, d7_document, d7_block_tree):
+        query = load_query("Q7")
+        result = evaluate_topk_ptq(query, d7_mappings, d7_document, k=k, block_tree=d7_block_tree)
+        assert len(result) <= k
+        assert len(result) <= len(d7_mappings)
+
+    def test_topk_matches_highest_probability_answers(self, d7_mappings, d7_document, d7_block_tree):
+        query = load_query("Q5")
+        full = evaluate_ptq_basic(query, d7_mappings, d7_document)
+        topk = evaluate_topk_ptq(query, d7_mappings, d7_document, k=10, block_tree=d7_block_tree)
+        full_sorted = sorted(full, key=lambda a: (-a.probability, a.mapping_id))[:10]
+        assert {a.mapping_id for a in topk} == {a.mapping_id for a in full_sorted}
+
+
+class TestSmallDatasetPipeline:
+    def test_d1_murty_and_partition_agree_end_to_end(self, d1_dataset):
+        murty = generate_top_h_mappings(d1_dataset.matching, 40, method="murty")
+        partition = generate_top_h_mappings(d1_dataset.matching, 40, method="partition")
+        assert [round(m.score, 6) for m in murty] == [round(m.score, 6) for m in partition]
+        assert [round(m.probability, 9) for m in murty] == [
+            round(m.probability, 9) for m in partition
+        ]
+
+    def test_d1_block_tree_compresses(self, d1_dataset):
+        mapping_set = build_mapping_set("D1", 60)
+        tree = build_block_tree(mapping_set)
+        assert tree.num_blocks > 0
+        assert tree.compression_ratio() > 0.0
+
+    def test_d8_pipeline_runs(self):
+        dataset = load_dataset("D8")
+        mapping_set = build_mapping_set("D8", 50)
+        tree = build_block_tree(mapping_set)
+        assert len(mapping_set) == 50
+        assert tree.num_blocks > 0
+        assert 0.5 <= mapping_set.o_ratio() <= 1.0
+
+    def test_table2_shapes(self):
+        # Larger schema pairs produce larger capacities, as in Table II where
+        # the XCBL/OpenTrans matchings dominate.
+        small = load_dataset("D1").matching.capacity
+        large = load_dataset("D9").matching.capacity
+        assert large > small

@@ -1,0 +1,145 @@
+"""Property-based tests for the assignment substrate and mapping ranking.
+
+The key invariants:
+
+* the pure-Python Hungarian solver finds the same optimum as brute force (and
+  as SciPy when available);
+* Murty's ranking enumerates exactly the mappings that brute-force
+  enumeration produces, in non-increasing score order, without duplicates;
+* the partition-based ranking produces the same score sequence as plain
+  Murty (the paper's correctness claim for Algorithm 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.assignment import available_backends, solve_max_weight_matching
+from repro.mapping.bipartite import BipartiteGraph
+from repro.mapping.murty import rank_graph_murty
+from repro.mapping.partition import merge_rankings
+
+
+@st.composite
+def small_bipartites(draw, max_side=4):
+    """Random sparse bipartite graphs with up to ``max_side`` nodes per side."""
+    rows = draw(st.integers(1, max_side))
+    cols = draw(st.integers(1, max_side))
+    weights = {}
+    for i in range(rows):
+        for j in range(cols):
+            if draw(st.booleans()):
+                weights[(i, j)] = round(draw(st.floats(0.05, 1.0)), 3)
+    return BipartiteGraph(range(rows), range(cols), weights)
+
+
+def brute_force_best(graph: BipartiteGraph):
+    best_score, best_edges = 0.0, frozenset()
+    edges = sorted(graph.weights)
+    for size in range(len(edges) + 1):
+        for subset in itertools.combinations(edges, size):
+            sources = [s for s, _ in subset]
+            targets = [t for _, t in subset]
+            if len(set(sources)) == len(sources) and len(set(targets)) == len(targets):
+                score = sum(graph.weights[e] for e in subset)
+                if score > best_score:
+                    best_score, best_edges = score, frozenset(subset)
+    return best_score, best_edges
+
+
+def brute_force_ranking(graph: BipartiteGraph):
+    edges = sorted(graph.weights)
+    mappings = []
+    for size in range(len(edges) + 1):
+        for subset in itertools.combinations(edges, size):
+            sources = [s for s, _ in subset]
+            targets = [t for _, t in subset]
+            if len(set(sources)) == len(sources) and len(set(targets)) == len(targets):
+                mappings.append((sum(graph.weights[e] for e in subset), frozenset(subset)))
+    mappings.sort(key=lambda item: -item[0])
+    return mappings
+
+
+class TestMaxWeightMatchingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(small_bipartites())
+    def test_python_backend_is_optimal(self, graph):
+        expected_score, _ = brute_force_best(graph)
+        score, edges = solve_max_weight_matching(graph, backend="python")
+        assert abs(score - expected_score) < 1e-9
+        assert score == sum(graph.weights[e] for e in edges)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_bipartites())
+    def test_backends_agree(self, graph):
+        python_score, _ = solve_max_weight_matching(graph, backend="python")
+        if "scipy" in available_backends():
+            scipy_score, _ = solve_max_weight_matching(graph, backend="scipy")
+            assert abs(python_score - scipy_score) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_bipartites())
+    def test_result_is_valid_matching(self, graph):
+        _, edges = solve_max_weight_matching(graph, backend="python")
+        sources = [s for s, _ in edges]
+        targets = [t for _, t in edges]
+        assert len(set(sources)) == len(sources)
+        assert len(set(targets)) == len(targets)
+        assert set(edges) <= set(graph.weights)
+
+
+class TestMurtyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(small_bipartites(max_side=3), st.integers(1, 12))
+    def test_matches_brute_force_ranking(self, graph, h):
+        expected = brute_force_ranking(graph)[:h]
+        actual = rank_graph_murty(graph, h, backend="python")
+        assert len(actual) == min(h, len(expected))
+        assert [round(s, 6) for s, _ in actual] == [round(s, 6) for s, _ in expected]
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_bipartites(max_side=3), st.integers(1, 12))
+    def test_no_duplicates_and_sorted(self, graph, h):
+        ranking = rank_graph_murty(graph, h, backend="python")
+        mappings = [edges for _, edges in ranking]
+        scores = [score for score, _ in ranking]
+        assert len(mappings) == len(set(mappings))
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestMergeProperties:
+    ranked_lists = st.lists(
+        st.floats(0.0, 5.0).map(lambda x: round(x, 3)), min_size=1, max_size=6
+    ).map(
+        lambda scores: [
+            (score, frozenset({(index, 1000 + index)}))
+            for index, score in enumerate(sorted(scores, reverse=True))
+        ]
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ranked_lists, ranked_lists, st.integers(1, 10))
+    def test_lazy_equals_exhaustive(self, first, second, h):
+        # Make the two lists use disjoint edge identities so unions are valid.
+        second = [
+            (score, frozenset({(source + 100, target + 100) for source, target in edges}))
+            for score, edges in second
+        ]
+        lazy = merge_rankings(first, second, h, strategy="lazy")
+        exhaustive = merge_rankings(first, second, h, strategy="exhaustive")
+        assert [round(s, 6) for s, _ in lazy] == [round(s, 6) for s, _ in exhaustive]
+
+    @settings(max_examples=40, deadline=None)
+    @given(ranked_lists, ranked_lists, st.integers(1, 10))
+    def test_merge_scores_sorted(self, first, second, h):
+        second = [
+            (score, frozenset({(source + 100, target + 100) for source, target in edges}))
+            for score, edges in second
+        ]
+        merged = merge_rankings(first, second, h, strategy="lazy")
+        scores = [score for score, _ in merged]
+        assert scores == sorted(scores, reverse=True)
+        assert len(merged) <= h

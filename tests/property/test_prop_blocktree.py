@@ -1,0 +1,154 @@
+"""Property-based tests for block-tree invariants and end-to-end generation.
+
+A random scenario is a small random target schema, a random source schema,
+random correspondences, and a random set of possible mappings drawn from
+them.  On every scenario the block tree must satisfy the c-block definition
+(Definition 2) exactly, whatever τ and the budgets are.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocktree import BlockTreeConfig, build_block_tree
+from repro.mapping.generator import generate_top_h_mappings
+from repro.mapping.mapping import Mapping
+from repro.mapping.mapping_set import MappingSet
+from repro.matching.matching import SchemaMatching
+from repro.schema.schema import Schema
+
+
+def _random_schema(rng: random.Random, name: str, size: int) -> Schema:
+    schema = Schema(name)
+    root = schema.add_root(f"{name}Root")
+    elements = [root]
+    for index in range(size - 1):
+        parent = rng.choice(elements)
+        element = schema.add_child(parent, f"{name}E{index}")
+        elements.append(element)
+    return schema.freeze()
+
+
+@st.composite
+def random_scenarios(draw):
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    source_size = draw(st.integers(3, 10))
+    target_size = draw(st.integers(2, 8))
+    source = _random_schema(rng, "S", source_size)
+    target = _random_schema(rng, "T", target_size)
+
+    matching = SchemaMatching(source, target, name=f"rand{seed}")
+    for target_id in range(target_size):
+        for source_id in rng.sample(range(source_size), k=min(source_size, rng.randint(1, 3))):
+            if matching.get(source_id, target_id) is None:
+                matching.add_pair(source_id, target_id, round(rng.uniform(0.3, 1.0), 3))
+
+    num_mappings = draw(st.integers(2, 8))
+    mappings = []
+    for mapping_id in range(num_mappings):
+        used_sources: set[int] = set()
+        keys = set()
+        for target_id in range(target_size):
+            options = [c for c in matching.for_target(target_id) if c.source_id not in used_sources]
+            if options and rng.random() < 0.8:
+                chosen = rng.choice(options)
+                keys.add(chosen.key)
+                used_sources.add(chosen.source_id)
+        mappings.append(
+            Mapping(mapping_id, frozenset(keys), score=round(rng.uniform(0.5, 2.0), 3))
+        )
+    mapping_set = MappingSet(matching, mappings)
+    tau = draw(st.sampled_from([0.1, 0.25, 0.5, 0.9]))
+    return mapping_set, tau
+
+
+class TestBlockTreeInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(random_scenarios())
+    def test_cblock_definition_holds(self, scenario):
+        mapping_set, tau = scenario
+        tree = build_block_tree(mapping_set, BlockTreeConfig(tau=tau))
+        target = tree.target_schema
+        min_support = tau * len(mapping_set)
+        for block in tree.iter_blocks():
+            anchor = target.get(block.anchor_id)
+            subtree_ids = {element.element_id for element in anchor.iter_subtree()}
+            assert block.covered_target_ids() == subtree_ids
+            assert block.size == len(subtree_ids)
+            assert block.support >= min_support
+            for mapping_id in block.mapping_ids:
+                assert block.correspondences <= mapping_set[mapping_id].correspondences
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_scenarios())
+    def test_blocks_at_one_anchor_have_disjoint_mappings(self, scenario):
+        mapping_set, tau = scenario
+        tree = build_block_tree(mapping_set, BlockTreeConfig(tau=tau))
+        for element in tree.target_schema.iter_preorder():
+            blocks = tree.blocks_at(element.element_id)
+            seen: set[int] = set()
+            for block in blocks:
+                assert not (block.mapping_ids & seen)
+                seen.update(block.mapping_ids)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_scenarios())
+    def test_hash_table_consistent(self, scenario):
+        mapping_set, tau = scenario
+        tree = build_block_tree(mapping_set, BlockTreeConfig(tau=tau))
+        for element in tree.target_schema.iter_preorder():
+            node = tree.node_for_element(element.element_id)
+            if node.has_blocks:
+                assert tree.hash_table.get(element.path) is node
+            else:
+                assert element.path not in tree.hash_table
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_scenarios())
+    def test_monotone_in_tau(self, scenario):
+        mapping_set, _ = scenario
+        low = build_block_tree(mapping_set, BlockTreeConfig(tau=0.1))
+        high = build_block_tree(mapping_set, BlockTreeConfig(tau=0.9))
+        assert high.num_blocks <= low.num_blocks
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_scenarios())
+    def test_residuals_complement_block_coverage(self, scenario):
+        mapping_set, tau = scenario
+        tree = build_block_tree(mapping_set, BlockTreeConfig(tau=tau))
+        for mapping in mapping_set:
+            residual = tree.residual_correspondences(mapping.mapping_id)
+            covered = mapping.correspondences - residual
+            for key in covered:
+                assert any(
+                    mapping.mapping_id in block.mapping_ids and key in block.correspondences
+                    for block in tree.iter_blocks()
+                )
+
+
+class TestGenerationInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(random_scenarios(), st.integers(1, 10))
+    def test_partition_and_murty_score_sequences_agree(self, scenario, h):
+        mapping_set, _ = scenario
+        matching = mapping_set.matching
+        murty = generate_top_h_mappings(matching, h, method="murty", backend="python")
+        partition = generate_top_h_mappings(matching, h, method="partition", backend="python")
+        assert [round(m.score, 6) for m in murty] == [round(m.score, 6) for m in partition]
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_scenarios(), st.integers(1, 10))
+    def test_generated_mappings_are_valid_and_normalised(self, scenario, h):
+        mapping_set, _ = scenario
+        matching = mapping_set.matching
+        generated = generate_top_h_mappings(matching, h, method="partition", backend="python")
+        assert sum(m.probability for m in generated) == 1.0 or abs(
+            sum(m.probability for m in generated) - 1.0
+        ) < 1e-9
+        for mapping in generated:
+            for key in mapping.correspondences:
+                assert matching.get(*key) is not None

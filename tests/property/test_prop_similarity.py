@@ -1,0 +1,88 @@
+"""Property-based tests for the similarity measures."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.similarity import (
+    edit_similarity,
+    levenshtein,
+    name_similarity,
+    token_set_similarity,
+    tokenize,
+    trigram_similarity,
+)
+
+labels = st.text(
+    alphabet=st.sampled_from("abcdefgABCDEFG_"), min_size=1, max_size=12
+).filter(lambda s: any(c.isalpha() for c in s))
+words = st.text(alphabet=st.sampled_from("abcdefgh"), min_size=0, max_size=10)
+
+
+class TestLevenshteinProperties:
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(words)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(words, words)
+    def test_upper_bound(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(words, words)
+    def test_lower_bound_length_difference(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @settings(max_examples=50)
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestSimilarityBounds:
+    @given(words, words)
+    def test_edit_similarity_unit_interval(self, a, b):
+        assert 0.0 <= edit_similarity(a, b) <= 1.0
+
+    @given(words, words)
+    def test_trigram_similarity_unit_interval(self, a, b):
+        assert 0.0 <= trigram_similarity(a, b) <= 1.0
+
+    @given(labels, labels)
+    def test_name_similarity_unit_interval(self, a, b):
+        assert 0.0 <= name_similarity(a, b) <= 1.0
+
+    @given(labels)
+    def test_name_similarity_identity(self, a):
+        assert name_similarity(a, a) == 1.0
+
+    @given(labels, labels)
+    def test_name_similarity_roughly_symmetric(self, a, b):
+        assert abs(name_similarity(a, b) - name_similarity(b, a)) < 0.35
+
+    @given(st.lists(words.filter(bool), min_size=0, max_size=5).map(tuple),
+           st.lists(words.filter(bool), min_size=0, max_size=5).map(tuple))
+    def test_token_set_similarity_unit_interval(self, a, b):
+        assert 0.0 <= token_set_similarity(a, b) <= 1.0
+
+
+class TestTokenizeProperties:
+    @given(labels)
+    def test_tokens_lowercase_and_nonempty(self, label):
+        for token in tokenize(label):
+            assert token == token.lower()
+            assert token
+
+    @given(labels)
+    def test_tokens_cover_alphanumerics(self, label):
+        joined = "".join(tokenize(label))
+        stripped = "".join(c.lower() for c in label if c.isalnum())
+        assert joined == stripped
+
+    @given(labels)
+    def test_deterministic(self, label):
+        assert tokenize(label) == tokenize(label)

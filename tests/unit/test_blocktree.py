@@ -1,0 +1,206 @@
+"""Tests for blocks, c-blocks and block-tree construction (Section III)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block import Block
+from repro.core.blocktree import BlockTree, BlockTreeConfig, build_block_tree
+from repro.exceptions import BlockTreeError
+from repro.mapping.mapping import Mapping
+from repro.mapping.mapping_set import MappingSet
+
+
+class TestBlock:
+    def test_properties(self):
+        block = Block(anchor_id=2, correspondences=frozenset({(5, 2)}), mapping_ids=frozenset({0, 1}))
+        assert block.size == 1
+        assert block.support == 2
+        assert block.covered_target_ids() == {2}
+        assert block.source_for_target(2) == 5
+        assert block.source_for_target(7) is None
+
+    def test_requires_anchor_correspondence(self):
+        with pytest.raises(BlockTreeError):
+            Block(anchor_id=9, correspondences=frozenset({(5, 2)}), mapping_ids=frozenset({0}))
+
+    def test_requires_nonempty_sets(self):
+        with pytest.raises(BlockTreeError):
+            Block(anchor_id=2, correspondences=frozenset(), mapping_ids=frozenset({0}))
+        with pytest.raises(BlockTreeError):
+            Block(anchor_id=2, correspondences=frozenset({(5, 2)}), mapping_ids=frozenset())
+
+    def test_negative_anchor_rejected(self):
+        with pytest.raises(BlockTreeError):
+            Block(anchor_id=-1, correspondences=frozenset({(5, -1)}), mapping_ids=frozenset({0}))
+
+
+class TestBlockTreeConfig:
+    def test_defaults_are_paper_defaults(self):
+        config = BlockTreeConfig()
+        assert config.tau == 0.2
+        assert config.max_blocks == 500
+        assert config.max_failures == 500
+
+    def test_tau_bounds(self):
+        with pytest.raises(BlockTreeError):
+            BlockTreeConfig(tau=0.0)
+        with pytest.raises(BlockTreeError):
+            BlockTreeConfig(tau=1.5)
+
+    def test_budgets_non_negative(self):
+        with pytest.raises(BlockTreeError):
+            BlockTreeConfig(max_blocks=-1)
+
+
+class TestFigureBlockTree:
+    """Construction over the paper's running example (Figures 3-5)."""
+
+    def test_structure_mirrors_target_schema(self, figure_block_tree, target_schema):
+        assert figure_block_tree.root is not None
+        assert figure_block_tree.root.path == "ORDER"
+        for element in target_schema.iter_preorder():
+            node = figure_block_tree.node_for_element(element.element_id)
+            assert node.path == element.path
+
+    def test_icn_leaf_blocks_match_figure4(self, figure_block_tree, figure_elements):
+        # With tau=0.4 and |M|=5 the support threshold is 2 mappings, so only
+        # (BCN~ICN) [m1, m2] and (RCN~ICN) [m3, m4] form c-blocks; (OCN~ICN)
+        # is shared by m5 alone and is pruned (Figure 4a).
+        blocks = figure_block_tree.blocks_at(figure_elements["ICN"])
+        assert len(blocks) == 2
+        by_source = {block.source_for_target(figure_elements["ICN"]): block for block in blocks}
+        assert set(by_source) == {figure_elements["BCN"], figure_elements["RCN"]}
+        assert by_source[figure_elements["BCN"]].mapping_ids == frozenset({0, 1})
+        assert by_source[figure_elements["RCN"]].mapping_ids == frozenset({2, 3})
+
+    def test_ip_non_leaf_block_matches_figure5(self, figure_block_tree, figure_elements):
+        # Figure 5's b5: {(BP, IP), (BCN, ICN)} shared by m1 and m2.
+        blocks = figure_block_tree.blocks_at(figure_elements["T_IP"])
+        assert len(blocks) == 1
+        block = blocks[0]
+        assert block.correspondences == frozenset(
+            {
+                (figure_elements["BP"], figure_elements["T_IP"]),
+                (figure_elements["BCN"], figure_elements["ICN"]),
+            }
+        )
+        assert block.mapping_ids == frozenset({0, 1})
+
+    def test_scn_leaf_blocks(self, figure_block_tree, figure_elements):
+        blocks = figure_block_tree.blocks_at(figure_elements["SCN"])
+        sources = {block.source_for_target(figure_elements["SCN"]) for block in blocks}
+        assert sources == {figure_elements["OCN"], figure_elements["BCN"]}
+
+    def test_root_has_no_cblock(self, figure_block_tree, figure_elements):
+        # ORDER's own correspondence is shared by all mappings, but no single
+        # combination of child blocks is shared by >= 2 mappings together
+        # with both children, as in Figure 5 where g3 is discarded.
+        assert figure_block_tree.blocks_at(figure_elements["ORDER"]) == []
+
+    def test_hash_table_contains_block_nodes_only(self, figure_block_tree):
+        for path, node in figure_block_tree.hash_table.items():
+            assert node.has_blocks
+            assert node.path == path
+        assert "ORDER" not in figure_block_tree.hash_table
+        assert "ORDER.INVOICE_PARTY" in figure_block_tree.hash_table
+
+    def test_node_for_path_uses_hash_table(self, figure_block_tree):
+        assert figure_block_tree.node_for_path("ORDER.INVOICE_PARTY") is not None
+        assert figure_block_tree.node_for_path("ORDER") is None
+        assert figure_block_tree.node_for_path("DOES.NOT.EXIST") is None
+
+    def test_every_block_satisfies_cblock_definition(self, figure_block_tree, figure_mappings, target_schema):
+        min_support = figure_block_tree.config.tau * len(figure_mappings)
+        for block in figure_block_tree.iter_blocks():
+            anchor = target_schema.get(block.anchor_id)
+            subtree_ids = {element.element_id for element in anchor.iter_subtree()}
+            # one correspondence per subtree element, and nothing else
+            assert block.covered_target_ids() == subtree_ids
+            assert block.size == len(subtree_ids)
+            # enough support, and every mapping really contains b.C
+            assert block.support >= min_support
+            for mapping_id in block.mapping_ids:
+                assert block.correspondences <= figure_mappings[mapping_id].correspondences
+
+    def test_num_blocks(self, figure_block_tree):
+        assert figure_block_tree.num_blocks == 5
+
+    def test_compression_ratio_in_range(self, figure_block_tree):
+        ratio = figure_block_tree.compression_ratio()
+        assert -1.0 < ratio < 1.0
+
+    def test_residual_correspondences(self, figure_block_tree, figure_mappings):
+        for mapping in figure_mappings:
+            residual = figure_block_tree.residual_correspondences(mapping.mapping_id)
+            assert residual <= mapping.correspondences
+        # m1 has (BP~IP) and (BCN~ICN) covered by blocks; Order~ORDER and
+        # RCN~SCN are not covered (the latter's block was pruned at tau=0.4).
+        m1_residual = figure_block_tree.residual_correspondences(0)
+        assert len(m1_residual) == 2
+
+    def test_describe_keys(self, figure_block_tree):
+        info = figure_block_tree.describe()
+        assert info["num_blocks"] == 5
+        assert "compression_ratio" in info
+        assert "construction_seconds" in info
+
+
+class TestTauBehaviour:
+    def test_higher_tau_fewer_blocks(self, figure_mappings):
+        low = build_block_tree(figure_mappings, BlockTreeConfig(tau=0.2))
+        high = build_block_tree(figure_mappings, BlockTreeConfig(tau=0.8))
+        assert high.num_blocks <= low.num_blocks
+
+    def test_tau_one_keeps_only_universal_blocks(self, figure_mappings):
+        tree = build_block_tree(figure_mappings, BlockTreeConfig(tau=1.0))
+        for block in tree.iter_blocks():
+            assert block.support == len(figure_mappings)
+
+    def test_tau_very_small_has_block_per_correspondence_group(self, figure_mappings, figure_elements):
+        tree = build_block_tree(figure_mappings, BlockTreeConfig(tau=0.05))
+        blocks = tree.blocks_at(figure_elements["ICN"])
+        assert len(blocks) == 3  # BCN, RCN and OCN groups all survive
+
+
+class TestBudgets:
+    def test_max_blocks_zero_disables_non_leaf_blocks(self, figure_mappings, figure_elements):
+        tree = build_block_tree(figure_mappings, BlockTreeConfig(tau=0.4, max_blocks=0))
+        assert tree.blocks_at(figure_elements["T_IP"]) == []
+        assert tree.non_leaf_blocks_created == 0
+        # leaf blocks are unaffected by MAX_B
+        assert tree.blocks_at(figure_elements["ICN"])
+
+    def test_max_failures_zero_limits_combinations(self, figure_mappings):
+        tree = build_block_tree(figure_mappings, BlockTreeConfig(tau=0.4, max_failures=0))
+        assert tree.num_blocks >= 0  # construction still succeeds
+
+    def test_max_blocks_caps_non_leaf_blocks(self, d7_mappings):
+        capped = build_block_tree(d7_mappings, BlockTreeConfig(tau=0.02, max_blocks=5))
+        assert capped.non_leaf_blocks_created <= 5
+
+
+class TestCorpusBlockTree:
+    def test_d7_tree_has_blocks_and_compresses(self, d7_block_tree):
+        assert d7_block_tree.num_blocks > 50
+        assert d7_block_tree.compression_ratio() > 0.0
+
+    def test_d7_blocks_satisfy_definition(self, d7_block_tree, d7_mappings):
+        min_support = d7_block_tree.config.tau * len(d7_mappings)
+        target = d7_block_tree.target_schema
+        for block in d7_block_tree.iter_blocks():
+            anchor = target.get(block.anchor_id)
+            assert block.covered_target_ids() == {
+                element.element_id for element in anchor.iter_subtree()
+            }
+            assert block.support >= min_support
+
+    def test_d7_multi_correspondence_blocks_exist(self, d7_block_tree):
+        assert any(block.size > 1 for block in d7_block_tree.iter_blocks())
+
+    def test_construction_time_recorded(self, d7_block_tree):
+        assert d7_block_tree.construction_seconds > 0.0
+
+    def test_node_for_unknown_element(self, d7_block_tree):
+        with pytest.raises(BlockTreeError):
+            d7_block_tree.node_for_element(10**6)

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_unknown_command_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["frobnicate"])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "D7", "Q7"])
+        assert args.algorithm == "block-tree"
+        assert args.top_k is None
+        assert args.num_mappings == 100
+
+
+class TestCommands:
+    def test_schemas(self):
+        code, output = run_cli("schemas")
+        assert code == 0
+        assert "xcbl" in output
+        assert "1076" in output
+
+    def test_show_schema(self):
+        code, output = run_cli("show-schema", "cidx", "--max-lines", "10")
+        assert code == 0
+        assert output.splitlines()[0] == "Order"
+        assert "more elements" in output
+
+    def test_show_schema_unknown(self):
+        code, output = run_cli("show-schema", "sap")
+        assert code == 2
+        assert "error:" in output
+
+    def test_datasets(self):
+        code, output = run_cli("datasets")
+        assert code == 0
+        assert "D7" in output and "apertum" in output
+
+    def test_match(self):
+        code, output = run_cli("match", "D1", "--limit", "5")
+        assert code == 0
+        assert "correspondences" in output
+        assert output.count("~") == 5
+
+    def test_match_unknown_dataset(self):
+        code, output = run_cli("match", "D42")
+        assert code == 2
+        assert "error:" in output
+
+    def test_mappings(self):
+        code, output = run_cli("mappings", "D1", "--h", "5")
+        assert code == 0
+        assert "top-5 mappings" in output
+        assert "o-ratio" in output
+
+    def test_blocktree(self):
+        code, output = run_cli("blocktree", "D1", "--num-mappings", "20", "--tau", "0.3")
+        assert code == 0
+        assert "num_blocks" in output
+        assert "compression_ratio" in output
+
+    def test_query_by_id(self):
+        code, output = run_cli("query", "D7", "Q2", "--num-mappings", "50")
+        assert code == 0
+        assert "answers" in output
+        assert "value distribution" in output
+
+    def test_query_by_pattern_basic_algorithm(self):
+        code, output = run_cli(
+            "query", "D7", "Order/DeliverTo/Contact/EMail",
+            "--num-mappings", "50", "--algorithm", "basic",
+        )
+        assert code == 0
+        assert "using basic" in output
+
+    def test_query_top_k(self):
+        code, output = run_cli("query", "D7", "Q2", "--num-mappings", "50", "--top-k", "5")
+        assert code == 0
+        assert "5 answers" in output
+
+    def test_query_bad_pattern(self):
+        code, output = run_cli("query", "D7", "Order/[")
+        assert code == 2
+        assert "error:" in output

@@ -1,0 +1,208 @@
+"""Tests for the document model, generator, values and serialiser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.document.document import XMLDocument
+from repro.document.generator import generate_document, generate_order_document
+from repro.document.serializer import document_to_xml, parse_document_xml
+from repro.document.values import value_for_label
+from repro.exceptions import DocumentConformanceError, DocumentError
+from repro._rng import make_rng
+from repro.schema.corpus import load_corpus_schema
+from repro.schema.parser import parse_schema
+
+SCHEMA_TEXT = """
+Order
+  Buyer
+    Name
+  Line *
+    Quantity
+"""
+
+
+@pytest.fixture()
+def schema():
+    return parse_schema(SCHEMA_TEXT, name="doc-test")
+
+
+@pytest.fixture()
+def document(schema):
+    doc = XMLDocument(schema, name="test.xml")
+    order = doc.add_root(schema.element_by_path("Order").element_id)
+    buyer = doc.add_child(order, schema.element_by_path("Order.Buyer").element_id)
+    doc.add_child(buyer, schema.element_by_path("Order.Buyer.Name").element_id, value="Acme")
+    line1 = doc.add_child(order, schema.element_by_path("Order.Line").element_id)
+    doc.add_child(line1, schema.element_by_path("Order.Line.Quantity").element_id, value="3")
+    line2 = doc.add_child(order, schema.element_by_path("Order.Line").element_id)
+    doc.add_child(line2, schema.element_by_path("Order.Line.Quantity").element_id, value="5")
+    return doc.finalize()
+
+
+class TestDocumentConstruction:
+    def test_node_count(self, document):
+        assert len(document) == 7
+
+    def test_root_must_be_schema_root(self, schema):
+        doc = XMLDocument(schema)
+        with pytest.raises(DocumentConformanceError):
+            doc.add_root(schema.element_by_path("Order.Buyer").element_id)
+
+    def test_only_one_root(self, schema):
+        doc = XMLDocument(schema)
+        doc.add_root(schema.element_by_path("Order").element_id)
+        with pytest.raises(DocumentError):
+            doc.add_root(schema.element_by_path("Order").element_id)
+
+    def test_child_must_conform(self, schema):
+        doc = XMLDocument(schema)
+        order = doc.add_root(schema.element_by_path("Order").element_id)
+        with pytest.raises(DocumentConformanceError):
+            doc.add_child(order, schema.element_by_path("Order.Buyer.Name").element_id)
+
+    def test_repeated_elements_allowed(self, document, schema):
+        line_id = schema.element_by_path("Order.Line").element_id
+        assert len(document.nodes_of_element(line_id)) == 2
+
+    def test_finalized_document_immutable(self, document, schema):
+        with pytest.raises(DocumentError):
+            document.add_child(document.root, schema.element_by_path("Order.Buyer").element_id)
+
+    def test_finalize_requires_root(self, schema):
+        with pytest.raises(DocumentError):
+            XMLDocument(schema).finalize()
+
+    def test_validate(self, document):
+        document.validate()
+
+
+class TestRegionEncoding:
+    def test_root_contains_everything(self, document):
+        root = document.root
+        for node in document:
+            if node is not root:
+                assert root.is_ancestor_of(node)
+
+    def test_siblings_do_not_contain_each_other(self, document, schema):
+        lines = document.nodes_of_element(schema.element_by_path("Order.Line").element_id)
+        assert not lines[0].is_ancestor_of(lines[1])
+        assert not lines[1].is_ancestor_of(lines[0])
+
+    def test_parent_child(self, document, schema):
+        buyer = document.nodes_of_element(schema.element_by_path("Order.Buyer").element_id)[0]
+        name = document.nodes_of_element(schema.element_by_path("Order.Buyer.Name").element_id)[0]
+        assert buyer.is_parent_of(name)
+        assert buyer.is_ancestor_of(name)
+
+    def test_levels(self, document):
+        assert document.root.level == 0
+        assert document.depth() == 2
+
+    def test_path_labels(self, document, schema):
+        name = document.nodes_of_element(schema.element_by_path("Order.Buyer.Name").element_id)[0]
+        assert name.path_labels() == ["Order", "Buyer", "Name"]
+
+
+class TestLookups:
+    def test_get(self, document):
+        assert document.get(0) is document.root
+        with pytest.raises(DocumentError):
+            document.get(999)
+
+    def test_nodes_with_label(self, document):
+        assert len(document.nodes_with_label("Quantity")) == 2
+        assert document.nodes_with_label("Missing") == []
+
+    def test_iter_preorder_order(self, document):
+        starts = [node.start for node in document.iter_preorder()]
+        assert starts == sorted(starts)
+
+
+class TestValues:
+    def test_value_kinds(self):
+        rng = make_rng(1, "values")
+        assert "@" in value_for_label("EMail", rng)
+        assert value_for_label("ContactName", rng)
+        assert value_for_label("City", rng)
+        assert value_for_label("UnitPrice", rng).replace(".", "").isdigit()
+        assert value_for_label("Quantity", rng).isdigit()
+        assert value_for_label("OrderDate", rng).startswith("2009-")
+
+    def test_deterministic_per_rng(self):
+        a = value_for_label("City", make_rng(5, "v"))
+        b = value_for_label("City", make_rng(5, "v"))
+        assert a == b
+
+
+class TestGenerator:
+    def test_single_pass_covers_every_element(self):
+        schema = load_corpus_schema("cidx")
+        doc = generate_document(schema)
+        assert len(doc) == len(schema)
+        doc.validate()
+
+    def test_target_nodes_reached(self):
+        schema = load_corpus_schema("apertum")
+        doc = generate_document(schema, target_nodes=600)
+        assert len(doc) >= 600
+        doc.validate()
+
+    def test_target_without_repeatable_rejected(self):
+        schema = parse_schema("Order\n  Buyer\n")
+        with pytest.raises(DocumentError):
+            generate_document(schema, target_nodes=100)
+
+    def test_deterministic(self):
+        schema = load_corpus_schema("cidx")
+        a = generate_document(schema, target_nodes=100, seed=1)
+        b = generate_document(schema, target_nodes=100, seed=1)
+        assert len(a) == len(b)
+        assert [n.label for n in a.iter_preorder()] == [n.label for n in b.iter_preorder()]
+
+    def test_order_document_size(self):
+        doc = generate_order_document()
+        assert abs(len(doc) - 3473) < 120  # within one repeated subtree of the target
+        assert doc.schema.name == "xcbl"
+
+    def test_leaves_have_values(self):
+        schema = load_corpus_schema("cidx")
+        doc = generate_document(schema)
+        assert all(node.value is not None for node in doc if node.is_leaf)
+
+
+class TestSerializer:
+    def test_round_trip(self, document, schema):
+        xml = document_to_xml(document)
+        parsed = parse_document_xml(xml, schema)
+        assert len(parsed) == len(document)
+        assert [n.label for n in parsed.iter_preorder()] == [
+            n.label for n in document.iter_preorder()
+        ]
+        assert [n.value for n in parsed.iter_preorder()] == [
+            n.value for n in document.iter_preorder()
+        ]
+
+    def test_xml_escaping(self, schema):
+        doc = XMLDocument(schema)
+        order = doc.add_root(schema.element_by_path("Order").element_id)
+        buyer = doc.add_child(order, schema.element_by_path("Order.Buyer").element_id)
+        doc.add_child(
+            buyer, schema.element_by_path("Order.Buyer.Name").element_id, value="A & B <Ltd>"
+        )
+        doc.finalize()
+        parsed = parse_document_xml(document_to_xml(doc), schema)
+        names = parsed.nodes_with_label("Name")
+        assert names[0].value == "A & B <Ltd>"
+
+    def test_nonconforming_rejected(self, schema):
+        with pytest.raises(DocumentError):
+            parse_document_xml("<Order><Intruder/></Order>", schema)
+
+    def test_wrong_root_rejected(self, schema):
+        with pytest.raises(DocumentError):
+            parse_document_xml("<Invoice/>", schema)
+
+    def test_mismatched_close_rejected(self, schema):
+        with pytest.raises(DocumentError):
+            parse_document_xml("<Order><Buyer></Order></Buyer>", schema)

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import exceptions
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "SchemaError",
+            "SchemaParseError",
+            "DocumentError",
+            "DocumentConformanceError",
+            "MatchingError",
+            "MappingError",
+            "AssignmentError",
+            "BlockTreeError",
+            "QueryError",
+            "TwigParseError",
+            "RewriteError",
+            "DatasetError",
+        ],
+    )
+    def test_all_derive_from_repro_error(self, name):
+        cls = getattr(exceptions, name)
+        assert issubclass(cls, exceptions.ReproError)
+
+    def test_parse_error_is_schema_error(self):
+        assert issubclass(exceptions.SchemaParseError, exceptions.SchemaError)
+
+    def test_conformance_error_is_document_error(self):
+        assert issubclass(exceptions.DocumentConformanceError, exceptions.DocumentError)
+
+    def test_assignment_error_is_mapping_error(self):
+        assert issubclass(exceptions.AssignmentError, exceptions.MappingError)
+
+    def test_twig_parse_error_is_query_error(self):
+        assert issubclass(exceptions.TwigParseError, exceptions.QueryError)
+
+    def test_all_exported(self):
+        for name in exceptions.__all__:
+            assert hasattr(exceptions, name)
+
+    def test_catching_base_class(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.BlockTreeError("boom")

@@ -1,0 +1,201 @@
+"""Tests for Murty ranking, partitioning and top-h mapping generation."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.exceptions import AssignmentError, MappingError
+from repro.mapping.bipartite import BipartiteGraph
+from repro.mapping.generator import GenerationMethod, generate_top_h_mappings, mapping_set_from_ranking
+from repro.mapping.murty import rank_graph_murty, rank_mappings_murty
+from repro.mapping.partition import merge_rankings, partition_matching, rank_mappings_partitioned
+from repro.matching.matching import SchemaMatching
+from repro.schema.parser import parse_schema
+from repro.workloads.datasets import load_dataset
+
+
+def brute_force_rank(graph: BipartiteGraph, h: int):
+    """Enumerate every one-to-one edge subset and rank by total weight."""
+    edges = sorted(graph.weights)
+    mappings = []
+    for size in range(len(edges) + 1):
+        for subset in itertools.combinations(edges, size):
+            sources = [s for s, _ in subset]
+            targets = [t for _, t in subset]
+            if len(set(sources)) == len(sources) and len(set(targets)) == len(targets):
+                score = sum(graph.weights[e] for e in subset)
+                mappings.append((score, frozenset(subset)))
+    mappings.sort(key=lambda item: (-item[0], sorted(item[1])))
+    return mappings[:h]
+
+
+@pytest.fixture()
+def ambiguous_graph():
+    weights = {
+        (0, 0): 0.9,
+        (1, 0): 0.8,
+        (0, 1): 0.7,
+        (2, 1): 0.6,
+        (3, 2): 0.5,
+    }
+    return BipartiteGraph([0, 1, 2, 3], [0, 1, 2], weights)
+
+
+@pytest.fixture()
+def toy_matching():
+    source = parse_schema("S\n  a\n  b\n  c\n  d\n", name="src")
+    target = parse_schema("T\n  w\n  x\n  y\n  z\n", name="tgt")
+    matching = SchemaMatching(source, target, name="toy")
+    # Two disconnected partitions: {a,b} x {w,x} and {c,d} x {y,z}.
+    matching.add_pair(1, 1, 0.9)
+    matching.add_pair(2, 1, 0.7)
+    matching.add_pair(1, 2, 0.6)
+    matching.add_pair(3, 3, 0.8)
+    matching.add_pair(4, 3, 0.5)
+    matching.add_pair(4, 4, 0.4)
+    return matching
+
+
+class TestMurtyRanking:
+    def test_scores_non_increasing(self, ambiguous_graph):
+        ranking = rank_graph_murty(ambiguous_graph, 10, backend="python")
+        scores = [score for score, _ in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_duplicate_mappings(self, ambiguous_graph):
+        ranking = rank_graph_murty(ambiguous_graph, 15, backend="python")
+        mappings = [edges for _, edges in ranking]
+        assert len(mappings) == len(set(mappings))
+
+    def test_matches_brute_force(self, ambiguous_graph):
+        expected = brute_force_rank(ambiguous_graph, 8)
+        actual = rank_graph_murty(ambiguous_graph, 8, backend="python")
+        assert [round(s, 9) for s, _ in actual] == [round(s, 9) for s, _ in expected]
+
+    def test_every_result_is_valid_mapping(self, ambiguous_graph):
+        for _, edges in rank_graph_murty(ambiguous_graph, 10, backend="python"):
+            sources = [s for s, _ in edges]
+            targets = [t for _, t in edges]
+            assert len(set(sources)) == len(sources)
+            assert len(set(targets)) == len(targets)
+            assert set(edges) <= set(ambiguous_graph.weights)
+
+    def test_h_one_returns_optimum(self, ambiguous_graph):
+        ranking = rank_graph_murty(ambiguous_graph, 1, backend="python")
+        assert len(ranking) == 1
+        assert ranking[0][0] == pytest.approx(0.9 + 0.6 + 0.5)
+
+    def test_h_must_be_positive(self, ambiguous_graph):
+        with pytest.raises(AssignmentError):
+            rank_graph_murty(ambiguous_graph, 0)
+
+    def test_enumerates_empty_mapping_when_h_large(self):
+        graph = BipartiteGraph([0], [0], {(0, 0): 0.5})
+        ranking = rank_graph_murty(graph, 5, backend="python")
+        assert [edges for _, edges in ranking] == [frozenset({(0, 0)}), frozenset()]
+
+    def test_initial_constraints(self, ambiguous_graph):
+        ranking = rank_graph_murty(
+            ambiguous_graph, 5, backend="python", initial_forbidden=[(0, 0)]
+        )
+        assert all((0, 0) not in edges for _, edges in ranking)
+
+    def test_rank_mappings_full_vs_reduced(self, toy_matching):
+        full = rank_mappings_murty(toy_matching, 6, full_bipartite=True, backend="python")
+        reduced = rank_mappings_murty(toy_matching, 6, full_bipartite=False, backend="python")
+        assert [round(s, 9) for s, _ in full] == [round(s, 9) for s, _ in reduced]
+
+
+class TestPartitioning:
+    def test_partition_count(self, toy_matching):
+        partitions = partition_matching(toy_matching)
+        assert len(partitions) == 2
+        assert sum(p.num_edges for p in partitions) == toy_matching.capacity
+
+    def test_partition_matches_paper_definition(self, toy_matching):
+        # Partitions are maximal and disjoint (Definition 6): no element id
+        # appears in two partitions.
+        partitions = partition_matching(toy_matching)
+        all_sources = list(itertools.chain.from_iterable(p.source_ids for p in partitions))
+        all_targets = list(itertools.chain.from_iterable(p.target_ids for p in partitions))
+        assert len(all_sources) == len(set(all_sources))
+        assert len(all_targets) == len(set(all_targets))
+
+    def test_merge_lazy_equals_exhaustive(self):
+        first = [(3.0, frozenset({(1, 1)})), (2.0, frozenset({(2, 1)})), (0.0, frozenset())]
+        second = [(1.5, frozenset({(3, 3)})), (0.0, frozenset())]
+        lazy = merge_rankings(first, second, 4, strategy="lazy")
+        exhaustive = merge_rankings(first, second, 4, strategy="exhaustive")
+        assert [s for s, _ in lazy] == [s for s, _ in exhaustive]
+        assert [e for _, e in lazy] == [e for _, e in exhaustive]
+
+    def test_merge_empty_inputs(self):
+        ranking = [(1.0, frozenset({(0, 0)}))]
+        assert merge_rankings([], ranking, 3) == ranking
+        assert merge_rankings(ranking, [], 3) == ranking
+
+    def test_merge_invalid_arguments(self):
+        ranking = [(1.0, frozenset({(0, 0)}))]
+        with pytest.raises(MappingError):
+            merge_rankings(ranking, ranking, 0)
+        with pytest.raises(MappingError):
+            merge_rankings(ranking, ranking, 3, strategy="magic")
+
+    def test_partitioned_equals_murty(self, toy_matching):
+        murty = rank_mappings_murty(toy_matching, 8, backend="python")
+        partitioned = rank_mappings_partitioned(toy_matching, 8, backend="python")
+        assert [round(s, 9) for s, _ in murty] == [round(s, 9) for s, _ in partitioned]
+
+    def test_partitioned_h_must_be_positive(self, toy_matching):
+        with pytest.raises(AssignmentError):
+            rank_mappings_partitioned(toy_matching, 0)
+
+    def test_empty_matching_gives_empty_mapping(self):
+        source = parse_schema("S\n  a\n", name="src")
+        target = parse_schema("T\n  x\n", name="tgt")
+        matching = SchemaMatching(source, target)
+        ranking = rank_mappings_partitioned(matching, 3)
+        assert ranking == [(0.0, frozenset())]
+
+    def test_corpus_dataset_is_sparse(self, d1_dataset):
+        partitions = partition_matching(d1_dataset.matching)
+        assert len(partitions) > 5
+        largest = max(p.size for p in partitions)
+        assert largest < d1_dataset.matching.capacity
+
+
+class TestGenerateTopH:
+    def test_mapping_set_built_and_normalised(self, toy_matching):
+        mapping_set = generate_top_h_mappings(toy_matching, 5, method="partition")
+        assert len(mapping_set) == 5
+        assert sum(m.probability for m in mapping_set) == pytest.approx(1.0)
+        scores = [m.score for m in mapping_set]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_methods_agree_on_scores(self, toy_matching):
+        partition = generate_top_h_mappings(toy_matching, 6, method="partition")
+        murty = generate_top_h_mappings(toy_matching, 6, method=GenerationMethod.MURTY)
+        assert [round(m.score, 9) for m in partition] == [round(m.score, 9) for m in murty]
+
+    def test_invalid_h(self, toy_matching):
+        with pytest.raises(MappingError):
+            generate_top_h_mappings(toy_matching, 0)
+
+    def test_invalid_method(self, toy_matching):
+        with pytest.raises(ValueError):
+            generate_top_h_mappings(toy_matching, 3, method="genetic")
+
+    def test_mapping_ids_are_positions(self, toy_matching):
+        mapping_set = generate_top_h_mappings(toy_matching, 4)
+        assert [m.mapping_id for m in mapping_set] == [0, 1, 2, 3]
+
+    def test_empty_ranking_rejected(self, toy_matching):
+        with pytest.raises(MappingError):
+            mapping_set_from_ranking(toy_matching, [])
+
+    def test_exhaustive_merge_strategy_supported(self, toy_matching):
+        lazy = generate_top_h_mappings(toy_matching, 5, merge_strategy="lazy")
+        exhaustive = generate_top_h_mappings(toy_matching, 5, merge_strategy="exhaustive")
+        assert [round(m.score, 9) for m in lazy] == [round(m.score, 9) for m in exhaustive]

@@ -1,0 +1,165 @@
+"""Tests for :class:`Mapping` and :class:`MappingSet`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MappingError
+from repro.mapping.mapping import Mapping
+from repro.mapping.mapping_set import MappingSet
+from repro.matching.matching import SchemaMatching
+from repro.schema.parser import parse_schema
+
+
+@pytest.fixture()
+def matching():
+    source = parse_schema("S\n  a\n  b\n  c\n", name="src")
+    target = parse_schema("T\n  x\n  y\n", name="tgt")
+    m = SchemaMatching(source, target, name="toy")
+    m.add_pair(0, 0, 0.9)   # S ~ T
+    m.add_pair(1, 1, 0.8)   # a ~ x
+    m.add_pair(2, 1, 0.7)   # b ~ x
+    m.add_pair(1, 2, 0.6)   # a ~ y
+    m.add_pair(3, 2, 0.5)   # c ~ y
+    return m
+
+
+class TestMapping:
+    def test_basic_properties(self):
+        mapping = Mapping(0, frozenset({(1, 1), (3, 2)}), score=1.3)
+        assert len(mapping) == 2
+        assert (1, 1) in mapping
+        assert mapping.source_ids() == {1, 3}
+        assert mapping.target_ids() == {1, 2}
+        assert mapping.source_for_target(1) == 1
+        assert mapping.source_for_target(99) is None
+
+    def test_covers_targets(self):
+        mapping = Mapping(0, frozenset({(1, 1), (3, 2)}), score=1.0)
+        assert mapping.covers_targets({1, 2})
+        assert not mapping.covers_targets({1, 2, 5})
+        assert mapping.covers_targets([])
+
+    def test_one_to_one_enforced_on_targets(self):
+        with pytest.raises(MappingError):
+            Mapping(0, frozenset({(1, 1), (2, 1)}), score=1.0)
+
+    def test_one_to_one_enforced_on_sources(self):
+        with pytest.raises(MappingError):
+            Mapping(0, frozenset({(1, 1), (1, 2)}), score=1.0)
+
+    def test_negative_score_rejected(self):
+        with pytest.raises(MappingError):
+            Mapping(0, frozenset({(1, 1)}), score=-1.0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(MappingError):
+            Mapping(0, frozenset({(1, 1)}), score=1.0, probability=1.5)
+
+    def test_overlap_ratio(self):
+        a = Mapping(0, frozenset({(1, 1), (3, 2)}), score=1.0)
+        b = Mapping(1, frozenset({(1, 1), (2, 2)}), score=1.0)
+        assert a.overlap_ratio(b) == pytest.approx(1 / 3)
+        assert a.overlap_ratio(a) == 1.0
+
+    def test_overlap_ratio_empty(self):
+        empty = Mapping(0, frozenset(), score=0.0)
+        assert empty.overlap_ratio(empty) == 1.0
+
+    def test_with_probability(self):
+        mapping = Mapping(3, frozenset({(1, 1)}), score=2.0)
+        updated = mapping.with_probability(0.25)
+        assert updated.probability == 0.25
+        assert updated.mapping_id == 3
+        assert updated.correspondences == mapping.correspondences
+
+    def test_empty_mapping_allowed(self):
+        mapping = Mapping(0, frozenset(), score=0.0)
+        assert len(mapping) == 0
+
+
+class TestMappingSet:
+    def _mappings(self):
+        return [
+            Mapping(0, frozenset({(0, 0), (1, 1), (3, 2)}), score=2.0),
+            Mapping(1, frozenset({(0, 0), (2, 1), (1, 2)}), score=1.5),
+            Mapping(2, frozenset({(0, 0), (1, 1)}), score=0.5),
+        ]
+
+    def test_normalization(self, matching):
+        mapping_set = MappingSet(matching, self._mappings())
+        assert sum(m.probability for m in mapping_set) == pytest.approx(1.0)
+        assert mapping_set[0].probability == pytest.approx(0.5)
+
+    def test_probabilities_proportional_to_scores(self, matching):
+        mapping_set = MappingSet(matching, self._mappings())
+        assert mapping_set[0].probability > mapping_set[1].probability > mapping_set[2].probability
+
+    def test_empty_set_rejected(self, matching):
+        with pytest.raises(MappingError):
+            MappingSet(matching, [])
+
+    def test_ids_must_be_positions(self, matching):
+        bad = [Mapping(5, frozenset({(0, 0)}), score=1.0)]
+        with pytest.raises(MappingError):
+            MappingSet(matching, bad)
+
+    def test_unknown_correspondence_rejected(self, matching):
+        bad = [Mapping(0, frozenset({(3, 0)}), score=1.0)]
+        with pytest.raises(MappingError):
+            MappingSet(matching, bad)
+
+    def test_unnormalized_probabilities_validated(self, matching):
+        mappings = [m.with_probability(0.2) for m in self._mappings()]
+        with pytest.raises(MappingError):
+            MappingSet(matching, mappings, normalize=False)
+
+    def test_all_zero_scores_fall_back_to_uniform(self, matching):
+        mappings = [
+            Mapping(0, frozenset(), score=0.0),
+            Mapping(1, frozenset(), score=0.0),
+        ]
+        mapping_set = MappingSet(matching, mappings)
+        assert [m.probability for m in mapping_set] == [0.5, 0.5]
+
+    def test_mappings_with_pair(self, matching):
+        mapping_set = MappingSet(matching, self._mappings())
+        assert mapping_set.mappings_with_pair((1, 1)) == {0, 2}
+        assert mapping_set.mappings_with_pair((9, 9)) == set()
+
+    def test_relevant_mappings(self, matching):
+        mapping_set = MappingSet(matching, self._mappings())
+        relevant = mapping_set.relevant_mappings([1, 2])
+        assert {m.mapping_id for m in relevant} == {0, 1}
+
+    def test_top_k_by_probability(self, matching):
+        mapping_set = MappingSet(matching, self._mappings())
+        top = mapping_set.top_k_by_probability(2)
+        assert [m.mapping_id for m in top] == [0, 1]
+        with pytest.raises(MappingError):
+            mapping_set.top_k_by_probability(0)
+
+    def test_o_ratio_range_and_value(self, matching):
+        mapping_set = MappingSet(matching, self._mappings())
+        value = mapping_set.o_ratio()
+        assert 0.0 < value < 1.0
+
+    def test_o_ratio_single_mapping(self, matching):
+        mapping_set = MappingSet(matching, [Mapping(0, frozenset({(0, 0)}), score=1.0)])
+        assert mapping_set.o_ratio() == 1.0
+
+    def test_naive_storage_grows_with_correspondences(self, matching):
+        mapping_set = MappingSet(matching, self._mappings())
+        small = MappingSet(matching, [Mapping(0, frozenset({(0, 0)}), score=1.0)])
+        assert mapping_set.naive_storage_bytes() > small.naive_storage_bytes()
+
+    def test_describe(self, matching):
+        info = MappingSet(matching, self._mappings()).describe()
+        assert info["num_mappings"] == 3
+        assert info["max_size"] == 3
+        assert 0.0 <= info["o_ratio"] <= 1.0
+
+    def test_getitem_and_iteration(self, matching):
+        mapping_set = MappingSet(matching, self._mappings())
+        assert mapping_set[1].mapping_id == 1
+        assert len(list(mapping_set)) == 3

@@ -1,0 +1,180 @@
+"""Tests for correspondences, schema matchings and the matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MatchingError
+from repro.matching.correspondence import Correspondence
+from repro.matching.matcher import MatcherConfig, SchemaMatcher
+from repro.matching.matching import SchemaMatching
+from repro.schema.corpus import load_corpus_schema
+from repro.schema.parser import parse_schema
+
+
+class TestCorrespondence:
+    def test_key(self):
+        assert Correspondence(3, 5, 0.8).key == (3, 5)
+
+    def test_score_bounds_enforced(self):
+        with pytest.raises(MatchingError):
+            Correspondence(0, 0, 1.5)
+        with pytest.raises(MatchingError):
+            Correspondence(0, 0, -0.1)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(MatchingError):
+            Correspondence(-1, 0, 0.5)
+
+    def test_frozen(self):
+        correspondence = Correspondence(1, 2, 0.5)
+        with pytest.raises(AttributeError):
+            correspondence.score = 0.9  # type: ignore[misc]
+
+    def test_repr(self):
+        assert "1~2" in repr(Correspondence(1, 2, 0.5))
+
+
+@pytest.fixture()
+def tiny_schemas():
+    source = parse_schema("A\n  B\n  C\n", name="src")
+    target = parse_schema("X\n  Y\n  Z\n", name="tgt")
+    return source, target
+
+
+class TestSchemaMatching:
+    def test_add_and_lookup(self, tiny_schemas):
+        source, target = tiny_schemas
+        matching = SchemaMatching(source, target)
+        matching.add_pair(0, 0, 0.9)
+        matching.add_pair(1, 1, 0.7)
+        assert matching.capacity == 2
+        assert matching.get(0, 0).score == 0.9
+        assert matching.get(2, 2) is None
+        assert matching.score(1, 1) == 0.7
+        assert matching.score(2, 2) == 0.0
+
+    def test_indexes(self, tiny_schemas):
+        source, target = tiny_schemas
+        matching = SchemaMatching(source, target)
+        matching.add_pair(1, 1, 0.7)
+        matching.add_pair(1, 2, 0.6)
+        assert len(matching.for_source(1)) == 2
+        assert len(matching.for_target(1)) == 1
+        assert matching.matched_source_ids() == {1}
+        assert matching.matched_target_ids() == {1, 2}
+
+    def test_duplicate_rejected(self, tiny_schemas):
+        source, target = tiny_schemas
+        matching = SchemaMatching(source, target)
+        matching.add_pair(0, 0, 0.9)
+        with pytest.raises(MatchingError):
+            matching.add_pair(0, 0, 0.8)
+
+    def test_out_of_range_ids_rejected(self, tiny_schemas):
+        source, target = tiny_schemas
+        matching = SchemaMatching(source, target)
+        with pytest.raises(MatchingError):
+            matching.add_pair(99, 0, 0.5)
+        with pytest.raises(MatchingError):
+            matching.add_pair(0, 99, 0.5)
+
+    def test_contains_and_keys(self, tiny_schemas):
+        source, target = tiny_schemas
+        matching = SchemaMatching(source, target)
+        matching.add_pair(0, 1, 0.5)
+        assert (0, 1) in matching
+        assert matching.keys() == {(0, 1)}
+
+    def test_describe(self, tiny_schemas):
+        source, target = tiny_schemas
+        matching = SchemaMatching(source, target, name="demo")
+        matching.add_pair(0, 0, 0.4)
+        matching.add_pair(1, 1, 0.6)
+        info = matching.describe()
+        assert info["capacity"] == 2
+        assert info["mean_score"] == pytest.approx(0.5)
+
+    def test_constructor_accepts_iterable(self, tiny_schemas):
+        source, target = tiny_schemas
+        matching = SchemaMatching(source, target, [Correspondence(0, 0, 0.5)])
+        assert matching.capacity == 1
+
+
+class TestMatcherConfig:
+    def test_defaults_valid(self):
+        MatcherConfig()
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(MatchingError):
+            MatcherConfig(strategy="hybrid")
+
+    def test_threshold_bounds(self):
+        with pytest.raises(MatchingError):
+            MatcherConfig(threshold=0.0)
+        with pytest.raises(MatchingError):
+            MatcherConfig(threshold=1.0)
+
+    def test_caps_positive(self):
+        with pytest.raises(MatchingError):
+            MatcherConfig(max_per_target=0)
+
+    def test_noise_non_negative(self):
+        with pytest.raises(MatchingError):
+            MatcherConfig(noise=-0.1)
+
+
+class TestSchemaMatcher:
+    def test_deterministic(self):
+        source = load_corpus_schema("excel")
+        target = load_corpus_schema("noris")
+        first = SchemaMatcher().match(source, target)
+        second = SchemaMatcher().match(source, target)
+        assert first.keys() == second.keys()
+        assert [c.score for c in first] == [c.score for c in second]
+
+    def test_scores_in_range(self):
+        source = load_corpus_schema("excel")
+        target = load_corpus_schema("paragon")
+        matching = SchemaMatcher().match(source, target)
+        assert all(0.0 <= c.score <= 1.0 for c in matching)
+
+    def test_caps_respected(self):
+        source = load_corpus_schema("excel")
+        target = load_corpus_schema("noris")
+        config = MatcherConfig(max_per_target=2, max_per_source=1)
+        matching = SchemaMatcher(config).match(source, target)
+        per_target: dict[int, int] = {}
+        per_source: dict[int, int] = {}
+        for correspondence in matching:
+            per_target[correspondence.target_id] = per_target.get(correspondence.target_id, 0) + 1
+            per_source[correspondence.source_id] = per_source.get(correspondence.source_id, 0) + 1
+        assert all(count <= 2 for count in per_target.values())
+        assert all(count <= 1 for count in per_source.values())
+
+    def test_fragment_sparser_than_context(self):
+        source = load_corpus_schema("excel")
+        target = load_corpus_schema("paragon")
+        context = SchemaMatcher(MatcherConfig(strategy="context")).match(source, target)
+        fragment = SchemaMatcher(MatcherConfig(strategy="fragment")).match(source, target)
+        assert fragment.capacity < context.capacity
+
+    def test_sparse_relative_to_cross_product(self):
+        source = load_corpus_schema("noris")
+        target = load_corpus_schema("paragon")
+        matching = SchemaMatcher().match(source, target)
+        assert matching.capacity < 0.1 * len(source) * len(target)
+
+    def test_identical_labels_matched(self):
+        source = load_corpus_schema("xcbl")
+        target = load_corpus_schema("apertum")
+        matching = SchemaMatcher().match(source, target)
+        buyer_part = target.elements_by_label("BuyerPartID")[0]
+        assert matching.for_target(buyer_part.element_id)
+
+    def test_higher_threshold_fewer_correspondences(self):
+        source = load_corpus_schema("excel")
+        target = load_corpus_schema("noris")
+        low = SchemaMatcher(MatcherConfig(threshold=0.52)).match(source, target)
+        high = SchemaMatcher(MatcherConfig(threshold=0.75)).match(source, target)
+        assert high.capacity < low.capacity

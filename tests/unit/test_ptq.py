@@ -1,0 +1,194 @@
+"""Tests for PTQ evaluation (basic, block-tree and top-k) on the paper's example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocktree import BlockTreeConfig, build_block_tree
+from repro.exceptions import QueryError
+from repro.query.parser import parse_twig
+from repro.query.ptq import evaluate_ptq, evaluate_ptq_basic, evaluate_ptq_blocktree, filter_mappings
+from repro.query.resolve import resolve_query
+from repro.query.topk import evaluate_topk_ptq
+
+
+@pytest.fixture()
+def icn_query():
+    """The introduction's query Q = //IP//ICN, in the Figure 1(b) vocabulary."""
+    return parse_twig("//INVOICE_PARTY//CONTACT_NAME")
+
+
+class TestFilterMappings:
+    def test_keeps_only_covering_mappings(self, figure_mappings, target_schema, icn_query):
+        embeddings = resolve_query(icn_query, target_schema)
+        relevant = filter_mappings(figure_mappings, embeddings)
+        # Every Figure 3 mapping maps both IP and ICN, so none is filtered.
+        assert len(relevant) == len(figure_mappings)
+
+    def test_filters_non_covering(self, figure_mappings, target_schema):
+        query = parse_twig("ORDER/SUPPLIER_PARTY/CONTACT_NAME")
+        embeddings = resolve_query(query, target_schema)
+        relevant = filter_mappings(figure_mappings, embeddings)
+        # The query needs correspondences for ORDER, SUPPLIER_PARTY and SCN.
+        # Only m3 (mapping_id 2) maps SUPPLIER_PARTY (via BP~SP), so every
+        # other mapping is irrelevant and gets pruned.
+        assert {m.mapping_id for m in relevant} == {2}
+
+    def test_no_embeddings_means_no_mappings(self, figure_mappings):
+        assert filter_mappings(figure_mappings, []) == []
+
+
+class TestBasicPTQ:
+    def test_answers_cover_relevant_mappings(self, icn_query, figure_mappings, figure_document):
+        result = evaluate_ptq_basic(icn_query, figure_mappings, figure_document)
+        assert len(result) == 5
+        assert result.total_probability() == pytest.approx(1.0)
+
+    def test_introduction_value_distribution(self, icn_query, figure_mappings, figure_document):
+        # m1, m2 -> Cathy (BCN); m4 -> Bob (RCN); m5 -> Alice (OCN); m3 maps
+        # IP to the SellerParty subtree which holds no contact name instance,
+        # so it contributes an empty answer.
+        result = evaluate_ptq_basic(icn_query, figure_mappings, figure_document)
+        distribution = result.value_distribution()
+        p = {m.mapping_id: m.probability for m in figure_mappings}
+        assert distribution["Cathy"] == pytest.approx(p[0] + p[1])
+        assert distribution["Bob"] == pytest.approx(p[3])
+        assert distribution["Alice"] == pytest.approx(p[4])
+        assert "Carol" not in distribution
+
+    def test_empty_answer_for_structurally_impossible_mapping(
+        self, icn_query, figure_mappings, figure_document
+    ):
+        result = evaluate_ptq_basic(icn_query, figure_mappings, figure_document)
+        answer = result.answer_for(2)  # m3: SP ~ IP
+        assert answer is not None
+        assert answer.is_empty
+
+    def test_value_predicate(self, figure_mappings, figure_document):
+        query = parse_twig("//INVOICE_PARTY//CONTACT_NAME[. = 'Bob']")
+        result = evaluate_ptq_basic(query, figure_mappings, figure_document)
+        non_empty = result.non_empty()
+        assert {a.mapping_id for a in non_empty} == {3}
+
+    def test_irrelevant_query_gives_no_answers(self, figure_mappings, figure_document):
+        query = parse_twig("ORDER/NOT_THERE")
+        result = evaluate_ptq_basic(query, figure_mappings, figure_document)
+        assert len(result) == 0
+
+    def test_restricting_mappings_subset(self, icn_query, figure_mappings, figure_document):
+        subset = [figure_mappings[0], figure_mappings[4]]
+        result = evaluate_ptq_basic(icn_query, figure_mappings, figure_document, mappings=subset)
+        assert {a.mapping_id for a in result} == {0, 4}
+
+
+class TestBlockTreePTQ:
+    def test_equals_basic_on_example(self, icn_query, figure_mappings, figure_document, figure_block_tree):
+        basic = evaluate_ptq_basic(icn_query, figure_mappings, figure_document)
+        block = evaluate_ptq_blocktree(icn_query, figure_mappings, figure_document, figure_block_tree)
+        assert {(a.mapping_id, a.matches) for a in basic} == {
+            (a.mapping_id, a.matches) for a in block
+        }
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "ORDER//CONTACT_NAME",
+            "ORDER/INVOICE_PARTY/CONTACT_NAME",
+            "ORDER[./SUPPLIER_PARTY]/INVOICE_PARTY/CONTACT_NAME",
+            "//CONTACT_NAME",
+            "ORDER/SUPPLIER_PARTY/CONTACT_NAME",
+        ],
+    )
+    def test_equivalence_on_various_shapes(
+        self, text, figure_mappings, figure_document, figure_block_tree
+    ):
+        query = parse_twig(text)
+        basic = evaluate_ptq_basic(query, figure_mappings, figure_document)
+        block = evaluate_ptq_blocktree(query, figure_mappings, figure_document, figure_block_tree)
+        assert {(a.mapping_id, a.matches) for a in basic} == {
+            (a.mapping_id, a.matches) for a in block
+        }
+
+    def test_equivalence_with_sparse_block_tree(self, icn_query, figure_mappings, figure_document):
+        # Correctness must not depend on how many c-blocks were generated
+        # (Section IV-B): an almost-empty block tree still gives the same
+        # answers, only more slowly.
+        sparse_tree = build_block_tree(figure_mappings, BlockTreeConfig(tau=0.9, max_blocks=0))
+        basic = evaluate_ptq_basic(icn_query, figure_mappings, figure_document)
+        block = evaluate_ptq_blocktree(icn_query, figure_mappings, figure_document, sparse_tree)
+        assert {(a.mapping_id, a.matches) for a in basic} == {
+            (a.mapping_id, a.matches) for a in block
+        }
+
+    def test_mismatched_block_tree_rejected(self, icn_query, figure_mappings, figure_document, d7_block_tree):
+        with pytest.raises(QueryError):
+            evaluate_ptq_blocktree(icn_query, figure_mappings, figure_document, d7_block_tree)
+
+    def test_dispatcher(self, icn_query, figure_mappings, figure_document, figure_block_tree):
+        basic = evaluate_ptq(icn_query, figure_mappings, figure_document)
+        block = evaluate_ptq(icn_query, figure_mappings, figure_document, figure_block_tree)
+        assert {(a.mapping_id, a.matches) for a in basic} == {
+            (a.mapping_id, a.matches) for a in block
+        }
+
+
+class TestTopKPTQ:
+    def test_returns_k_most_probable(self, icn_query, figure_mappings, figure_document):
+        result = evaluate_topk_ptq(icn_query, figure_mappings, figure_document, k=2)
+        assert len(result) == 2
+        expected = sorted(figure_mappings, key=lambda m: -m.probability)[:2]
+        assert {a.mapping_id for a in result} == {m.mapping_id for m in expected}
+
+    def test_k_larger_than_relevant_returns_all(self, icn_query, figure_mappings, figure_document):
+        result = evaluate_topk_ptq(icn_query, figure_mappings, figure_document, k=50)
+        assert len(result) == 5
+
+    def test_topk_answers_subset_of_full_ptq(self, icn_query, figure_mappings, figure_document, figure_block_tree):
+        full = evaluate_ptq_basic(icn_query, figure_mappings, figure_document)
+        topk = evaluate_topk_ptq(
+            icn_query, figure_mappings, figure_document, k=3, block_tree=figure_block_tree
+        )
+        full_map = {a.mapping_id: a.matches for a in full}
+        for answer in topk:
+            assert full_map[answer.mapping_id] == answer.matches
+
+    def test_invalid_k(self, icn_query, figure_mappings, figure_document):
+        with pytest.raises(QueryError):
+            evaluate_topk_ptq(icn_query, figure_mappings, figure_document, k=0)
+
+    def test_blocktree_and_basic_topk_agree(self, icn_query, figure_mappings, figure_document, figure_block_tree):
+        basic = evaluate_topk_ptq(icn_query, figure_mappings, figure_document, k=3)
+        block = evaluate_topk_ptq(
+            icn_query, figure_mappings, figure_document, k=3, block_tree=figure_block_tree
+        )
+        assert {(a.mapping_id, a.matches) for a in basic} == {
+            (a.mapping_id, a.matches) for a in block
+        }
+
+
+class TestPTQResult:
+    def test_answers_sorted_by_probability(self, icn_query, figure_mappings, figure_document):
+        result = evaluate_ptq_basic(icn_query, figure_mappings, figure_document)
+        probabilities = [answer.probability for answer in result]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_pattern_distribution_sums_to_total(self, icn_query, figure_mappings, figure_document):
+        result = evaluate_ptq_basic(icn_query, figure_mappings, figure_document)
+        distribution = result.pattern_distribution()
+        assert sum(distribution.values()) == pytest.approx(result.total_probability())
+
+    def test_answer_for_unknown_mapping(self, icn_query, figure_mappings, figure_document):
+        result = evaluate_ptq_basic(icn_query, figure_mappings, figure_document)
+        assert result.answer_for(99) is None
+
+    def test_value_distribution_requires_document(self, icn_query, figure_mappings, figure_document):
+        from repro.query.results import PTQResult
+
+        result = evaluate_ptq_basic(icn_query, figure_mappings, figure_document)
+        stripped = PTQResult(result.query, list(result.answers), document=None)
+        with pytest.raises(ValueError):
+            stripped.value_distribution()
+
+    def test_non_empty_filter(self, icn_query, figure_mappings, figure_document):
+        result = evaluate_ptq_basic(icn_query, figure_mappings, figure_document)
+        assert {a.mapping_id for a in result.non_empty()} == {0, 1, 3, 4}

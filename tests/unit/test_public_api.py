@@ -1,0 +1,59 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_key_entry_points_exposed(self):
+        for name in (
+            "Schema",
+            "SchemaMatcher",
+            "generate_top_h_mappings",
+            "build_block_tree",
+            "parse_twig",
+            "evaluate_ptq_basic",
+            "evaluate_ptq_blocktree",
+            "evaluate_topk_ptq",
+            "load_dataset",
+            "standard_queries",
+        ):
+            assert name in repro.__all__
+
+    def test_docstring_mentions_paper_concepts(self):
+        assert "block tree" in (repro.__doc__ or "")
+        assert "probabilistic twig" in (repro.__doc__ or "").lower()
+
+    def test_module_docstrings_exist(self):
+        import importlib
+        import pkgutil
+
+        package = repro
+        missing = []
+        for module_info in pkgutil.walk_packages(package.__path__, prefix="repro."):
+            module = importlib.import_module(module_info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(module_info.name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_public_classes_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type):
+                assert (obj.__doc__ or "").strip(), f"{name} lacks a docstring"
+
+    def test_public_functions_documented(self):
+        import inspect
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isfunction(obj):
+                assert (obj.__doc__ or "").strip(), f"{name} lacks a docstring"

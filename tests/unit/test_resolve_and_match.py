@@ -1,0 +1,198 @@
+"""Tests for query resolution against the target schema and document matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.document.document import XMLDocument
+from repro.exceptions import QueryError
+from repro.query.parser import parse_twig
+from repro.query.resolve import resolve_query
+from repro.query.twigmatch import match_twig, stack_join
+from repro.schema.corpus import load_corpus_schema
+from repro.schema.parser import parse_schema
+
+
+class TestResolveQuery:
+    def test_unique_embedding(self, target_schema):
+        query = parse_twig("ORDER/INVOICE_PARTY/CONTACT_NAME")
+        embeddings = resolve_query(query, target_schema)
+        assert len(embeddings) == 1
+        embedding = embeddings[0]
+        assert target_schema.get(embedding[0]).path == "ORDER"
+        assert target_schema.get(embedding[2]).path == "ORDER.INVOICE_PARTY.CONTACT_NAME"
+
+    def test_descendant_axis_multiple_embeddings(self, target_schema):
+        query = parse_twig("ORDER//CONTACT_NAME")
+        embeddings = resolve_query(query, target_schema)
+        # CONTACT_NAME exists under both SUPPLIER_PARTY and INVOICE_PARTY.
+        assert len(embeddings) == 2
+
+    def test_leading_descendant_root(self, target_schema):
+        query = parse_twig("//INVOICE_PARTY//CONTACT_NAME")
+        embeddings = resolve_query(query, target_schema)
+        assert len(embeddings) == 1
+
+    def test_child_axis_rejects_non_children(self, target_schema):
+        query = parse_twig("ORDER/CONTACT_NAME")
+        assert resolve_query(query, target_schema) == []
+
+    def test_unknown_label_yields_no_embedding(self, target_schema):
+        query = parse_twig("ORDER/NOT_A_LABEL")
+        assert resolve_query(query, target_schema) == []
+
+    def test_wrong_root_label(self, target_schema):
+        query = parse_twig("PURCHASE/INVOICE_PARTY")
+        assert resolve_query(query, target_schema) == []
+
+    def test_predicate_branches_resolved(self):
+        apertum = load_corpus_schema("apertum")
+        query = parse_twig("Order/DeliverTo/Address[./City][./Country]/Street")
+        embeddings = resolve_query(query, apertum)
+        assert len(embeddings) == 1
+        paths = {apertum.get(eid).path for eid in embeddings[0].values()}
+        assert "Order.DeliverTo.Address.City" in paths
+        assert "Order.DeliverTo.Address.Street" in paths
+
+    def test_every_query_node_assigned(self):
+        apertum = load_corpus_schema("apertum")
+        query = parse_twig("Order[./Buyer/Contact]/POLine[.//BuyerPartID]/Quantity")
+        embeddings = resolve_query(query, apertum)
+        assert embeddings
+        for embedding in embeddings:
+            assert set(embedding) == {node.node_id for node in query.nodes}
+
+
+@pytest.fixture()
+def match_setup():
+    schema = parse_schema(
+        """
+Order
+  Party
+    Contact
+      Name
+  Line *
+    Quantity
+    Price
+""",
+        name="match-src",
+    )
+    document = XMLDocument(schema, "doc")
+    ids = {path: schema.element_by_path(path).element_id for path in (
+        "Order", "Order.Party", "Order.Party.Contact", "Order.Party.Contact.Name",
+        "Order.Line", "Order.Line.Quantity", "Order.Line.Price",
+    )}
+    order = document.add_root(ids["Order"])
+    party = document.add_child(order, ids["Order.Party"])
+    contact = document.add_child(party, ids["Order.Party.Contact"])
+    document.add_child(contact, ids["Order.Party.Contact.Name"], value="Cathy")
+    for quantity, price in (("3", "10.0"), ("5", "2.5")):
+        line = document.add_child(order, ids["Order.Line"])
+        document.add_child(line, ids["Order.Line.Quantity"], value=quantity)
+        document.add_child(line, ids["Order.Line.Price"], value=price)
+    document.finalize()
+    return schema, document, ids
+
+
+class TestMatchTwig:
+    def test_single_node(self, match_setup):
+        schema, document, ids = match_setup
+        query = parse_twig("Quantity")
+        matches = match_twig(document, query.root, {0: ids["Order.Line.Quantity"]})
+        assert len(matches) == 2
+
+    def test_two_level_containment(self, match_setup):
+        schema, document, ids = match_setup
+        query = parse_twig("Line/Quantity")
+        element_map = {0: ids["Order.Line"], 1: ids["Order.Line.Quantity"]}
+        matches = match_twig(document, query.root, element_map)
+        assert len(matches) == 2
+        for match in matches:
+            assert match[0].is_ancestor_of(match[1])
+
+    def test_branching_query_no_cross_products_across_lines(self, match_setup):
+        schema, document, ids = match_setup
+        query = parse_twig("Line[./Quantity]/Price")
+        element_map = {
+            0: ids["Order.Line"],
+            1: ids["Order.Line.Quantity"],
+            2: ids["Order.Line.Price"],
+        }
+        matches = match_twig(document, query.root, element_map)
+        # Quantity and Price must come from the same Line instance.
+        assert len(matches) == 2
+        for match in matches:
+            assert match[0].is_ancestor_of(match[1])
+            assert match[0].is_ancestor_of(match[2])
+
+    def test_value_predicate_filters(self, match_setup):
+        schema, document, ids = match_setup
+        query = parse_twig("Line/Quantity[. = '3']")
+        element_map = {0: ids["Order.Line"], 1: ids["Order.Line.Quantity"]}
+        matches = match_twig(document, query.root, element_map)
+        assert len(matches) == 1
+        assert matches[0][1].value == "3"
+
+    def test_no_candidates_returns_empty(self, match_setup):
+        schema, document, ids = match_setup
+        query = parse_twig("Line/Quantity[. = '99']")
+        element_map = {0: ids["Order.Line"], 1: ids["Order.Line.Quantity"]}
+        assert match_twig(document, query.root, element_map) == []
+
+    def test_containment_enforced(self, match_setup):
+        schema, document, ids = match_setup
+        # Party mapped to Line: Name is not inside any Line, so no match.
+        query = parse_twig("Party/Name")
+        element_map = {0: ids["Order.Line"], 1: ids["Order.Party.Contact.Name"]}
+        assert match_twig(document, query.root, element_map) == []
+
+    def test_missing_element_map_entry(self, match_setup):
+        schema, document, ids = match_setup
+        query = parse_twig("Line/Quantity")
+        with pytest.raises(QueryError):
+            match_twig(document, query.root, {0: ids["Order.Line"]})
+
+    def test_unfinalized_document_rejected(self, match_setup):
+        schema, _, ids = match_setup
+        fresh = XMLDocument(schema)
+        fresh.add_root(ids["Order"])
+        query = parse_twig("Order")
+        with pytest.raises(QueryError):
+            match_twig(fresh, query.root, {0: ids["Order"]})
+
+
+class TestStackJoin:
+    def test_joins_nested_pairs(self, match_setup):
+        schema, document, ids = match_setup
+        lines = [{0: node} for node in document.nodes_of_element(ids["Order.Line"])]
+        quantities = [{1: node} for node in document.nodes_of_element(ids["Order.Line.Quantity"])]
+        joined = stack_join(lines, quantities, 0, 1)
+        assert len(joined) == 2
+        for match in joined:
+            assert match[0].is_ancestor_of(match[1])
+
+    def test_empty_inputs(self, match_setup):
+        schema, document, ids = match_setup
+        lines = [{0: node} for node in document.nodes_of_element(ids["Order.Line"])]
+        assert stack_join([], lines, 0, 0) == []
+        assert stack_join(lines, [], 0, 0) == []
+
+    def test_non_nested_pairs_excluded(self, match_setup):
+        schema, document, ids = match_setup
+        parties = [{0: node} for node in document.nodes_of_element(ids["Order.Party"])]
+        quantities = [{1: node} for node in document.nodes_of_element(ids["Order.Line.Quantity"])]
+        assert stack_join(parties, quantities, 0, 1) == []
+
+    def test_root_joins_with_everything(self, match_setup):
+        schema, document, ids = match_setup
+        roots = [{0: document.root}]
+        quantities = [{1: node} for node in document.nodes_of_element(ids["Order.Line.Quantity"])]
+        joined = stack_join(roots, quantities, 0, 1)
+        assert len(joined) == 2
+
+    def test_merged_dict_contains_both_sides(self, match_setup):
+        schema, document, ids = match_setup
+        roots = [{0: document.root}]
+        names = [{3: node} for node in document.nodes_of_element(ids["Order.Party.Contact.Name"])]
+        joined = stack_join(roots, names, 0, 3)
+        assert set(joined[0]) == {0, 3}

@@ -1,0 +1,194 @@
+"""Tests for :mod:`repro.schema.element` and :mod:`repro.schema.schema`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.schema.schema import Schema
+
+
+@pytest.fixture()
+def small_schema():
+    schema = Schema("small")
+    order = schema.add_root("Order")
+    buyer = schema.add_child(order, "Buyer")
+    contact = schema.add_child(buyer, "Contact")
+    schema.add_child(contact, "Name")
+    schema.add_child(contact, "EMail")
+    line = schema.add_child(order, "Line", repeatable=True)
+    schema.add_child(line, "Quantity")
+    schema.add_child(line, "Price")
+    return schema
+
+
+class TestSchemaConstruction:
+    def test_root_properties(self, small_schema):
+        root = small_schema.root
+        assert root.is_root
+        assert root.depth == 0
+        assert root.path == "Order"
+
+    def test_child_path_and_depth(self, small_schema):
+        name = small_schema.element_by_path("Order.Buyer.Contact.Name")
+        assert name.depth == 3
+        assert name.is_leaf
+        assert name.parent.label == "Contact"
+
+    def test_element_ids_are_creation_order(self, small_schema):
+        ids = [element.element_id for element in small_schema]
+        assert ids == list(range(len(small_schema)))
+
+    def test_len_counts_all_elements(self, small_schema):
+        assert len(small_schema) == 8
+
+    def test_duplicate_root_rejected(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.add_root("Another")
+
+    def test_duplicate_path_rejected(self, small_schema):
+        contact = small_schema.element_by_path("Order.Buyer.Contact")
+        with pytest.raises(SchemaError):
+            small_schema.add_child(contact, "Name")
+
+    def test_foreign_parent_rejected(self, small_schema):
+        other = Schema("other")
+        foreign_root = other.add_root("Order")
+        with pytest.raises(SchemaError):
+            small_schema.add_child(foreign_root, "X")
+
+    def test_repeatable_flag_stored(self, small_schema):
+        assert small_schema.element_by_path("Order.Line").repeatable
+        assert not small_schema.element_by_path("Order.Buyer").repeatable
+
+    def test_freeze_prevents_modification(self, small_schema):
+        small_schema.freeze()
+        assert small_schema.frozen
+        with pytest.raises(SchemaError):
+            small_schema.add_child(small_schema.root, "New")
+
+    def test_freeze_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("empty").freeze()
+
+
+class TestSchemaLookup:
+    def test_get_by_id(self, small_schema):
+        element = small_schema.element_by_path("Order.Line.Quantity")
+        assert small_schema.get(element.element_id) is element
+
+    def test_get_unknown_id(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.get(999)
+
+    def test_element_by_unknown_path(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.element_by_path("Order.Nope")
+
+    def test_has_path(self, small_schema):
+        assert small_schema.has_path("Order.Buyer")
+        assert not small_schema.has_path("Order.Seller")
+
+    def test_elements_by_label(self, small_schema):
+        assert len(small_schema.elements_by_label("Quantity")) == 1
+        assert small_schema.elements_by_label("Missing") == []
+
+    def test_labels(self, small_schema):
+        assert "Order" in small_schema.labels()
+        assert "EMail" in small_schema.labels()
+
+    def test_contains(self, small_schema):
+        element = small_schema.element_by_path("Order.Buyer")
+        assert element in small_schema
+        assert "Order.Buyer" not in small_schema  # strings are never members
+
+    def test_contains_foreign_element(self, small_schema):
+        other = Schema("other")
+        foreign = other.add_root("Order")
+        assert foreign not in small_schema
+
+
+class TestTraversal:
+    def test_preorder_starts_at_root(self, small_schema):
+        order = [element.label for element in small_schema.iter_preorder()]
+        assert order[0] == "Order"
+        assert len(order) == len(small_schema)
+
+    def test_postorder_ends_at_root(self, small_schema):
+        order = [element.label for element in small_schema.iter_postorder()]
+        assert order[-1] == "Order"
+        assert sorted(order) == sorted(e.label for e in small_schema)
+
+    def test_postorder_children_before_parent(self, small_schema):
+        labels = [element.label for element in small_schema.iter_postorder()]
+        assert labels.index("Name") < labels.index("Contact")
+        assert labels.index("Contact") < labels.index("Buyer")
+
+    def test_leaves(self, small_schema):
+        assert {leaf.label for leaf in small_schema.leaves()} == {
+            "Name", "EMail", "Quantity", "Price",
+        }
+
+    def test_depth_and_fanout(self, small_schema):
+        assert small_schema.depth() == 3
+        assert small_schema.max_fanout() == 2
+
+    def test_filter_elements(self, small_schema):
+        repeatable = small_schema.filter_elements(lambda e: e.repeatable)
+        assert [e.label for e in repeatable] == ["Line"]
+
+    def test_subtree_paths(self, small_schema):
+        line = small_schema.element_by_path("Order.Line")
+        assert set(small_schema.subtree_paths(line)) == {
+            "Order.Line", "Order.Line.Quantity", "Order.Line.Price",
+        }
+
+
+class TestElementRelations:
+    def test_iter_subtree_counts(self, small_schema):
+        buyer = small_schema.element_by_path("Order.Buyer")
+        assert buyer.subtree_size() == 4
+
+    def test_iter_descendants_excludes_self(self, small_schema):
+        buyer = small_schema.element_by_path("Order.Buyer")
+        labels = [element.label for element in buyer.iter_descendants()]
+        assert "Buyer" not in labels
+        assert "Name" in labels
+
+    def test_iter_ancestors(self, small_schema):
+        name = small_schema.element_by_path("Order.Buyer.Contact.Name")
+        assert [a.label for a in name.iter_ancestors()] == ["Contact", "Buyer", "Order"]
+
+    def test_ancestor_descendant_checks(self, small_schema):
+        order = small_schema.root
+        name = small_schema.element_by_path("Order.Buyer.Contact.Name")
+        line = small_schema.element_by_path("Order.Line")
+        assert order.is_ancestor_of(name)
+        assert name.is_descendant_of(order)
+        assert not line.is_ancestor_of(name)
+        assert not name.is_ancestor_of(name)
+
+    def test_fanout(self, small_schema):
+        assert small_schema.root.fanout == 2
+        assert small_schema.element_by_path("Order.Line.Price").fanout == 0
+
+    def test_equality_and_repr(self, small_schema):
+        buyer = small_schema.element_by_path("Order.Buyer")
+        assert buyer == small_schema.get(buyer.element_id)
+        assert "Order.Buyer" in repr(buyer)
+
+
+class TestValidation:
+    def test_validate_passes_on_well_formed(self, small_schema):
+        small_schema.validate()
+
+    def test_validate_detects_missing_root(self):
+        with pytest.raises(SchemaError):
+            Schema("empty").validate()
+
+    def test_validate_detects_detached_child(self, small_schema):
+        buyer = small_schema.element_by_path("Order.Buyer")
+        small_schema.root.children.remove(buyer)
+        with pytest.raises(SchemaError):
+            small_schema.validate()
+        small_schema.root.children.insert(0, buyer)

@@ -1,0 +1,137 @@
+"""Tests for label casing, the concept ontology and the synthetic corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.schema.concepts import EXTENSION_MODULES, master_concept_tree, module_field_tokens
+from repro.schema.corpus import SCHEMA_NAMES, SCHEMA_SIZES, available_schemas, load_corpus_schema
+from repro.schema.naming import CASING_STYLES, render_label
+
+
+class TestRenderLabel:
+    def test_camel(self):
+        assert render_label(("unit", "price"), "camel") == "UnitPrice"
+
+    def test_camel_preserves_acronyms(self):
+        assert render_label(("PO", "line"), "camel") == "POLine"
+        assert render_label(("buyer", "part", "ID"), "camel") == "BuyerPartID"
+
+    def test_upper_snake(self):
+        assert render_label(("unit", "price"), "upper_snake") == "UNIT_PRICE"
+
+    def test_lower_camel(self):
+        assert render_label(("unit", "price"), "lower_camel") == "unitPrice"
+
+    def test_title_snake(self):
+        assert render_label(("unit", "price"), "title_snake") == "Unit_Price"
+
+    def test_single_token(self):
+        assert render_label(("order",), "camel") == "Order"
+
+    def test_empty_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            render_label((), "camel")
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            render_label(("a",), "shouty")
+
+    def test_all_styles_listed(self):
+        for style in CASING_STYLES:
+            assert render_label(("tax", "rate"), style)
+
+
+class TestConceptTree:
+    def test_root_is_order(self):
+        root = master_concept_tree()
+        assert root.tokens == ("order",)
+
+    def test_contains_core_groups(self):
+        root = master_concept_tree()
+        groups = {concept.group for concept in root.iter_subtree()}
+        assert {"header", "party.buyer", "party.deliver", "lines", "tax"} <= groups
+
+    def test_keys_unique(self):
+        root = master_concept_tree()
+        keys = [concept.key for concept in root.iter_subtree()]
+        assert len(keys) == len(set(keys))
+
+    def test_po_line_repeatable(self):
+        root = master_concept_tree()
+        line = next(c for c in root.iter_subtree() if c.key == "order.po_line")
+        assert line.repeatable
+
+    def test_synonyms_override_tokens(self):
+        root = master_concept_tree()
+        deliver = next(c for c in root.iter_subtree() if c.key == "order.deliver_to")
+        assert deliver.tokens_for("apertum") == ("deliver", "to")
+        assert deliver.tokens_for("xcbl") == ("ship", "to", "party")
+
+    def test_module_field_tokens_cycles(self):
+        assert module_field_tokens(0) == module_field_tokens(len(EXTENSION_MODULES) * 0 + 0)
+        assert isinstance(module_field_tokens(3), tuple)
+
+    def test_extension_modules_well_formed(self):
+        for tokens, fields in EXTENSION_MODULES:
+            assert tokens and all(isinstance(t, str) for t in tokens)
+            assert fields > 0
+
+
+class TestCorpus:
+    def test_available_schemas(self):
+        assert set(available_schemas()) == set(SCHEMA_NAMES)
+        assert "xcbl" in SCHEMA_NAMES
+
+    @pytest.mark.parametrize("standard", SCHEMA_NAMES)
+    def test_sizes_match_table2(self, standard):
+        schema = load_corpus_schema(standard)
+        assert len(schema) == SCHEMA_SIZES[standard]
+
+    @pytest.mark.parametrize("standard", SCHEMA_NAMES)
+    def test_schemas_validate(self, standard):
+        load_corpus_schema(standard).validate()
+
+    def test_alias_ot(self):
+        assert load_corpus_schema("OT") is load_corpus_schema("opentrans")
+
+    def test_unknown_standard_rejected(self):
+        with pytest.raises(DatasetError):
+            load_corpus_schema("sap")
+
+    def test_deterministic(self):
+        first = load_corpus_schema("apertum")
+        second = load_corpus_schema("apertum")
+        assert first is second  # cached
+        rebuilt = load_corpus_schema("apertum", seed=12345)
+        assert len(rebuilt) == len(first)
+
+    def test_apertum_has_query_labels(self):
+        schema = load_corpus_schema("apertum")
+        for label in ("Order", "DeliverTo", "POLine", "LineNo", "UnitPrice",
+                      "Quantity", "BuyerPartID", "Street", "City", "EMail"):
+            assert schema.elements_by_label(label), f"missing label {label}"
+
+    def test_opentrans_uses_upper_snake(self):
+        schema = load_corpus_schema("opentrans")
+        labels = schema.labels()
+        assert any("_" in label and label.isupper() for label in labels)
+
+    def test_xcbl_has_repeatable_line_item(self):
+        schema = load_corpus_schema("xcbl")
+        lines = schema.elements_by_label("LineItemDetail")
+        assert lines and lines[0].repeatable
+
+    def test_schemas_are_frozen(self):
+        assert load_corpus_schema("cidx").frozen
+
+    def test_large_schemas_share_extension_vocabulary(self):
+        xcbl = load_corpus_schema("xcbl")
+        opentrans = load_corpus_schema("opentrans")
+        xcbl_tokens = {label.lower().replace("_", "") for label in xcbl.labels()}
+        ot_tokens = {label.lower().replace("_", "") for label in opentrans.labels()}
+        # Shared padding modules mean the two large schemas have many labels
+        # in common modulo casing, which is what drives the big capacities of
+        # the XCBL/OpenTrans matchings in Table II.
+        assert len(xcbl_tokens & ot_tokens) > 30

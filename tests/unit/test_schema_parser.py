@@ -1,0 +1,117 @@
+"""Tests for the schema text / XML parsers and serialisers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaParseError
+from repro.schema.parser import parse_schema, parse_schema_xml, schema_to_text, schema_to_xml
+
+SIMPLE = """
+Order
+  Buyer
+    Name
+  Line *
+    Quantity
+"""
+
+
+class TestParseText:
+    def test_basic_structure(self):
+        schema = parse_schema(SIMPLE, name="simple")
+        assert schema.name == "simple"
+        assert len(schema) == 5
+        assert schema.element_by_path("Order.Line.Quantity").is_leaf
+
+    def test_repeatable_marker(self):
+        schema = parse_schema(SIMPLE)
+        assert schema.element_by_path("Order.Line").repeatable
+        assert not schema.element_by_path("Order.Buyer").repeatable
+
+    def test_result_is_frozen(self):
+        assert parse_schema(SIMPLE).frozen
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment\nOrder\n\n  Buyer\n# another\n"
+        schema = parse_schema(text)
+        assert len(schema) == 2
+
+    def test_bad_indentation_rejected(self):
+        with pytest.raises(SchemaParseError):
+            parse_schema("Order\n   Buyer\n")  # three spaces
+
+    def test_indentation_jump_rejected(self):
+        with pytest.raises(SchemaParseError):
+            parse_schema("Order\n    Buyer\n")  # jumps two levels
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(SchemaParseError):
+            parse_schema("Order\nInvoice\n")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaParseError):
+            parse_schema("Order\n  9lives\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaParseError):
+            parse_schema("   \n# nothing\n")
+
+    def test_round_trip(self):
+        schema = parse_schema(SIMPLE, name="roundtrip")
+        text = schema_to_text(schema)
+        again = parse_schema(text, name="roundtrip")
+        assert [e.path for e in again.iter_preorder()] == [
+            e.path for e in schema.iter_preorder()
+        ]
+        assert [e.repeatable for e in again.iter_preorder()] == [
+            e.repeatable for e in schema.iter_preorder()
+        ]
+
+
+class TestParseXml:
+    XML = """
+    <Order>
+      <Buyer><Name/></Buyer>
+      <Line repeatable="true">
+        <Quantity/>
+      </Line>
+    </Order>
+    """
+
+    def test_basic_structure(self):
+        schema = parse_schema_xml(self.XML, name="xml")
+        assert len(schema) == 5
+        assert schema.element_by_path("Order.Line").repeatable
+
+    def test_round_trip(self):
+        schema = parse_schema_xml(self.XML)
+        xml = schema_to_xml(schema)
+        again = parse_schema_xml(xml)
+        assert [e.path for e in again.iter_preorder()] == [
+            e.path for e in schema.iter_preorder()
+        ]
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(SchemaParseError):
+            parse_schema_xml("<Order><Buyer></Order></Buyer>")
+
+    def test_unclosed_tag_rejected(self):
+        with pytest.raises(SchemaParseError):
+            parse_schema_xml("<Order><Buyer>")
+
+    def test_unexpected_close_rejected(self):
+        with pytest.raises(SchemaParseError):
+            parse_schema_xml("</Order>")
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(SchemaParseError):
+            parse_schema_xml("<Order/><Invoice/>")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaParseError):
+            parse_schema_xml("   ")
+
+    def test_text_round_trips_through_both_formats(self):
+        schema = parse_schema(SIMPLE)
+        via_xml = parse_schema_xml(schema_to_xml(schema))
+        assert schema_to_text(via_xml) == schema_to_text(schema)

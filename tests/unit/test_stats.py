@@ -1,0 +1,76 @@
+"""Tests for the evaluation metrics in :mod:`repro.stats`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocktree import BlockTreeConfig, build_block_tree
+from repro.stats.metrics import (
+    block_support_distribution,
+    cblock_size_distribution,
+    compression_ratio,
+    size_distribution_histogram,
+)
+from repro.stats.overlap import o_ratio, pairwise_o_ratios
+
+
+class TestOverlap:
+    def test_o_ratio_matches_mapping_set(self, figure_mappings):
+        assert o_ratio(figure_mappings) == pytest.approx(figure_mappings.o_ratio())
+
+    def test_o_ratio_in_unit_interval(self, figure_mappings):
+        assert 0.0 <= o_ratio(figure_mappings) <= 1.0
+
+    def test_pairwise_matrix_shape_and_diagonal(self, figure_mappings):
+        matrix = pairwise_o_ratios(figure_mappings)
+        size = len(figure_mappings)
+        assert len(matrix) == size
+        assert all(len(row) == size for row in matrix)
+        assert all(matrix[i][i] == 1.0 for i in range(size))
+
+    def test_pairwise_matrix_symmetric(self, figure_mappings):
+        matrix = pairwise_o_ratios(figure_mappings)
+        size = len(figure_mappings)
+        for i in range(size):
+            for j in range(size):
+                assert matrix[i][j] == pytest.approx(matrix[j][i])
+
+    def test_pairwise_mean_equals_o_ratio(self, figure_mappings):
+        matrix = pairwise_o_ratios(figure_mappings)
+        size = len(figure_mappings)
+        values = [matrix[i][j] for i in range(size) for j in range(i + 1, size)]
+        assert sum(values) / len(values) == pytest.approx(o_ratio(figure_mappings))
+
+
+class TestBlockMetrics:
+    def test_compression_ratio_wrapper(self, figure_block_tree):
+        assert compression_ratio(figure_block_tree) == pytest.approx(
+            figure_block_tree.compression_ratio()
+        )
+
+    def test_size_distribution_fractions(self, figure_block_tree, target_schema):
+        fractions = cblock_size_distribution(figure_block_tree)
+        assert len(fractions) == figure_block_tree.num_blocks
+        assert all(0.0 < fraction <= 1.0 for fraction in fractions)
+        # The largest Figure 5 block covers 2 of the 5 target elements.
+        assert max(fractions) == pytest.approx(2 / len(target_schema))
+
+    def test_support_distribution(self, figure_block_tree, figure_mappings):
+        supports = block_support_distribution(figure_block_tree)
+        assert len(supports) == figure_block_tree.num_blocks
+        minimum = figure_block_tree.config.tau * len(figure_mappings)
+        assert all(support >= minimum for support in supports)
+
+    def test_histogram_totals(self, figure_block_tree):
+        histogram = size_distribution_histogram(figure_block_tree)
+        assert sum(histogram.values()) == figure_block_tree.num_blocks
+        assert set(histogram) == {1, 2}
+
+    def test_higher_tau_not_larger_distribution(self, figure_mappings):
+        low = build_block_tree(figure_mappings, BlockTreeConfig(tau=0.2))
+        high = build_block_tree(figure_mappings, BlockTreeConfig(tau=0.9))
+        assert len(cblock_size_distribution(high)) <= len(cblock_size_distribution(low))
+
+    def test_d7_distribution_has_large_blocks(self, d7_block_tree):
+        histogram = size_distribution_histogram(d7_block_tree)
+        assert any(size > 1 for size in histogram)

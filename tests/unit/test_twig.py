@@ -1,0 +1,168 @@
+"""Tests for the twig-query model and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError, TwigParseError
+from repro.query.parser import parse_twig
+from repro.query.twig import AXIS_CHILD, AXIS_DESCENDANT, TwigNode, TwigQuery
+
+
+class TestTwigNode:
+    def test_axis_validated(self):
+        with pytest.raises(QueryError):
+            TwigNode("Order", axis="sibling")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(QueryError):
+            TwigNode("")
+
+    def test_add_child_sets_parent(self):
+        root = TwigNode("Order")
+        child = root.add_child(TwigNode("Buyer"))
+        assert child.parent is root
+        assert root.children == [child]
+
+    def test_iter_subtree_preorder(self):
+        root = TwigNode("A")
+        b = root.add_child(TwigNode("B"))
+        b.add_child(TwigNode("C"))
+        root.add_child(TwigNode("D"))
+        assert [n.label for n in root.iter_subtree()] == ["A", "B", "C", "D"]
+
+
+class TestTwigQuery:
+    def test_node_ids_preorder(self):
+        query = parse_twig("Order/Buyer/Name")
+        assert [node.node_id for node in query.nodes] == [0, 1, 2]
+        assert query.get(1).label == "Buyer"
+
+    def test_get_unknown_id(self):
+        query = parse_twig("Order")
+        with pytest.raises(QueryError):
+            query.get(7)
+
+    def test_output_node_is_last_main_path_step(self):
+        query = parse_twig("Order/Line[./Quantity]/Price")
+        assert query.output_node.label == "Price"
+
+    def test_labels(self):
+        query = parse_twig("Order/Buyer")
+        assert query.labels() == ["Order", "Buyer"]
+
+    def test_subquery_preserves_node_ids(self):
+        query = parse_twig("Order/Line[./Quantity]/Price")
+        line = query.get(1)
+        sub = query.subquery(line)
+        assert sub.root is line
+        assert {node.node_id for node in sub.nodes} <= {node.node_id for node in query.nodes}
+        assert sub.get(line.node_id) is line
+
+
+class TestParser:
+    def test_simple_path(self):
+        query = parse_twig("Order/Buyer/Name")
+        assert len(query) == 3
+        assert query.root.label == "Order"
+        assert query.root.axis == AXIS_CHILD
+        assert query.get(2).axis == AXIS_CHILD
+
+    def test_descendant_axis(self):
+        query = parse_twig("Order//Name")
+        assert query.get(1).axis == AXIS_DESCENDANT
+
+    def test_leading_descendant_axis(self):
+        query = parse_twig("//InvoiceParty//ContactName")
+        assert query.root.axis == AXIS_DESCENDANT
+        assert query.get(1).axis == AXIS_DESCENDANT
+
+    def test_leading_child_axis(self):
+        query = parse_twig("/Order/Buyer")
+        assert query.root.axis == AXIS_CHILD
+
+    def test_predicates_become_branches(self):
+        query = parse_twig("Order/Address[./City][./Country]/Street")
+        address = query.get(1)
+        assert address.label == "Address"
+        labels = sorted(child.label for child in address.children)
+        assert labels == ["City", "Country", "Street"]
+        city = next(child for child in address.children if child.label == "City")
+        assert not city.on_main_path
+        street = next(child for child in address.children if child.label == "Street")
+        assert street.on_main_path
+
+    def test_predicate_descendant_axis(self):
+        query = parse_twig("Order/Line[.//UnitPrice]/Quantity")
+        line = query.get(1)
+        unit_price = next(child for child in line.children if child.label == "UnitPrice")
+        assert unit_price.axis == AXIS_DESCENDANT
+
+    def test_predicate_without_dot(self):
+        query = parse_twig("Order/Line[//UnitPrice]/Quantity")
+        line = query.get(1)
+        unit_price = next(child for child in line.children if child.label == "UnitPrice")
+        assert unit_price.axis == AXIS_DESCENDANT
+
+    def test_nested_predicates(self):
+        query = parse_twig("Order[./DeliverTo[.//EMail]//Street]/Line")
+        deliver = next(child for child in query.root.children if child.label == "DeliverTo")
+        child_labels = {child.label for child in deliver.children}
+        assert child_labels == {"EMail", "Street"}
+
+    def test_predicate_path_with_multiple_steps(self):
+        query = parse_twig("Order/DeliverTo[./Address/City]/Contact")
+        deliver = query.get(1)
+        address = next(child for child in deliver.children if child.label == "Address")
+        assert [child.label for child in address.children] == ["City"]
+
+    def test_value_predicate(self):
+        query = parse_twig('Order/Buyer[./Name = "Acme"]/Contact')
+        buyer = query.get(1)
+        name = next(child for child in buyer.children if child.label == "Name")
+        assert name.value == "Acme"
+
+    def test_self_value_predicate(self):
+        query = parse_twig("Order/City[. = 'Berlin']")
+        city = query.get(1)
+        assert city.label == "City"
+        assert city.value == "Berlin"
+        assert city.is_leaf
+
+    def test_aliases_expanded(self):
+        query = parse_twig("Order/POLine//UP", aliases={"UP": "UnitPrice"})
+        assert query.get(2).label == "UnitPrice"
+
+    def test_whitespace_tolerated(self):
+        query = parse_twig("  Order / Buyer [ ./Name ] / Contact  ")
+        assert len(query) == 4
+
+    def test_text_preserved(self):
+        assert parse_twig("Order/Buyer").text == "Order/Buyer"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "Order/",
+            "/",
+            "Order[",
+            "Order[./City",
+            "Order]",
+            "Order[./City = Berlin]",   # unquoted value
+            "Order[./City = 'Berlin]",  # unterminated string
+            "Order//",
+            "Order trailing",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(TwigParseError):
+            parse_twig(bad)
+
+    def test_paper_queries_parse(self):
+        from repro.workloads.queries import QUERY_ALIASES, QUERY_STRINGS
+
+        for text in QUERY_STRINGS.values():
+            query = parse_twig(text, aliases=QUERY_ALIASES)
+            assert len(query) >= 2

@@ -1,0 +1,140 @@
+"""Tests for the dataset and query workloads (Tables II and III)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.query.resolve import resolve_query
+from repro.workloads.datasets import (
+    DATASET_IDS,
+    DATASET_SPECS,
+    build_mapping_set,
+    load_dataset,
+    load_source_document,
+    standard_datasets,
+)
+from repro.workloads.queries import QUERY_IDS, QUERY_STRINGS, load_query, standard_queries
+
+
+class TestDatasetSpecs:
+    def test_ten_datasets(self):
+        assert len(DATASET_IDS) == 10
+        assert DATASET_IDS[0] == "D1" and DATASET_IDS[-1] == "D10"
+
+    def test_schema_pairings_match_table2(self):
+        assert DATASET_SPECS["D7"].source == "xcbl"
+        assert DATASET_SPECS["D7"].target == "apertum"
+        assert DATASET_SPECS["D1"].option == "f"
+        assert DATASET_SPECS["D9"].target == "opentrans"
+        assert DATASET_SPECS["D10"].source == "opentrans"
+
+    def test_paper_reference_values_present(self):
+        for spec in DATASET_SPECS.values():
+            assert spec.paper_capacity > 0
+            assert 0.0 < spec.paper_o_ratio <= 1.0
+
+
+class TestLoadDataset:
+    def test_d7_shapes(self, d7_dataset):
+        assert len(d7_dataset.source_schema) == 1076
+        assert len(d7_dataset.target_schema) == 166
+        assert d7_dataset.matching.capacity > 100
+
+    def test_describe_row(self, d7_dataset):
+        row = d7_dataset.describe()
+        assert row["id"] == "D7"
+        assert row["|S|"] == 1076
+        assert row["capacity"] == d7_dataset.matching.capacity
+
+    def test_case_insensitive(self):
+        assert load_dataset("d1") is load_dataset("D1")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("D11")
+
+    def test_standard_datasets_order(self):
+        datasets = standard_datasets()
+        assert [d.dataset_id for d in datasets] == list(DATASET_IDS)
+
+    def test_fragment_option_sparser(self):
+        d2 = load_dataset("D2")  # Excel -> Paragon, context
+        d3 = load_dataset("D3")  # Excel -> Paragon, fragment
+        assert d3.matching.capacity < d2.matching.capacity
+
+    def test_matchings_sparse(self):
+        for dataset_id in ("D1", "D5", "D8"):
+            dataset = load_dataset(dataset_id)
+            cross = len(dataset.source_schema) * len(dataset.target_schema)
+            assert dataset.matching.capacity < 0.1 * cross
+
+
+class TestMappingSets:
+    def test_default_size(self, d7_mappings):
+        assert len(d7_mappings) == 100
+        assert sum(m.probability for m in d7_mappings) == pytest.approx(1.0)
+
+    def test_high_overlap(self, d7_mappings):
+        # The central observation of the paper: possible mappings of an XML
+        # schema matching overlap heavily (Table II reports 0.53 - 0.91).
+        assert d7_mappings.o_ratio() > 0.5
+
+    def test_mappings_distinct(self, d7_mappings):
+        assert len({m.correspondences for m in d7_mappings}) == len(d7_mappings)
+
+    def test_scores_non_increasing(self, d7_mappings):
+        scores = [m.score for m in d7_mappings]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_cached(self):
+        assert build_mapping_set("D1", 20) is build_mapping_set("D1", 20)
+
+    def test_small_dataset_generation(self):
+        mapping_set = build_mapping_set("D1", 25)
+        assert len(mapping_set) == 25
+
+
+class TestSourceDocument:
+    def test_d7_document_conforms_to_xcbl(self, d7_document, d7_dataset):
+        assert d7_document.schema is d7_dataset.source_schema
+        assert abs(len(d7_document) - 3473) < 120
+        d7_document.validate()
+
+    def test_other_dataset_document(self):
+        document = load_source_document("D1")
+        assert document.schema.name == "excel"
+        assert len(document) == 48
+
+
+class TestQueries:
+    def test_ten_queries(self):
+        assert len(QUERY_IDS) == 10
+        assert QUERY_IDS[0] == "Q1"
+
+    def test_all_parse(self):
+        queries = standard_queries()
+        assert set(queries) == set(QUERY_IDS)
+        assert all(len(query) >= 2 for query in queries.values())
+
+    def test_aliases_expanded(self):
+        query = load_query("Q4")
+        assert "UnitPrice" in query.labels()
+        assert "UP" not in query.labels()
+
+    def test_unknown_query(self):
+        with pytest.raises(DatasetError):
+            load_query("Q99")
+
+    def test_cached(self):
+        assert load_query("Q1") is load_query("q1")
+
+    def test_all_resolve_against_d7_target(self, d7_dataset):
+        for query_id in QUERY_IDS:
+            query = load_query(query_id)
+            embeddings = resolve_query(query, d7_dataset.target_schema)
+            assert embeddings, f"{query_id} does not resolve: {QUERY_STRINGS[query_id]}"
+
+    def test_query_sizes_vary(self):
+        sizes = {len(load_query(query_id)) for query_id in QUERY_IDS}
+        assert len(sizes) >= 3
