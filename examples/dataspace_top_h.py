@@ -2,10 +2,13 @@
 
 Systems such as Dataspace or GoogleBase (Section V of the paper) maintain
 mappings between many user-defined schemas and must derive top-h possible
-mappings for each of them quickly.  This example compares the paper's
-divide-and-conquer (partition) generator with the plain Murty baseline on
-every dataset of Table II, and shows how the schema matchings decompose into
-many small partitions — the sparsity that makes the approach effective.
+mappings for each of them quickly.  This example opens one engine session per
+Table II dataset, derives the mapping set with the plain Murty baseline, then
+*reconfigures the session* to the paper's divide-and-conquer (partition)
+generator — demonstrating the engine's cache invalidation: changing the
+generation method drops the mapping set and block tree but keeps the matching.
+It also shows how the schema matchings decompose into many small partitions —
+the sparsity that makes the approach effective.
 
 Run with:  python examples/dataspace_top_h.py  [h]
 """
@@ -31,17 +34,17 @@ def main(h: int = 25) -> None:
           f"{'murty':>9} {'partition':>10} {'speedup':>8}")
 
     for dataset_id in repro.DATASET_IDS:
-        dataset = repro.load_dataset(dataset_id)
-        matching = dataset.matching
+        ds = repro.Dataspace.from_dataset(dataset_id, h=h, method="murty")
+        matching = ds.matching
         partitions = partition_matching(matching)
         largest = max(partition.size for partition in partitions)
 
-        murty_time, murty_set = timed(
-            repro.generate_top_h_mappings, matching, h, method="murty"
-        )
-        partition_time, partition_set = timed(
-            repro.generate_top_h_mappings, matching, h, method="partition"
-        )
+        murty_time, murty_set = timed(lambda: ds.mapping_set)
+        # Reconfiguring the method invalidates the mapping set (and block
+        # tree) but reuses the cached matching.
+        ds.configure(method="partition")
+        partition_time, partition_set = timed(lambda: ds.mapping_set)
+        assert murty_set is not partition_set, "reconfigure must invalidate the mapping set"
         # Both generators must agree on the mapping scores.
         assert [round(m.score, 6) for m in murty_set] == [
             round(m.score, 6) for m in partition_set

@@ -1,15 +1,16 @@
-"""Quickstart: match two schemas, derive possible mappings, query under uncertainty.
+"""Quickstart: open a dataspace session over two schemas and query it.
 
-This walks the library's whole pipeline on a small pair of schemas from the
-built-in e-commerce corpus:
+The engine facade (:class:`repro.Dataspace`) walks the library's whole
+pipeline behind one object.  This example opens a session on a small pair of
+schemas from the built-in e-commerce corpus; the session
 
-1. load a source and a target schema;
-2. run the COMA++-like matcher to get scored correspondences;
-3. derive the top-h possible mappings (with probabilities) using the paper's
-   partition-based generator;
-4. build the block tree, the compact representation of those mappings;
-5. pose a probabilistic twig query against the target schema and evaluate it
-   over a document that conforms to the source schema.
+1. runs the COMA++-like matcher on first use (``ds.matching``);
+2. derives the top-h possible mappings with probabilities (``ds.mapping_set``);
+3. builds the block tree, the compact representation of those mappings
+   (``ds.block_tree``);
+4. answers probabilistic twig queries through the fluent builder —
+   ``ds.query("...").top_k(k).execute()`` — choosing the evaluation plan
+   itself (``explain()`` shows which one ran and why).
 
 Run with:  python examples/quickstart.py
 """
@@ -23,12 +24,14 @@ def main() -> None:
     # 1. Schemas: CIDX purchase order (source) and the Excel-style order (target).
     source = repro.load_corpus_schema("cidx")
     target = repro.load_corpus_schema("excel")
+    document = repro.generate_document(source, target_nodes=200, seed=7)
+    ds = repro.Dataspace(source, target, h=20, document=document)
+    print(f"session: {ds.name}")
     print(f"source schema: {source.name} ({len(source)} elements)")
     print(f"target schema: {target.name} ({len(target)} elements)")
 
-    # 2. Schema matching (a set of scored correspondences).
-    matcher = repro.SchemaMatcher()
-    matching = matcher.match(source, target, name="quickstart")
+    # 2. Schema matching (built lazily, then cached on the session).
+    matching = ds.matching
     print(f"\nmatching capacity: {matching.capacity} correspondences")
     for correspondence in list(matching)[:5]:
         source_path = source.get(correspondence.source_id).path
@@ -36,28 +39,30 @@ def main() -> None:
         print(f"  {source_path}  ~  {target_path}   (score {correspondence.score:.2f})")
 
     # 3. Possible mappings with probabilities (the paper's model of uncertainty).
-    mappings = repro.generate_top_h_mappings(matching, h=20)
+    mappings = ds.mapping_set
     print(f"\ntop-{len(mappings)} possible mappings; o-ratio = {mappings.o_ratio():.2f}")
     for mapping in list(mappings)[:3]:
         print(f"  mapping {mapping.mapping_id}: {len(mapping)} correspondences, "
               f"p = {mapping.probability:.3f}")
 
     # 4. The block tree: a compact representation of the mapping set.
-    block_tree = repro.build_block_tree(mappings)
+    block_tree = ds.block_tree
     print(f"\nblock tree: {block_tree.num_blocks} c-blocks, "
           f"compression ratio {block_tree.compression_ratio():.1%}")
 
     # 5. A probabilistic twig query over the target schema, answered on a
-    #    document that conforms to the source schema.
-    document = repro.generate_document(source, target_nodes=200, seed=7)
-    query = repro.parse_twig("Purchase_Order/Buyer/Contact/E_Mail")
-    result = repro.evaluate_ptq_blocktree(query, mappings, document, block_tree)
-
-    print(f"\nquery: {query.text}")
+    #    document that conforms to the source schema.  The engine resolves,
+    #    filters and evaluates — and picks the plan.
+    result = ds.query("Purchase_Order/Buyer/Contact/E_Mail").execute()
+    print(f"\nquery: {result.query.text}")
     print(f"answers from {len(result)} mappings "
           f"(total probability {result.total_probability():.2f})")
     for value, probability in sorted(result.value_distribution().items(), key=lambda kv: -kv[1]):
         print(f"  {value!r} appears in the answer with probability {probability:.3f}")
+
+    # 6. explain() shows how the engine evaluated the query.
+    print("\nexplain:")
+    print(ds.query("Purchase_Order/Buyer/Contact/E_Mail").explain().format())
 
 
 if __name__ == "__main__":

@@ -8,6 +8,10 @@ mappings with probabilities and answers the query ``//INVOICE_PARTY//
 CONTACT_NAME`` with a *distribution* over contact names — the
 "{(Cathy, .3), (Bob, .3), (Alice, .2)}"-style answer from the paper.
 
+The hand-built mapping set is wrapped in an engine session
+(:meth:`repro.Dataspace.from_mapping_set`), which owns the block tree and
+evaluates the queries through the fluent builder.
+
 Run with:  python examples/uncertain_contact_names.py
 """
 
@@ -109,16 +113,19 @@ def build_scenario():
 
 def main() -> None:
     source, target, matching, mappings, document = build_scenario()
+    ds = repro.Dataspace.from_mapping_set(
+        mappings, document=document, tau=0.4, name="figure1"
+    )
 
     print("possible mappings (Figure 3):")
-    for mapping in mappings:
+    for mapping in ds.mapping_set:
         pairs = ", ".join(
             f"{source.get(a).label}~{target.get(b).label}"
             for a, b in sorted(mapping.correspondences)
         )
         print(f"  m{mapping.mapping_id + 1}: p={mapping.probability:.2f}  {{{pairs}}}")
 
-    block_tree = repro.build_block_tree(mappings, repro.BlockTreeConfig(tau=0.4))
+    block_tree = ds.block_tree
     print(f"\nblock tree (tau=0.4): {block_tree.num_blocks} c-blocks")
     for block in block_tree.iter_blocks():
         anchor = target.get(block.anchor_id)
@@ -129,20 +136,21 @@ def main() -> None:
         shared = ", ".join(f"m{mapping_id + 1}" for mapping_id in sorted(block.mapping_ids))
         print(f"  anchor {anchor.label:<15} C = {{{pairs}}}  shared by {shared}")
 
-    query = repro.parse_twig("//INVOICE_PARTY//CONTACT_NAME")
-    result = repro.evaluate_ptq_blocktree(query, mappings, document, block_tree)
-    print(f"\nPTQ {query.text} over Order.xml:")
+    prepared = ds.prepare("//INVOICE_PARTY//CONTACT_NAME")
+    result = prepared.execute()
+    print(f"\nPTQ {prepared.text} over Order.xml:")
     for value, probability in sorted(result.value_distribution().items(), key=lambda kv: -kv[1]):
         print(f"  ({value!r}, {probability:.2f})")
 
-    top2 = repro.evaluate_topk_ptq(query, mappings, document, k=2, block_tree=block_tree)
+    top2 = ds.query("//INVOICE_PARTY//CONTACT_NAME").top_k(2).execute()
     print("\ntop-2 PTQ answers (highest-probability mappings only):")
+    output_id = prepared.query.output_node.node_id
     for answer in top2:
         values = {
             document.get(node_id).value
             for match in answer.matches
             for qid, node_id in match
-            if qid == query.output_node.node_id
+            if qid == output_id
         }
         print(f"  mapping m{answer.mapping_id + 1}  p={answer.probability:.2f}  values={sorted(values)}")
 

@@ -7,27 +7,30 @@ them compactly in a *block tree*, and answering *probabilistic twig queries*
 divide-and-conquer (partition-based) generation of the top-h possible
 mappings from a scored schema matching.
 
-Typical usage::
+The primary API is the engine facade: a :class:`Dataspace` session owns the
+pipeline artifacts (matching → top-h mapping set → block tree → document),
+builds and caches them lazily, and answers queries through a fluent builder
+that picks an evaluation plan automatically::
 
     import repro
 
-    source = repro.load_corpus_schema("xcbl")
-    target = repro.load_corpus_schema("apertum")
-    matching = repro.SchemaMatcher().match(source, target)
-    mappings = repro.generate_top_h_mappings(matching, h=100)
-    block_tree = repro.build_block_tree(mappings)
-
-    document = repro.generate_document(source, target_nodes=3000)
-    query = repro.parse_twig("Order/DeliverTo/Contact/EMail")
-    result = repro.evaluate_ptq_blocktree(query, mappings, document, block_tree)
+    ds = repro.Dataspace.from_dataset("D7", h=100)
+    result = ds.query("Order/DeliverTo/Contact/EMail").top_k(10).execute()
     for answer in result:
         print(answer.mapping_id, answer.probability, len(answer.matches))
+    print(ds.query("Q7").explain().format())   # plan chosen, inputs, timings
+
+The pipeline stages also remain available as low-level free functions
+(``SchemaMatcher``, :func:`generate_top_h_mappings`,
+:func:`build_block_tree`, :func:`evaluate_ptq_blocktree`, ...) for callers
+that want to hand-thread the artifacts themselves.
 """
 
 from repro.exceptions import (
     AssignmentError,
     BlockTreeError,
     DatasetError,
+    DataspaceError,
     DocumentConformanceError,
     DocumentError,
     MappingError,
@@ -101,11 +104,24 @@ from repro.workloads import (
     load_dataset,
     load_query,
     load_source_document,
+    open_dataspace,
     standard_datasets,
     standard_queries,
 )
+from repro.engine import (
+    BasicPlan,
+    BlockTreePlan,
+    Dataspace,
+    ExplainReport,
+    PreparedQuery,
+    QueryBuilder,
+    QueryPlan,
+    available_plans,
+    plan_for,
+    register_plan,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -123,6 +139,18 @@ __all__ = [
     "TwigParseError",
     "RewriteError",
     "DatasetError",
+    "DataspaceError",
+    # engine facade
+    "Dataspace",
+    "PreparedQuery",
+    "QueryBuilder",
+    "QueryPlan",
+    "BasicPlan",
+    "BlockTreePlan",
+    "ExplainReport",
+    "plan_for",
+    "register_plan",
+    "available_plans",
     # schema substrate
     "Schema",
     "SchemaElement",
@@ -186,4 +214,5 @@ __all__ = [
     "load_source_document",
     "load_query",
     "standard_queries",
+    "open_dataspace",
 ]

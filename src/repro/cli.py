@@ -1,6 +1,6 @@
 """Command-line interface.
 
-The CLI exposes the library's pipeline for quick, scriptable inspection::
+The CLI exposes the engine's pipeline for quick, scriptable inspection::
 
     python -m repro schemas                      # list the corpus schemas
     python -m repro show-schema apertum          # print a schema tree
@@ -10,32 +10,31 @@ The CLI exposes the library's pipeline for quick, scriptable inspection::
     python -m repro blocktree D7 --tau 0.2       # block-tree statistics
     python -m repro query D7 Q7                  # evaluate one of the paper's queries
     python -m repro query D7 "Order/DeliverTo/Contact/EMail" --top-k 10
+    python -m repro explain D7 Q7                # which plan would run, and why
 
-Every command writes plain text to stdout and returns a non-zero exit code on
-invalid input, so the CLI composes well with shell pipelines.
+All dataset-bound commands are backed by one :class:`repro.engine.Dataspace`
+session per invocation, so the matching, mapping set and block tree are built
+(or fetched from cache) exactly once.  ``query``, ``blocktree`` and
+``explain`` accept ``--json`` for machine-readable output.
+
+Every command writes to stdout and returns a non-zero exit code on invalid
+input, so the CLI composes well with shell pipelines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional, Sequence
 
-from repro.core.blocktree import BlockTreeConfig, build_block_tree
+from repro.engine import Dataspace
 from repro.exceptions import ReproError
-from repro.query.parser import parse_twig
-from repro.query.ptq import evaluate_ptq_basic, evaluate_ptq_blocktree
-from repro.query.topk import evaluate_topk_ptq
 from repro.schema.corpus import SCHEMA_SIZES, available_schemas, load_corpus_schema
 from repro.schema.parser import schema_to_text
-from repro.workloads.datasets import (
-    DATASET_IDS,
-    build_mapping_set,
-    load_dataset,
-    load_source_document,
-)
-from repro.workloads.queries import QUERY_ALIASES, QUERY_STRINGS, load_query
+from repro.workloads.datasets import DATASET_IDS, load_dataset
+from repro.workloads.queries import QUERY_STRINGS
 
 __all__ = ["main", "build_parser"]
 
@@ -70,6 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
     blocktree.add_argument("dataset")
     blocktree.add_argument("--num-mappings", type=int, default=100)
     blocktree.add_argument("--tau", type=float, default=0.2)
+    blocktree.add_argument("--json", action="store_true",
+                           help="emit the statistics as a JSON object")
 
     query = subparsers.add_parser("query", help="evaluate a probabilistic twig query")
     query.add_argument("dataset")
@@ -77,7 +78,28 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--num-mappings", type=int, default=100)
     query.add_argument("--top-k", type=int, default=None)
     query.add_argument("--algorithm", choices=("block-tree", "basic"), default="block-tree")
+    query.add_argument("--json", action="store_true",
+                       help="emit answers and statistics as a JSON object")
+
+    explain = subparsers.add_parser(
+        "explain", help="show how a query would be evaluated (plan, inputs, timings)"
+    )
+    explain.add_argument("dataset")
+    explain.add_argument("query", help="a query id (Q1..Q10) or a twig pattern string")
+    explain.add_argument("--num-mappings", type=int, default=100)
+    explain.add_argument("--top-k", type=int, default=None)
+    explain.add_argument("--algorithm", choices=("auto", "block-tree", "basic"),
+                         default="auto", help="force a plan instead of letting the engine pick")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the report as a JSON object")
     return parser
+
+
+def _plan_name(algorithm: str) -> Optional[str]:
+    """Map the CLI's ``--algorithm`` spelling onto an engine plan override."""
+    if algorithm == "auto":
+        return None
+    return "blocktree" if algorithm == "block-tree" else "basic"
 
 
 # --------------------------------------------------------------------------- #
@@ -110,35 +132,36 @@ def _cmd_datasets(args, out) -> int:  # noqa: ARG001
 
 
 def _cmd_match(args, out) -> int:
-    dataset = load_dataset(args.dataset)
-    matching = dataset.matching
+    session = Dataspace.from_dataset(args.dataset)
+    matching = session.matching
     out.write(f"{args.dataset}: {matching.capacity} correspondences\n")
     ranked = sorted(matching, key=lambda c: -c.score)[: args.limit]
     for correspondence in ranked:
-        source_path = dataset.source_schema.get(correspondence.source_id).path
-        target_path = dataset.target_schema.get(correspondence.target_id).path
+        source_path = session.source_schema.get(correspondence.source_id).path
+        target_path = session.target_schema.get(correspondence.target_id).path
         out.write(f"  {correspondence.score:.3f}  {source_path}  ~  {target_path}\n")
     return 0
 
 
 def _cmd_mappings(args, out) -> int:
-    dataset = load_dataset(args.dataset)
+    session = Dataspace.from_dataset(args.dataset, h=args.h, method=args.method)
     started = time.perf_counter()
-    mapping_set = build_mapping_set(args.dataset, args.h, method=args.method)
+    mapping_set = session.mapping_set
     elapsed = time.perf_counter() - started
     out.write(f"{args.dataset}: top-{len(mapping_set)} mappings via {args.method} "
               f"in {elapsed:.2f}s (o-ratio {mapping_set.o_ratio():.2f})\n")
     for mapping in list(mapping_set)[:10]:
         out.write(f"  mapping {mapping.mapping_id:<3} p={mapping.probability:.4f} "
                   f"score={mapping.score:.2f} correspondences={len(mapping)}\n")
-    del dataset
     return 0
 
 
 def _cmd_blocktree(args, out) -> int:
-    mapping_set = build_mapping_set(args.dataset, args.num_mappings)
-    tree = build_block_tree(mapping_set, BlockTreeConfig(tau=args.tau))
-    info = tree.describe()
+    session = Dataspace.from_dataset(args.dataset, h=args.num_mappings, tau=args.tau)
+    info = session.block_tree.describe()
+    if args.json:
+        out.write(json.dumps(info, indent=2, sort_keys=True) + "\n")
+        return 0
     out.write(f"block tree for {args.dataset} (|M|={args.num_mappings}, tau={args.tau}):\n")
     for key in ("num_blocks", "non_leaf_blocks_created", "hash_entries", "max_block_size",
                 "mean_block_size", "mean_block_support", "compression_ratio",
@@ -151,34 +174,68 @@ def _cmd_blocktree(args, out) -> int:
 
 
 def _cmd_query(args, out) -> int:
-    mapping_set = build_mapping_set(args.dataset, args.num_mappings)
-    document = load_source_document(args.dataset)
-    if args.query.upper() in QUERY_STRINGS:
-        query = load_query(args.query)
-        out.write(f"{args.query.upper()}: {QUERY_STRINGS[args.query.upper()]}\n")
-    else:
-        query = parse_twig(args.query, aliases=QUERY_ALIASES)
-
-    tree = build_block_tree(mapping_set) if args.algorithm == "block-tree" else None
-    started = time.perf_counter()
+    session = Dataspace.from_dataset(args.dataset, h=args.num_mappings)
+    plan = _plan_name(args.algorithm)
+    builder = session.query(args.query)
+    if plan is not None:
+        builder = builder.plan(plan)
     if args.top_k is not None:
-        result = evaluate_topk_ptq(query, mapping_set, document, k=args.top_k, block_tree=tree)
-    elif tree is not None:
-        result = evaluate_ptq_blocktree(query, mapping_set, document, tree)
-    else:
-        result = evaluate_ptq_basic(query, mapping_set, document)
+        builder = builder.top_k(args.top_k)
+    if plan == "blocktree":
+        session.block_tree  # build outside the timed window, as the paper does
+
+    started = time.perf_counter()
+    result = builder.execute()
     elapsed = time.perf_counter() - started
 
+    distribution = sorted(result.value_distribution().items(), key=lambda kv: -kv[1])
+    if args.json:
+        payload = {
+            "dataset": args.dataset.upper(),
+            "query": builder.prepared.text,
+            "algorithm": args.algorithm,
+            "num_mappings": args.num_mappings,
+            "top_k": args.top_k,
+            "elapsed_ms": round(elapsed * 1000, 3),
+            "num_answers": len(result),
+            "num_non_empty": len(result.non_empty()),
+            "answers": [
+                {
+                    "mapping_id": answer.mapping_id,
+                    "probability": answer.probability,
+                    "num_matches": len(answer.matches),
+                }
+                for answer in result
+            ],
+            "value_distribution": [
+                {"value": value, "probability": probability}
+                for value, probability in distribution
+            ],
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 0
+
+    if args.query.upper() in QUERY_STRINGS:
+        out.write(f"{args.query.upper()}: {QUERY_STRINGS[args.query.upper()]}\n")
     out.write(f"{len(result)} answers ({len(result.non_empty())} non-empty) "
               f"in {elapsed * 1000:.1f} ms using {args.algorithm}\n")
     for answer in list(result)[:10]:
         out.write(f"  mapping {answer.mapping_id:<4} p={answer.probability:.4f} "
                   f"matches={len(answer.matches)}\n")
-    distribution = result.value_distribution()
     if distribution:
         out.write("value distribution of the output node:\n")
-        for value, probability in sorted(distribution.items(), key=lambda kv: -kv[1])[:10]:
+        for value, probability in distribution[:10]:
             out.write(f"  {probability:.3f}  {value!r}\n")
+    return 0
+
+
+def _cmd_explain(args, out) -> int:
+    session = Dataspace.from_dataset(args.dataset, h=args.num_mappings)
+    report = session.explain(args.query, k=args.top_k, plan=_plan_name(args.algorithm))
+    if args.json:
+        out.write(json.dumps(report.to_dict(), indent=2) + "\n")
+    else:
+        out.write(report.format() + "\n")
     return 0
 
 
@@ -190,6 +247,7 @@ _COMMANDS = {
     "mappings": _cmd_mappings,
     "blocktree": _cmd_blocktree,
     "query": _cmd_query,
+    "explain": _cmd_explain,
 }
 
 

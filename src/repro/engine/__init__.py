@@ -1,0 +1,47 @@
+"""The engine facade: stateful dataspace sessions over the paper's pipeline.
+
+This package is the library's primary public API.  A
+:class:`~repro.engine.dataspace.Dataspace` session owns the pipeline
+artifacts (schema matching → top-h mapping set → block tree → source
+document), builds them lazily, memoizes them, and invalidates exactly the
+affected suffix when configuration changes.  Queries go through a fluent
+builder that compiles twig strings into reusable
+:class:`~repro.engine.prepared.PreparedQuery` objects and picks an
+evaluation :class:`~repro.engine.plans.QueryPlan` (Algorithm 3 vs
+Algorithm 4) automatically::
+
+    from repro.engine import Dataspace
+
+    ds = Dataspace.from_dataset("D7", h=100)
+    result = ds.query("Order/DeliverTo/Contact/EMail").top_k(10).execute()
+    print(ds.query("Q7").explain().format())
+
+The seed free functions (:func:`repro.evaluate_ptq_basic`,
+:func:`repro.evaluate_ptq_blocktree`, :func:`repro.evaluate_topk_ptq`)
+remain available as thin wrappers over the plan layer.
+"""
+
+from repro.engine.dataspace import Dataspace
+from repro.engine.plans import (
+    BasicPlan,
+    BlockTreePlan,
+    ExplainReport,
+    QueryPlan,
+    available_plans,
+    plan_for,
+    register_plan,
+)
+from repro.engine.prepared import PreparedQuery, QueryBuilder
+
+__all__ = [
+    "Dataspace",
+    "PreparedQuery",
+    "QueryBuilder",
+    "QueryPlan",
+    "BasicPlan",
+    "BlockTreePlan",
+    "ExplainReport",
+    "plan_for",
+    "register_plan",
+    "available_plans",
+]

@@ -1,0 +1,570 @@
+"""The :class:`Dataspace` engine facade — a stateful session over one schema pair.
+
+The paper's system is meant to live inside a dataspace: the uncertain schema
+matching is derived once, its top-h possible mappings and block tree are kept
+cached, and probabilistic twig queries are answered continuously against that
+representation.  :class:`Dataspace` is that session object.  It owns the
+pipeline artifacts (matching → mapping set → block tree → source document),
+builds each lazily on first use, memoizes it, and invalidates exactly the
+affected suffix of the pipeline when configuration changes:
+
+========================  =============================================
+change                    invalidates
+========================  =============================================
+``matcher_config``        matching, mapping set, block tree (generation bump)
+``h`` / ``method``        mapping set, block tree (generation bump)
+``tau`` / block budgets   block tree only
+========================  =============================================
+
+The *generation* counter is what prepared queries key their cached filter
+step on, so a reconfigured session transparently refreshes exactly the work
+that went stale.
+
+Typical usage::
+
+    ds = Dataspace.from_dataset("D7", h=100)
+    result = ds.query("Order/DeliverTo/Contact/EMail").top_k(10).execute()
+    report = ds.query("Q7").explain()          # which plan ran, and why
+    results = ds.batch(["Q1", "Q2", "Q3"])     # many queries, one session
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Union
+
+from repro.core.blocktree import BlockTree, BlockTreeConfig, build_block_tree
+from repro.document.document import XMLDocument
+from repro.document.generator import generate_document
+from repro.engine.plans import QueryPlan, plan_for
+from repro.engine.prepared import PlanSpec, PreparedQuery, QueryBuilder
+from repro.exceptions import DataspaceError
+from repro.mapping.generator import GenerationMethod, generate_top_h_mappings
+from repro.mapping.mapping_set import MappingSet
+from repro.matching.matcher import MatcherConfig, SchemaMatcher
+from repro.matching.matching import SchemaMatching
+from repro.query.parser import parse_twig
+from repro.query.results import PTQResult
+from repro.query.twig import TwigQuery
+from repro.schema.schema import Schema
+from repro.workloads.datasets import build_mapping_set, load_dataset, load_source_document
+from repro.workloads.queries import QUERY_ALIASES, QUERY_STRINGS, load_query
+
+__all__ = ["Dataspace"]
+
+_UNSET = object()
+
+
+class Dataspace:
+    """A stateful engine session over one source/target schema pair.
+
+    Construct directly from two schemas, or with :meth:`from_dataset` (one of
+    the paper's Table II datasets), :meth:`from_matching` (a pre-computed
+    schema matching) or :meth:`from_mapping_set` (a pre-computed mapping
+    set).  See the module docstring for the caching/invalidation contract.
+
+    Parameters
+    ----------
+    source_schema, target_schema:
+        The schema pair the session manages.
+    h:
+        Size of the possible-mapping set (the paper's default is 100).
+    method:
+        Mapping-generation method, ``"partition"`` or ``"murty"``.
+    matcher_config:
+        Optional :class:`MatcherConfig` override; when ``None`` the session
+        uses the dataset's configured matcher (dataset sessions) or the
+        default matcher.
+    tau, max_blocks, max_failures:
+        Block-tree construction parameters (Definition 2 / Algorithm 2).
+    document:
+        Optional source document; when omitted, dataset sessions load the
+        workload document and schema-pair sessions generate one from the
+        source schema on first use.
+    document_nodes:
+        Approximate node budget for a generated document.
+    seed:
+        Base seed for matcher noise and document generation.
+    name:
+        Session name; defaults to ``"<source>-><target>"``.
+    """
+
+    def __init__(
+        self,
+        source_schema: Schema,
+        target_schema: Schema,
+        *,
+        h: int = 100,
+        method: Union[str, GenerationMethod] = GenerationMethod.PARTITION,
+        matcher_config: Optional[MatcherConfig] = None,
+        tau: float = 0.2,
+        max_blocks: int = 500,
+        max_failures: int = 500,
+        document: Optional[XMLDocument] = None,
+        document_nodes: Optional[int] = None,
+        seed: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if h < 1:
+            raise DataspaceError(f"h must be at least 1, got {h}")
+        self.source_schema = source_schema
+        self.target_schema = target_schema
+        self.name = name or f"{source_schema.name}->{target_schema.name}"
+        self._h = h
+        self._method = GenerationMethod(method).value
+        self._matcher_config = matcher_config
+        # Validate the block-tree parameters eagerly, not on first build.
+        BlockTreeConfig(tau=tau, max_blocks=max_blocks, max_failures=max_failures)
+        self._tau = tau
+        self._max_blocks = max_blocks
+        self._max_failures = max_failures
+        self._seed = seed
+        self._dataset_id: Optional[str] = None
+        if document is not None:
+            self._check_document(document)
+        self._document = document
+        self._document_nodes = document_nodes
+        self._matching: Optional[SchemaMatching] = None
+        self._mapping_set: Optional[MappingSet] = None
+        self._block_tree: Optional[BlockTree] = None
+        self._pinned_matching = False
+        self._pinned_mapping_set = False
+        self._generation = 0
+        self._prepared: dict[str, PreparedQuery] = {}
+
+    # ------------------------------------------------------------------ #
+    # Alternative constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset_id: str,
+        *,
+        h: int = 100,
+        method: Union[str, GenerationMethod] = GenerationMethod.PARTITION,
+        tau: float = 0.2,
+        max_blocks: int = 500,
+        max_failures: int = 500,
+        document: Optional[XMLDocument] = None,
+        seed: Optional[int] = None,
+    ) -> "Dataspace":
+        """Open a session on one of the paper's Table II datasets (``"D1"``…``"D10"``).
+
+        Dataset sessions share the workload layer's caches (matching, mapping
+        set, source document), accept query ids (``"Q1"``…``"Q10"``) and
+        expand the paper's label abbreviations (``UP``, ``BPID``, …) when
+        parsing query strings.
+        """
+        dataset = load_dataset(dataset_id, seed=seed)
+        session = cls(
+            dataset.source_schema,
+            dataset.target_schema,
+            h=h,
+            method=method,
+            tau=tau,
+            max_blocks=max_blocks,
+            max_failures=max_failures,
+            document=document,
+            seed=seed,
+            name=dataset.dataset_id,
+        )
+        session._dataset_id = dataset.dataset_id
+        session._matching = dataset.matching
+        return session
+
+    @classmethod
+    def from_matching(
+        cls,
+        matching: SchemaMatching,
+        *,
+        h: int = 100,
+        method: Union[str, GenerationMethod] = GenerationMethod.PARTITION,
+        tau: float = 0.2,
+        max_blocks: int = 500,
+        max_failures: int = 500,
+        document: Optional[XMLDocument] = None,
+        document_nodes: Optional[int] = None,
+        seed: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> "Dataspace":
+        """Open a session over a pre-computed schema matching.
+
+        The matching is pinned: reconfiguring ``matcher_config`` on such a
+        session raises :class:`DataspaceError` because the session cannot
+        rebuild what it did not derive.
+        """
+        session = cls(
+            matching.source,
+            matching.target,
+            h=h,
+            method=method,
+            tau=tau,
+            max_blocks=max_blocks,
+            max_failures=max_failures,
+            document=document,
+            document_nodes=document_nodes,
+            seed=seed,
+            name=name or matching.name,
+        )
+        session._matching = matching
+        session._pinned_matching = True
+        return session
+
+    @classmethod
+    def from_mapping_set(
+        cls,
+        mapping_set: MappingSet,
+        *,
+        tau: float = 0.2,
+        max_blocks: int = 500,
+        max_failures: int = 500,
+        document: Optional[XMLDocument] = None,
+        document_nodes: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> "Dataspace":
+        """Open a session over a pre-computed mapping set.
+
+        Both the matching and the mapping set are pinned; ``h``, ``method``
+        and ``matcher_config`` cannot be reconfigured on such a session.
+        """
+        session = cls.from_matching(
+            mapping_set.matching,
+            h=len(mapping_set),
+            tau=tau,
+            max_blocks=max_blocks,
+            max_failures=max_failures,
+            document=document,
+            document_nodes=document_nodes,
+            name=name,
+        )
+        session._mapping_set = mapping_set
+        session._pinned_mapping_set = True
+        return session
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    @property
+    def h(self) -> int:
+        """Size of the possible-mapping set."""
+        return self._h
+
+    @property
+    def method(self) -> str:
+        """Mapping-generation method (``"partition"`` or ``"murty"``)."""
+        return self._method
+
+    @property
+    def tau(self) -> float:
+        """Block-tree confidence threshold τ."""
+        return self._tau
+
+    @property
+    def matcher_config(self) -> Optional[MatcherConfig]:
+        """Matcher override, or ``None`` for the session default."""
+        return self._matcher_config
+
+    @property
+    def dataset_id(self) -> Optional[str]:
+        """Table II dataset id for dataset sessions, else ``None``."""
+        return self._dataset_id
+
+    @property
+    def generation(self) -> int:
+        """Mapping-set generation; bumped whenever the mapping set is invalidated."""
+        return self._generation
+
+    def configure(
+        self,
+        *,
+        h: Optional[int] = None,
+        method: Optional[Union[str, GenerationMethod]] = None,
+        matcher_config=_UNSET,
+        tau: Optional[float] = None,
+        max_blocks: Optional[int] = None,
+        max_failures: Optional[int] = None,
+    ) -> "Dataspace":
+        """Reconfigure the session, invalidating only the affected artifacts.
+
+        Returns ``self`` so calls chain fluently.  See the module docstring
+        for the invalidation table.
+
+        Raises
+        ------
+        DataspaceError
+            When changing a parameter that a pinned artifact depends on
+            (e.g. ``h`` on a session built with :meth:`from_mapping_set`).
+        """
+        if matcher_config is not _UNSET and matcher_config != self._matcher_config:
+            if self._pinned_matching:
+                raise DataspaceError(
+                    "cannot change matcher_config: this session was built from a "
+                    "pre-computed matching or mapping set"
+                )
+            self._matcher_config = matcher_config
+            self._invalidate_matching()
+        if h is not None and h != self._h:
+            if h < 1:
+                raise DataspaceError(f"h must be at least 1, got {h}")
+            self._require_unpinned_mapping_set("h")
+            self._h = h
+            self._invalidate_mappings()
+        if method is not None:
+            normalized = GenerationMethod(method).value
+            if normalized != self._method:
+                self._require_unpinned_mapping_set("method")
+                self._method = normalized
+                self._invalidate_mappings()
+        tree_params_changed = False
+        new_tau = self._tau if tau is None else tau
+        new_max_blocks = self._max_blocks if max_blocks is None else max_blocks
+        new_max_failures = self._max_failures if max_failures is None else max_failures
+        if (new_tau, new_max_blocks, new_max_failures) != (
+            self._tau,
+            self._max_blocks,
+            self._max_failures,
+        ):
+            BlockTreeConfig(tau=new_tau, max_blocks=new_max_blocks, max_failures=new_max_failures)
+            self._tau, self._max_blocks, self._max_failures = (
+                new_tau,
+                new_max_blocks,
+                new_max_failures,
+            )
+            tree_params_changed = True
+        if tree_params_changed:
+            self._block_tree = None
+        return self
+
+    def _require_unpinned_mapping_set(self, parameter: str) -> None:
+        if self._pinned_mapping_set:
+            raise DataspaceError(
+                f"cannot change {parameter}: this session was built from a "
+                "pre-computed mapping set"
+            )
+
+    def _invalidate_matching(self) -> None:
+        self._matching = None
+        self._invalidate_mappings()
+
+    def _invalidate_mappings(self) -> None:
+        self._mapping_set = None
+        self._block_tree = None
+        self._generation += 1
+
+    def invalidate(self) -> "Dataspace":
+        """Drop every rebuildable cached artifact and bump the generation.
+
+        Pinned artifacts (from :meth:`from_matching` / :meth:`from_mapping_set`)
+        are kept; prepared queries survive but refresh their filter caches.
+        """
+        if not self._pinned_matching:
+            self._matching = None
+        if not self._pinned_mapping_set:
+            self._mapping_set = None
+        self._block_tree = None
+        self._generation += 1
+        return self
+
+    def _check_document(self, document: XMLDocument) -> None:
+        if document.schema is not self.source_schema:
+            raise DataspaceError(
+                "the document does not conform to this session's source schema"
+            )
+
+    def set_document(self, document: XMLDocument) -> "Dataspace":
+        """Swap the source document the session evaluates queries over."""
+        self._check_document(document)
+        self._document = document
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Lazily built artifacts
+    # ------------------------------------------------------------------ #
+    @property
+    def matching(self) -> SchemaMatching:
+        """The schema matching (built and memoized on first access)."""
+        if self._matching is None:
+            if self._matcher_config is None and self._dataset_id is not None:
+                self._matching = load_dataset(self._dataset_id, seed=self._seed).matching
+            else:
+                config = self._matcher_config or MatcherConfig(seed=self._seed)
+                matcher = SchemaMatcher(config)
+                self._matching = matcher.match(
+                    self.source_schema, self.target_schema, name=self.name
+                )
+        return self._matching
+
+    @property
+    def mapping_set(self) -> MappingSet:
+        """The top-h possible mappings (built and memoized on first access)."""
+        if self._mapping_set is None:
+            if self._dataset_id is not None and self._matcher_config is None:
+                # Share the workload layer's cache with benchmarks and tests.
+                self._mapping_set = build_mapping_set(
+                    self._dataset_id, self._h, seed=self._seed, method=self._method
+                )
+            else:
+                self._mapping_set = generate_top_h_mappings(
+                    self.matching, self._h, method=self._method
+                )
+        return self._mapping_set
+
+    @property
+    def block_tree(self) -> BlockTree:
+        """The block tree over the mapping set (built and memoized on first access)."""
+        if self._block_tree is None:
+            config = BlockTreeConfig(
+                tau=self._tau, max_blocks=self._max_blocks, max_failures=self._max_failures
+            )
+            self._block_tree = build_block_tree(self.mapping_set, config)
+        return self._block_tree
+
+    @property
+    def document(self) -> XMLDocument:
+        """The source document (loaded or generated on first access)."""
+        if self._document is None:
+            if self._dataset_id is not None:
+                self._document = load_source_document(
+                    self._dataset_id, seed=self._seed, target_nodes=self._document_nodes
+                )
+            else:
+                self._document = generate_document(
+                    self.source_schema, target_nodes=self._document_nodes, seed=self._seed
+                )
+        return self._document
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _as_twig(self, query: Union[str, TwigQuery]) -> TwigQuery:
+        if isinstance(query, TwigQuery):
+            return query
+        text = str(query).strip()
+        if self._dataset_id is not None:
+            if text.upper() in QUERY_STRINGS:
+                return load_query(text)
+            return parse_twig(text, aliases=QUERY_ALIASES)
+        return parse_twig(text)
+
+    def prepare(self, query: Union[str, TwigQuery]) -> PreparedQuery:
+        """Compile ``query`` into a (cached) :class:`PreparedQuery`.
+
+        Accepts a :class:`TwigQuery`, a twig pattern string, or — on dataset
+        sessions — one of the paper's query ids (``"Q1"``…``"Q10"``).
+        Preparing the same query text (or the same :class:`TwigQuery`
+        object) twice returns the same prepared query, so its resolve/filter
+        caches are shared; distinct twig objects are never conflated, even
+        when their text coincides.
+        """
+        if isinstance(query, TwigQuery):
+            # A caller-supplied twig is keyed by identity: its structure may
+            # differ from what the session would parse from the same text
+            # (aliases, hand-built trees).  The cached PreparedQuery keeps
+            # the twig alive, so the id stays valid.
+            twig = query
+            key = f"<twig:{id(twig)}>"
+        else:
+            twig = self._as_twig(query)
+            key = twig.text
+        prepared = self._prepared.get(key)
+        if prepared is None:
+            prepared = PreparedQuery(self, twig)
+            self._prepared[key] = prepared
+        return prepared
+
+    def query(self, query: Union[str, TwigQuery]) -> QueryBuilder:
+        """Start a fluent query: ``ds.query("...").top_k(10).execute()``."""
+        return QueryBuilder(self.prepare(query))
+
+    def execute(
+        self,
+        query: Union[str, TwigQuery],
+        *,
+        k: Optional[int] = None,
+        plan: PlanSpec = None,
+    ) -> PTQResult:
+        """Prepare (or reuse) and evaluate ``query`` in one call."""
+        return self.prepare(query).execute(k=k, plan=plan)
+
+    def explain(
+        self,
+        query: Union[str, TwigQuery],
+        *,
+        k: Optional[int] = None,
+        plan: PlanSpec = None,
+    ):
+        """Evaluate ``query`` and report plan choice, inputs and timings."""
+        return self.prepare(query).explain(k=k, plan=plan)
+
+    def batch(
+        self,
+        queries: Iterable[Union[str, TwigQuery]],
+        *,
+        k: Optional[int] = None,
+        plan: PlanSpec = None,
+    ) -> list[PTQResult]:
+        """Evaluate many queries against one consistent session state.
+
+        All queries are prepared first (so the plan is selected once and the
+        session's artifacts are built once), then evaluated in order.
+        """
+        prepared = [self.prepare(query) for query in queries]
+        if plan is None and prepared:
+            plan, _ = self.select_plan(None)
+        return [item.execute(k=k, plan=plan) for item in prepared]
+
+    def select_plan(self, plan: PlanSpec = None) -> Tuple[QueryPlan, str]:
+        """Pick the evaluation plan: ``(plan, reason)``.
+
+        A caller-supplied ``plan`` (name or instance) is honoured verbatim;
+        otherwise the session prefers the block-tree plan whenever the tree
+        actually carries c-blocks, falling back to the basic plan when the
+        tree is empty (the two then do identical work).
+        """
+        if plan is not None:
+            return plan_for(plan), "forced by caller"
+        tree = self.block_tree
+        if tree.num_blocks == 0:
+            return plan_for("basic"), "block tree carries no c-blocks"
+        return plan_for("blocktree"), f"block tree with {tree.num_blocks} c-blocks available"
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        """Summary of the session: configuration, build state, statistics.
+
+        Only reports statistics of artifacts that are already built — calling
+        this never triggers a build.
+        """
+        info: dict = {
+            "name": self.name,
+            "dataset": self._dataset_id,
+            "source": self.source_schema.name,
+            "|S|": len(self.source_schema),
+            "target": self.target_schema.name,
+            "|T|": len(self.target_schema),
+            "h": self._h,
+            "method": self._method,
+            "tau": self._tau,
+            "generation": self._generation,
+            "prepared_queries": len(self._prepared),
+            "matching_built": self._matching is not None,
+            "mapping_set_built": self._mapping_set is not None,
+            "block_tree_built": self._block_tree is not None,
+            "document_loaded": self._document is not None,
+        }
+        if self._matching is not None:
+            info["capacity"] = self._matching.capacity
+        if self._mapping_set is not None:
+            info["o_ratio"] = round(self._mapping_set.o_ratio(), 4)
+        if self._block_tree is not None:
+            info["num_blocks"] = self._block_tree.num_blocks
+        if self._document is not None:
+            info["document_nodes"] = len(self._document)
+        return info
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataspace({self.name!r}, h={self._h}, tau={self._tau}, "
+            f"generation={self._generation})"
+        )

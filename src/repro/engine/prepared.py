@@ -1,0 +1,219 @@
+"""Prepared queries and the fluent query builder.
+
+A :class:`PreparedQuery` is a twig query compiled against one
+:class:`~repro.engine.dataspace.Dataspace` session: the resolve step (query →
+target-schema embeddings) is computed once per query, and the filter step
+(relevant mappings) once per *mapping-set generation* — the session bumps its
+generation counter whenever the mapping set is invalidated, so a prepared
+query transparently refreshes exactly the work that went stale.
+
+:class:`QueryBuilder` is the immutable fluent front-end::
+
+    result = ds.query("Order/DeliverTo/Contact/EMail").top_k(10).execute()
+    report = ds.query("Q7").plan("basic").explain()
+
+Each builder method returns a new builder, so partially-configured builders
+can be shared and specialised without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.engine.plans import (
+    ExplainReport,
+    QueryPlan,
+    anchored_subtree_paths,
+    plan_for,
+)
+from repro.mapping.mapping import Mapping
+from repro.query.ptq import filter_mappings
+from repro.query.resolve import Embedding, resolve_query
+from repro.query.results import PTQResult
+from repro.query.twig import TwigQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.dataspace import Dataspace
+
+__all__ = ["PreparedQuery", "QueryBuilder"]
+
+PlanSpec = Union[str, QueryPlan, None]
+
+
+class PreparedQuery:
+    """A twig query compiled against a session (see module docstring).
+
+    Obtain instances through :meth:`Dataspace.prepare` (or the fluent
+    :meth:`Dataspace.query`); the session caches them per query text.
+    ``resolve_count`` and ``filter_count`` record how often the two cached
+    pipeline stages were actually recomputed — they are what the engine's
+    cache tests observe.
+    """
+
+    def __init__(self, dataspace: "Dataspace", query: TwigQuery) -> None:
+        self._dataspace = dataspace
+        self._query = query
+        self._embeddings: Optional[list[Embedding]] = None
+        self._relevant: Optional[list[Mapping]] = None
+        self._relevant_generation = -1
+        #: Number of times the resolve stage ran (never more than once).
+        self.resolve_count = 0
+        #: Number of times the filter stage ran (once per mapping-set generation used).
+        self.filter_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Cached pipeline stages
+    # ------------------------------------------------------------------ #
+    @property
+    def dataspace(self) -> "Dataspace":
+        """The session this query was prepared against."""
+        return self._dataspace
+
+    @property
+    def query(self) -> TwigQuery:
+        """The compiled twig query."""
+        return self._query
+
+    @property
+    def text(self) -> str:
+        """The query's text form."""
+        return self._query.text
+
+    @property
+    def embeddings(self) -> list[Embedding]:
+        """Embeddings of the query into the target schema (resolved once)."""
+        if self._embeddings is None:
+            self._embeddings = resolve_query(self._query, self._dataspace.target_schema)
+            self.resolve_count += 1
+        return self._embeddings
+
+    def relevant_mappings(self) -> list[Mapping]:
+        """Relevant mappings, filtered once per mapping-set generation."""
+        mapping_set = self._dataspace.mapping_set
+        generation = self._dataspace.generation
+        if self._relevant is None or self._relevant_generation != generation:
+            self._relevant = filter_mappings(mapping_set, self.embeddings)
+            self._relevant_generation = generation
+            self.filter_count += 1
+        return self._relevant
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(self, *, k: Optional[int] = None, plan: PlanSpec = None) -> PTQResult:
+        """Evaluate the query against the session's current artifacts.
+
+        Parameters
+        ----------
+        k:
+            Optional top-k restriction (Definition 5).
+        plan:
+            Optional plan override (name or :class:`QueryPlan`); when
+            omitted the session selects one.
+        """
+        ds = self._dataspace
+        chosen, _ = ds.select_plan(plan)
+        block_tree = ds.block_tree if chosen.uses_block_tree else None
+        return chosen.run(
+            self._query,
+            ds.mapping_set,
+            ds.document,
+            block_tree=block_tree,
+            embeddings=self.embeddings,
+            relevant=self.relevant_mappings(),
+            k=k,
+        )
+
+    def explain(self, *, k: Optional[int] = None, plan: PlanSpec = None) -> ExplainReport:
+        """Execute the query and report plan choice, inputs and stage timings."""
+        ds = self._dataspace
+        timings: dict[str, float] = {}
+
+        started = time.perf_counter()
+        embeddings = self.embeddings
+        timings["resolve"] = (time.perf_counter() - started) * 1000.0
+
+        mapping_set = ds.mapping_set
+        started = time.perf_counter()
+        relevant = self.relevant_mappings()
+        timings["filter"] = (time.perf_counter() - started) * 1000.0
+
+        chosen, reason = ds.select_plan(plan)
+        block_tree = ds.block_tree if chosen.uses_block_tree else None
+
+        started = time.perf_counter()
+        result = chosen.run(
+            self._query,
+            mapping_set,
+            ds.document,
+            block_tree=block_tree,
+            embeddings=embeddings,
+            relevant=relevant,
+            k=k,
+        )
+        timings["evaluate"] = (time.perf_counter() - started) * 1000.0
+
+        num_selected = len(relevant) if k is None else min(k, len(relevant))
+        anchored = (
+            anchored_subtree_paths(self._query, embeddings, block_tree)
+            if block_tree is not None
+            else ()
+        )
+        return ExplainReport(
+            query=self.text,
+            plan=chosen.name,
+            reason=reason,
+            num_mappings=len(mapping_set),
+            num_embeddings=len(embeddings),
+            num_relevant=len(relevant),
+            relevant_mapping_ids=tuple(mapping.mapping_id for mapping in relevant),
+            k=k,
+            num_selected=num_selected,
+            num_blocks=block_tree.num_blocks if block_tree is not None else None,
+            anchored_paths=anchored,
+            timings_ms=timings,
+            num_answers=len(result),
+            num_non_empty=len(result.non_empty()),
+        )
+
+    def __repr__(self) -> str:
+        return f"PreparedQuery({self.text!r}, dataspace={self._dataspace.name!r})"
+
+
+class QueryBuilder:
+    """Immutable fluent builder over a :class:`PreparedQuery` (see module docs)."""
+
+    __slots__ = ("_prepared", "_k", "_plan")
+
+    def __init__(
+        self, prepared: PreparedQuery, k: Optional[int] = None, plan: PlanSpec = None
+    ) -> None:
+        self._prepared = prepared
+        self._k = k
+        self._plan = plan
+
+    @property
+    def prepared(self) -> PreparedQuery:
+        """The underlying prepared query (shared across derived builders)."""
+        return self._prepared
+
+    def top_k(self, k: int) -> "QueryBuilder":
+        """Return a builder restricted to the ``k`` most probable answers."""
+        return QueryBuilder(self._prepared, k, self._plan)
+
+    def plan(self, plan: Union[str, QueryPlan]) -> "QueryBuilder":
+        """Return a builder forced onto a specific evaluation plan."""
+        return QueryBuilder(self._prepared, self._k, plan)
+
+    def execute(self) -> PTQResult:
+        """Evaluate with the builder's settings."""
+        return self._prepared.execute(k=self._k, plan=self._plan)
+
+    def explain(self) -> ExplainReport:
+        """Evaluate and report how (plan, inputs, timings)."""
+        return self._prepared.explain(k=self._k, plan=self._plan)
+
+    def __repr__(self) -> str:
+        plan = self._plan.name if isinstance(self._plan, QueryPlan) else self._plan
+        return f"QueryBuilder({self._prepared.text!r}, k={self._k}, plan={plan})"

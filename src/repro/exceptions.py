@@ -23,6 +23,7 @@ __all__ = [
     "TwigParseError",
     "RewriteError",
     "DatasetError",
+    "DataspaceError",
 ]
 
 
@@ -76,3 +77,7 @@ class RewriteError(QueryError):
 
 class DatasetError(ReproError):
     """Raised when a workload dataset identifier or configuration is invalid."""
+
+
+class DataspaceError(ReproError):
+    """Raised when an engine session (:class:`repro.engine.Dataspace`) is misused."""

@@ -35,6 +35,8 @@ from repro.query.twigmatch import Match, match_twig, stack_join
 
 __all__ = [
     "filter_mappings",
+    "evaluate_resolved_basic",
+    "evaluate_resolved_blocktree",
     "evaluate_ptq_basic",
     "evaluate_ptq_blocktree",
     "evaluate_ptq",
@@ -131,6 +133,52 @@ def _twig_query(
     return results
 
 
+def _evaluate_resolved(
+    query: TwigQuery,
+    mapping_set: MappingSet,
+    document: XMLDocument,
+    embeddings: list[Embedding],
+    mappings: Sequence[Mapping],
+    twig_query,
+) -> PTQResult:
+    """Shared per-embedding loop of Algorithms 3 and 4.
+
+    ``twig_query(qnode, covered, embedding) -> MappingResults`` is the only
+    point where the two algorithms differ.
+    """
+    per_mapping: dict[int, frozenset[CanonicalMatch]] = {}
+    for embedding in embeddings:
+        required = set(embedding.values())
+        covered = [mapping for mapping in mappings if mapping.covers_targets(required)]
+        results = twig_query(query.root, covered, embedding)
+        for mapping_id, matches in results.items():
+            canonical = _canonicalize(matches)
+            per_mapping[mapping_id] = per_mapping.get(mapping_id, frozenset()) | canonical
+    return _build_result(query, document, per_mapping, mapping_set)
+
+
+def evaluate_resolved_basic(
+    query: TwigQuery,
+    mapping_set: MappingSet,
+    document: XMLDocument,
+    embeddings: list[Embedding],
+    mappings: Sequence[Mapping],
+) -> PTQResult:
+    """Algorithm 3's evaluation loop over pre-resolved embeddings.
+
+    ``embeddings`` must come from :func:`~repro.query.resolve.resolve_query`
+    on the same query and target schema, and ``mappings`` from
+    :func:`filter_mappings` (optionally restricted further, as in top-k
+    evaluation).  The engine's plan layer calls this directly so a prepared
+    query can reuse its cached resolve/filter work.
+    """
+
+    def twig_query(qnode, covered, embedding):
+        return _twig_query(qnode, covered, document, embedding)
+
+    return _evaluate_resolved(query, mapping_set, document, embeddings, mappings, twig_query)
+
+
 def evaluate_ptq_basic(
     query: TwigQuery,
     mapping_set: MappingSet,
@@ -138,6 +186,10 @@ def evaluate_ptq_basic(
     mappings: Optional[Sequence[Mapping]] = None,
 ) -> PTQResult:
     """Evaluate a PTQ with the basic per-mapping algorithm (Algorithm 3).
+
+    This is a thin wrapper over the engine's ``basic`` query plan
+    (:class:`repro.engine.plans.BasicPlan`), kept as the low-level functional
+    entry point.
 
     Parameters
     ----------
@@ -151,20 +203,9 @@ def evaluate_ptq_basic(
         Optional subset of mappings to consider (used by the top-k variant);
         defaults to the whole mapping set.
     """
-    target_schema = mapping_set.matching.target
-    embeddings = resolve_query(query, target_schema)
-    candidates = mappings if mappings is not None else mapping_set
-    relevant = filter_mappings(candidates, embeddings)
+    from repro.engine.plans import plan_for
 
-    per_mapping: dict[int, frozenset[CanonicalMatch]] = {}
-    for embedding in embeddings:
-        required = set(embedding.values())
-        covered = [mapping for mapping in relevant if mapping.covers_targets(required)]
-        results = _twig_query(query.root, covered, document, embedding)
-        for mapping_id, matches in results.items():
-            canonical = _canonicalize(matches)
-            per_mapping[mapping_id] = per_mapping.get(mapping_id, frozenset()) | canonical
-    return _build_result(query, document, per_mapping, mapping_set)
+    return plan_for("basic").run(query, mapping_set, document, mappings=mappings)
 
 
 # --------------------------------------------------------------------------- #
@@ -271,6 +312,36 @@ def _twig_query_tree(
     return results
 
 
+def evaluate_resolved_blocktree(
+    query: TwigQuery,
+    mapping_set: MappingSet,
+    document: XMLDocument,
+    block_tree: BlockTree,
+    embeddings: list[Embedding],
+    mappings: Sequence[Mapping],
+) -> PTQResult:
+    """Algorithm 4's evaluation loop over pre-resolved embeddings.
+
+    The block-tree counterpart of :func:`evaluate_resolved_basic`; see there
+    for the contract on ``embeddings`` and ``mappings``.
+
+    Raises
+    ------
+    QueryError
+        If the block tree was not built over the same target schema as the
+        mapping set's matching.
+    """
+    if block_tree.target_schema is not mapping_set.matching.target:
+        raise QueryError(
+            "the block tree's target schema differs from the mapping set's target schema"
+        )
+
+    def twig_query(qnode, covered, embedding):
+        return _twig_query_tree(qnode, covered, document, block_tree, embedding)
+
+    return _evaluate_resolved(query, mapping_set, document, embeddings, mappings, twig_query)
+
+
 def evaluate_ptq_blocktree(
     query: TwigQuery,
     mapping_set: MappingSet,
@@ -282,7 +353,8 @@ def evaluate_ptq_blocktree(
 
     Produces exactly the same answers as :func:`evaluate_ptq_basic`, but
     mappings that share the correspondences of a c-block are evaluated only
-    once per block.
+    once per block.  This is a thin wrapper over the engine's ``blocktree``
+    query plan (:class:`repro.engine.plans.BlockTreePlan`).
 
     Raises
     ------
@@ -290,24 +362,11 @@ def evaluate_ptq_blocktree(
         If the block tree was not built over the same target schema as the
         mapping set's matching.
     """
-    target_schema = mapping_set.matching.target
-    if block_tree.target_schema is not target_schema:
-        raise QueryError(
-            "the block tree's target schema differs from the mapping set's target schema"
-        )
-    embeddings = resolve_query(query, target_schema)
-    candidates = mappings if mappings is not None else mapping_set
-    relevant = filter_mappings(candidates, embeddings)
+    from repro.engine.plans import plan_for
 
-    per_mapping: dict[int, frozenset[CanonicalMatch]] = {}
-    for embedding in embeddings:
-        required = set(embedding.values())
-        covered = [mapping for mapping in relevant if mapping.covers_targets(required)]
-        results = _twig_query_tree(query.root, covered, document, block_tree, embedding)
-        for mapping_id, matches in results.items():
-            canonical = _canonicalize(matches)
-            per_mapping[mapping_id] = per_mapping.get(mapping_id, frozenset()) | canonical
-    return _build_result(query, document, per_mapping, mapping_set)
+    return plan_for("blocktree").run(
+        query, mapping_set, document, block_tree=block_tree, mappings=mappings
+    )
 
 
 def evaluate_ptq(

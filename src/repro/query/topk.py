@@ -13,10 +13,7 @@ from typing import Optional
 
 from repro.core.blocktree import BlockTree
 from repro.document.document import XMLDocument
-from repro.exceptions import QueryError
 from repro.mapping.mapping_set import MappingSet
-from repro.query.ptq import evaluate_ptq_basic, evaluate_ptq_blocktree, filter_mappings
-from repro.query.resolve import resolve_query
 from repro.query.results import PTQResult
 from repro.query.twig import TwigQuery
 
@@ -52,12 +49,7 @@ def evaluate_topk_ptq(
     PTQResult
         At most ``k`` answers, those with the highest probabilities.
     """
-    if k <= 0:
-        raise QueryError(f"k must be positive, got {k}")
-    embeddings = resolve_query(query, mapping_set.matching.target)
-    relevant = filter_mappings(mapping_set, embeddings)
-    relevant.sort(key=lambda mapping: (-mapping.probability, mapping.mapping_id))
-    selected = relevant[:k]
-    if block_tree is None:
-        return evaluate_ptq_basic(query, mapping_set, document, mappings=selected)
-    return evaluate_ptq_blocktree(query, mapping_set, document, block_tree, mappings=selected)
+    from repro.engine.plans import plan_for
+
+    plan = plan_for("basic" if block_tree is None else "blocktree")
+    return plan.run(query, mapping_set, document, block_tree=block_tree, k=k)

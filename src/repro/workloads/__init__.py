@@ -4,7 +4,9 @@
 ``"D1"`` … ``"D10"`` over the synthetic corpus, with the same source/target
 schema pairing and COMA++ option (fragment/context) as the paper;
 :func:`standard_queries` parses the ten purchase-order queries posed against
-D7's target schema.
+D7's target schema; :func:`open_dataspace` opens an engine session
+(:class:`repro.engine.Dataspace`) on a dataset, which is the preferred way to
+evaluate queries over a workload.
 """
 
 from repro.workloads.datasets import (
@@ -37,4 +39,18 @@ __all__ = [
     "QUERY_ALIASES",
     "load_query",
     "standard_queries",
+    "open_dataspace",
 ]
+
+
+def open_dataspace(dataset_id: str, **kwargs):
+    """Open an engine session (:class:`repro.engine.Dataspace`) on a dataset.
+
+    Convenience wrapper around :meth:`repro.engine.Dataspace.from_dataset`;
+    keyword arguments (``h``, ``tau``, ``method``, ``seed``, ...) are passed
+    through.  Imported lazily because the engine sits above the workload
+    layer.
+    """
+    from repro.engine import Dataspace
+
+    return Dataspace.from_dataset(dataset_id, **kwargs)

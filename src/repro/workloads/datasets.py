@@ -135,7 +135,6 @@ def standard_datasets(seed: int | None = None) -> list[Dataset]:
     return [load_dataset(dataset_id, seed=seed) for dataset_id in DATASET_IDS]
 
 
-@lru_cache(maxsize=64)
 def build_mapping_set(
     dataset_id: str,
     num_mappings: int = 100,
@@ -144,13 +143,22 @@ def build_mapping_set(
 ) -> MappingSet:
     """Generate (and cache) the top-``num_mappings`` possible mappings of a dataset.
 
-    The paper's default mapping-set size is ``|M| = 100``.
+    The paper's default mapping-set size is ``|M| = 100``.  Arguments are
+    normalised before the cache lookup, so every caller convention (engine
+    sessions, benchmarks, tests) shares one cache entry per configuration.
     """
-    dataset = load_dataset(dataset_id, seed=seed)
+    key = dataset_id.strip().upper()
+    return _build_mapping_set_cached(key, num_mappings, seed, GenerationMethod(method).value)
+
+
+@lru_cache(maxsize=64)
+def _build_mapping_set_cached(
+    key: str, num_mappings: int, seed: int | None, method: str
+) -> MappingSet:
+    dataset = load_dataset(key, seed=seed)
     return generate_top_h_mappings(dataset.matching, num_mappings, method=method)
 
 
-@lru_cache(maxsize=8)
 def load_source_document(
     dataset_id: str = "D7", seed: int | None = None, target_nodes: int | None = None
 ) -> XMLDocument:
@@ -158,9 +166,18 @@ def load_source_document(
 
     For D7 (the paper's query dataset) the document mirrors ``Order.xml``
     with roughly 3473 nodes; other datasets get a single-pass instantiation
-    of their source schema unless ``target_nodes`` is given.
+    of their source schema unless ``target_nodes`` is given.  As with
+    :func:`build_mapping_set`, arguments are normalised before the cache
+    lookup.
     """
-    dataset = load_dataset(dataset_id, seed=seed)
+    return _load_source_document_cached(dataset_id.strip().upper(), seed, target_nodes)
+
+
+@lru_cache(maxsize=8)
+def _load_source_document_cached(
+    key: str, seed: int | None, target_nodes: int | None
+) -> XMLDocument:
+    dataset = load_dataset(key, seed=seed)
     if dataset.spec.source == "xcbl" and target_nodes is None:
         return generate_order_document(seed=seed)
     return generate_document(dataset.source_schema, target_nodes=target_nodes, seed=seed)

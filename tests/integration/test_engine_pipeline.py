@@ -1,0 +1,77 @@
+"""Integration: the engine facade reproduces the seed free-function pipeline.
+
+The acceptance bar for the engine is exactness: on the paper's query dataset
+(D7) every result produced through :class:`repro.engine.Dataspace` — full
+PTQ, both plans, top-k, batched — must be identical to hand-threading the
+artifacts through the seed free functions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Dataspace
+from repro.query.ptq import evaluate_ptq_basic, evaluate_ptq_blocktree
+from repro.query.topk import evaluate_topk_ptq
+from repro.workloads.queries import load_query
+
+
+def answers_of(result):
+    return {(answer.mapping_id, answer.matches) for answer in result}
+
+
+@pytest.fixture(scope="module")
+def d7_session():
+    """One engine session over D7 with the paper's |M| = 100."""
+    return Dataspace.from_dataset("D7", h=100)
+
+
+class TestEngineMatchesSeedPipeline:
+    def test_session_shares_workload_artifacts(self, d7_session, d7_mappings, d7_document):
+        # The engine goes through the same cached workload builders, so the
+        # artifacts are literally the same objects.
+        assert d7_session.mapping_set is d7_mappings
+        assert d7_session.document is d7_document
+
+    def test_q7_blocktree_identical(self, d7_session, d7_mappings, d7_document, d7_block_tree):
+        engine = d7_session.query("Q7").execute()
+        seed = evaluate_ptq_blocktree(load_query("Q7"), d7_mappings, d7_document, d7_block_tree)
+        assert answers_of(engine) == answers_of(seed)
+
+    def test_q7_basic_identical(self, d7_session, d7_mappings, d7_document):
+        engine = d7_session.query("Q7").plan("basic").execute()
+        seed = evaluate_ptq_basic(load_query("Q7"), d7_mappings, d7_document)
+        assert answers_of(engine) == answers_of(seed)
+
+    def test_q7_topk_identical(self, d7_session, d7_mappings, d7_document, d7_block_tree):
+        engine = d7_session.query("Q7").top_k(10).execute()
+        seed = evaluate_topk_ptq(
+            load_query("Q7"), d7_mappings, d7_document, k=10, block_tree=d7_block_tree
+        )
+        assert answers_of(engine) == answers_of(seed)
+
+    def test_batch_identical_to_seed_loop(
+        self, d7_session, d7_mappings, d7_document, d7_block_tree
+    ):
+        query_ids = ["Q1", "Q2", "Q3"]
+        batch = d7_session.batch(query_ids)
+        for query_id, engine in zip(query_ids, batch):
+            seed = evaluate_ptq_blocktree(
+                load_query(query_id), d7_mappings, d7_document, d7_block_tree
+            )
+            assert answers_of(engine) == answers_of(seed)
+
+    def test_explain_reports_blocktree_plan(self, d7_session):
+        report = d7_session.query("Q7").explain()
+        assert report.plan == "blocktree"
+        assert report.num_mappings == 100
+        assert report.num_relevant > 0
+        assert report.num_answers == report.num_relevant
+        assert report.num_blocks == d7_session.block_tree.num_blocks
+
+    def test_query_string_and_id_agree(self, d7_session):
+        from repro.workloads.queries import QUERY_STRINGS
+
+        by_id = d7_session.query("Q2").execute()
+        by_text = d7_session.query(QUERY_STRINGS["Q2"]).execute()
+        assert answers_of(by_id) == answers_of(by_text)

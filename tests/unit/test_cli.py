@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import io
+import json
 
 import pytest
 
@@ -100,5 +101,47 @@ class TestCommands:
 
     def test_query_bad_pattern(self):
         code, output = run_cli("query", "D7", "Order/[")
+        assert code == 2
+        assert "error:" in output
+
+    def test_query_json(self):
+        code, output = run_cli("query", "D7", "Q2", "--num-mappings", "50", "--json")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["dataset"] == "D7"
+        assert payload["query"] == "Order/DeliverTo/Contact/EMail"
+        assert payload["num_answers"] == len(payload["answers"]) == 50
+        assert {"mapping_id", "probability", "num_matches"} <= set(payload["answers"][0])
+        assert payload["value_distribution"]
+
+    def test_blocktree_json(self):
+        code, output = run_cli(
+            "blocktree", "D1", "--num-mappings", "20", "--tau", "0.3", "--json"
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert "num_blocks" in payload and "compression_ratio" in payload
+
+    def test_explain(self):
+        code, output = run_cli("explain", "D7", "Q2", "--num-mappings", "50")
+        assert code == 0
+        assert "plan:" in output
+        assert "blocktree" in output
+        assert "timings:" in output
+
+    def test_explain_forced_plan_json(self):
+        code, output = run_cli(
+            "explain", "D7", "Q2", "--num-mappings", "50",
+            "--algorithm", "basic", "--top-k", "5", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["plan"] == "basic"
+        assert payload["reason"] == "forced by caller"
+        assert payload["k"] == 5
+        assert payload["num_selected"] == 5
+
+    def test_explain_unknown_dataset(self):
+        code, output = run_cli("explain", "D42", "Q2")
         assert code == 2
         assert "error:" in output

@@ -7,7 +7,7 @@ import repro
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
@@ -25,6 +25,9 @@ class TestPublicApi:
             "evaluate_topk_ptq",
             "load_dataset",
             "standard_queries",
+            "Dataspace",
+            "PreparedQuery",
+            "QueryPlan",
         ):
             assert name in repro.__all__
 
