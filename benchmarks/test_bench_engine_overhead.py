@@ -5,6 +5,10 @@ session is warm (artifacts built, queries prepared), executing the ten
 Table III queries through prepared queries should cost no more than calling
 ``evaluate_ptq_blocktree`` directly — in fact the prepared path skips the
 per-call resolve and filter stages, so it is usually slightly faster.
+
+The engine calls bypass the session result cache (``use_cache=False``): this
+benchmark isolates the facade's dispatch overhead, while the cache's effect
+is measured by ``test_bench_service_throughput``.
 """
 
 from __future__ import annotations
@@ -39,7 +43,7 @@ def test_engine_overhead_fig9f(benchmark, experiment_report):
 
     def run_engine():
         for item in prepared:
-            item.execute(plan="blocktree")
+            item.execute(plan="blocktree", use_cache=False)
 
     def run_direct():
         for query in queries:

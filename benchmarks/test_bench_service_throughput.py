@@ -1,0 +1,110 @@
+"""Service-layer throughput: concurrent warm-cache serving vs sequential execution.
+
+Replays a mixed D1–D10 workload (three deterministic queries per dataset,
+interleaved round-robin) two ways:
+
+* **baseline** — sequential, cache-bypassing ``execute()`` calls, i.e. what a
+  single-threaded caller paid before the service layer existed;
+* **service** — the same operation stream through per-dataset
+  :class:`repro.service.QueryService` instances at concurrency 8 with a warm
+  result cache.
+
+Both passes run against pre-built session artifacts, so the comparison is
+steady-state serving, not construction.  The acceptance bar is a ≥2x
+throughput win for the service path; the warm cache turns evaluations into
+dictionary lookups, and ~4x is typical on the mixed workload.  p50/p95/p99
+latencies of both passes land in the report.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_SERVICE_DATASETS``
+    Comma-separated dataset ids to replay (default: all of D1–D10).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine import Dataspace
+from repro.service import QueryService, build_workload, replay_workload
+from repro.workloads.datasets import DATASET_IDS
+
+#: Required speedup of the warm concurrent service over sequential execution.
+MIN_SPEEDUP = 2.0
+#: Mapping-set size: small enough that all ten datasets stay cheap to build.
+SERVICE_H = 25
+
+
+def _datasets() -> list[str]:
+    raw = os.environ.get("REPRO_BENCH_SERVICE_DATASETS", "")
+    if raw.strip():
+        return [item.strip().upper() for item in raw.split(",") if item.strip()]
+    return list(DATASET_IDS)
+
+
+def test_service_throughput(benchmark, experiment_report):
+    datasets = _datasets()
+    ops = build_workload(datasets, queries_per_dataset=3, repeats=3)
+
+    sessions = {
+        dataset_id: Dataspace.from_dataset(dataset_id, h=SERVICE_H)
+        for dataset_id in datasets
+    }
+    cached = {
+        dataset_id: QueryService(session, max_workers=8)
+        for dataset_id, session in sessions.items()
+    }
+    uncached = {
+        dataset_id: QueryService(session, max_workers=1, use_cache=False)
+        for dataset_id, session in sessions.items()
+    }
+    try:
+        # Build every session's artifacts outside the timed windows, so the
+        # baseline measures steady-state sequential evaluation — not one-time
+        # matching/mapping/tree construction.
+        for session in sessions.values():
+            session.snapshot()
+        baseline = replay_workload(ops, concurrency=1, services=uncached)
+        service = replay_workload(ops, concurrency=8, services=cached, warm=True)
+
+        def run_warm_round():
+            replay_workload(ops, concurrency=8, services=cached)
+
+        benchmark.pedantic(run_warm_round, rounds=3, iterations=1)
+    finally:
+        for item in list(cached.values()) + list(uncached.values()):
+            item.close()
+
+    speedup = (
+        service.throughput_qps / baseline.throughput_qps
+        if baseline.throughput_qps > 0
+        else float("inf")
+    )
+    report = experiment_report(
+        "service_throughput",
+        f"Concurrent warm-cache service vs sequential execute "
+        f"({len(datasets)} datasets, {len(ops)} ops, |M|={SERVICE_H})",
+    )
+    report.add_row(
+        "sequential",
+        f"{baseline.throughput_qps:9.1f} q/s  "
+        f"p50={baseline.latency_ms.get('p50', 0):.2f} ms  "
+        f"p99={baseline.latency_ms.get('p99', 0):.2f} ms",
+    )
+    report.add_row(
+        "service c=8",
+        f"{service.throughput_qps:9.1f} q/s  "
+        f"p50={service.latency_ms.get('p50', 0):.2f} ms  "
+        f"p99={service.latency_ms.get('p99', 0):.2f} ms",
+    )
+    report.add_row("speedup", f"{speedup:.1f}x (required >= {MIN_SPEEDUP:.0f}x)")
+    report.add_row(
+        "cache",
+        f"hits={service.cache['hits']} misses={service.cache['misses']}",
+    )
+
+    assert baseline.errors == 0 and service.errors == 0
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm concurrent service is only {speedup:.2f}x the sequential baseline "
+        f"({service.throughput_qps:.1f} vs {baseline.throughput_qps:.1f} q/s)"
+    )

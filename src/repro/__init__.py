@@ -20,6 +20,15 @@ that picks an evaluation plan automatically::
         print(answer.mapping_id, answer.probability, len(answer.matches))
     print(ds.query("Q7").explain().format())   # plan chosen, inputs, timings
 
+Sessions are thread-safe, and the service layer turns one into a serving
+component: :class:`QueryService` fans queries over a thread pool with
+single-flight de-duplication, batches share their resolve/filter prefix, and
+a generation-keyed :class:`ResultCache` memoizes answers without ever serving
+a stale generation::
+
+    with repro.QueryService(ds, max_workers=8) as service:
+        results = service.execute_many(["Q1", "Q2", "Q7"], k=10)
+
 The pipeline stages also remain available as low-level free functions
 (``SchemaMatcher``, :func:`generate_top_h_mappings`,
 :func:`build_block_tree`, :func:`evaluate_ptq_blocktree`, ...) for callers
@@ -111,17 +120,28 @@ from repro.workloads import (
 from repro.engine import (
     BasicPlan,
     BlockTreePlan,
+    CacheStats,
     Dataspace,
+    EngineSnapshot,
     ExplainReport,
     PreparedQuery,
     QueryBuilder,
     QueryPlan,
+    ResultCache,
     available_plans,
     plan_for,
     register_plan,
 )
+from repro.service import (
+    QueryService,
+    ReplayOp,
+    ReplayReport,
+    build_workload,
+    replay_workload,
+    workload_queries,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -142,6 +162,7 @@ __all__ = [
     "DataspaceError",
     # engine facade
     "Dataspace",
+    "EngineSnapshot",
     "PreparedQuery",
     "QueryBuilder",
     "QueryPlan",
@@ -151,6 +172,15 @@ __all__ = [
     "plan_for",
     "register_plan",
     "available_plans",
+    # service layer
+    "QueryService",
+    "ResultCache",
+    "CacheStats",
+    "ReplayOp",
+    "ReplayReport",
+    "workload_queries",
+    "build_workload",
+    "replay_workload",
     # schema substrate
     "Schema",
     "SchemaElement",

@@ -10,12 +10,16 @@ The CLI exposes the engine's pipeline for quick, scriptable inspection::
     python -m repro blocktree D7 --tau 0.2       # block-tree statistics
     python -m repro query D7 Q7                  # evaluate one of the paper's queries
     python -m repro query D7 "Order/DeliverTo/Contact/EMail" --top-k 10
+    python -m repro batch D7 Q1 Q2 Q7 --workers 8 --repeat 3
     python -m repro explain D7 Q7                # which plan would run, and why
 
 All dataset-bound commands are backed by one :class:`repro.engine.Dataspace`
 session per invocation, so the matching, mapping set and block tree are built
-(or fetched from cache) exactly once.  ``query``, ``blocktree`` and
-``explain`` accept ``--json`` for machine-readable output.
+(or fetched from cache) exactly once.  ``batch`` pushes its queries through
+the concurrent :class:`repro.service.QueryService` and reports throughput and
+result-cache hit rates; ``explain`` shows how the session's result cache
+participated.  ``query``, ``blocktree``, ``batch`` and ``explain`` accept
+``--json`` for machine-readable output.
 
 Every command writes to stdout and returns a non-zero exit code on invalid
 input, so the CLI composes well with shell pipelines.
@@ -80,6 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--algorithm", choices=("block-tree", "basic"), default="block-tree")
     query.add_argument("--json", action="store_true",
                        help="emit answers and statistics as a JSON object")
+
+    batch = subparsers.add_parser(
+        "batch", help="evaluate many queries concurrently through the query service"
+    )
+    batch.add_argument("dataset")
+    batch.add_argument("queries", nargs="+",
+                       help="query ids (Q1..Q10) and/or twig pattern strings")
+    batch.add_argument("--num-mappings", type=int, default=100)
+    batch.add_argument("--top-k", type=int, default=None)
+    batch.add_argument("--workers", type=int, default=8,
+                       help="service thread-pool size (default 8)")
+    batch.add_argument("--repeat", type=int, default=1,
+                       help="replay the batch this many times (later rounds hit the cache)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="bypass the session result cache")
+    batch.add_argument("--json", action="store_true",
+                       help="emit results and service statistics as a JSON object")
 
     explain = subparsers.add_parser(
         "explain", help="show how a query would be evaluated (plan, inputs, timings)"
@@ -229,6 +250,58 @@ def _cmd_query(args, out) -> int:
     return 0
 
 
+def _cmd_batch(args, out) -> int:
+    from repro.service import QueryService
+
+    session = Dataspace.from_dataset(args.dataset, h=args.num_mappings)
+    rounds = max(1, args.repeat)
+    session.snapshot()  # build artifacts outside the timed window
+    started = time.perf_counter()
+    with QueryService(
+        session, max_workers=args.workers, use_cache=not args.no_cache
+    ) as service:
+        for _ in range(rounds):
+            results = service.execute_many(args.queries, k=args.top_k)
+        elapsed = time.perf_counter() - started
+        stats = service.stats()
+
+    total_ops = len(args.queries) * rounds
+    throughput = total_ops / elapsed if elapsed > 0 else 0.0
+    if args.json:
+        payload = {
+            "dataset": args.dataset.upper(),
+            "num_mappings": args.num_mappings,
+            "top_k": args.top_k,
+            "workers": args.workers,
+            "rounds": rounds,
+            "total_ops": total_ops,
+            "elapsed_ms": round(elapsed * 1000, 3),
+            "throughput_qps": round(throughput, 2),
+            "results": [
+                {
+                    "query": query,
+                    "num_answers": len(result),
+                    "num_non_empty": len(result.non_empty()),
+                }
+                for query, result in zip(args.queries, results)
+            ],
+            "service": stats,
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 0
+
+    out.write(f"{total_ops} queries ({len(args.queries)} distinct x {rounds} rounds) "
+              f"in {elapsed * 1000:.1f} ms on {args.workers} workers "
+              f"({throughput:.1f} q/s)\n")
+    for query, result in zip(args.queries, results):
+        out.write(f"  {query:<40} {len(result)} answers "
+                  f"({len(result.non_empty())} non-empty)\n")
+    cache = stats.get("result_cache", {})
+    out.write(f"cache: hits={cache.get('hits', 0)} misses={cache.get('misses', 0)} "
+              f"hit_rate={cache.get('hit_rate', 0.0)}\n")
+    return 0
+
+
 def _cmd_explain(args, out) -> int:
     session = Dataspace.from_dataset(args.dataset, h=args.num_mappings)
     report = session.explain(args.query, k=args.top_k, plan=_plan_name(args.algorithm))
@@ -247,6 +320,7 @@ _COMMANDS = {
     "mappings": _cmd_mappings,
     "blocktree": _cmd_blocktree,
     "query": _cmd_query,
+    "batch": _cmd_batch,
     "explain": _cmd_explain,
 }
 

@@ -21,7 +21,9 @@ The seed free functions (:func:`repro.evaluate_ptq_basic`,
 remain available as thin wrappers over the plan layer.
 """
 
-from repro.engine.dataspace import Dataspace
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.dataspace import Dataspace, EngineSnapshot
+from repro.engine.locking import ReadWriteLock
 from repro.engine.plans import (
     BasicPlan,
     BlockTreePlan,
@@ -35,6 +37,10 @@ from repro.engine.prepared import PreparedQuery, QueryBuilder
 
 __all__ = [
     "Dataspace",
+    "EngineSnapshot",
+    "CacheStats",
+    "ResultCache",
+    "ReadWriteLock",
     "PreparedQuery",
     "QueryBuilder",
     "QueryPlan",

@@ -1,0 +1,162 @@
+"""Bounded, thread-safe LRU result cache with hit/miss statistics.
+
+This module lives in the engine (the service layer re-exports it as
+:mod:`repro.service`'s ``ResultCache``) because the session itself owns the
+caches, while the service package sits above the engine.
+
+:class:`ResultCache` is deliberately generic — the engine uses one instance
+for evaluated :class:`~repro.query.results.PTQResult` objects and a second,
+smaller one for shared ``filter_mappings`` prefixes — but the *keying*
+discipline is what makes it safe: the engine always includes the session's
+mapping-set generation (and document version) in the key, so entries written
+against a superseded configuration are simply never looked up again and age
+out through normal LRU eviction.  The cache itself never has to be flushed on
+reconfiguration, which keeps ``configure()`` cheap under concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of a cache's counters.
+
+    ``hits``/``misses`` count lookups, ``evictions`` counts LRU removals
+    caused by capacity pressure, and ``size``/``capacity`` describe the
+    current occupancy.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view of the snapshot."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultCache:
+    """A bounded LRU cache safe for concurrent readers and writers.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently used entry is evicted
+        when a put would exceed it.  A capacity of ``0`` disables the cache
+        (every lookup misses, every put is dropped) while keeping the
+        call-sites oblivious.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries the cache holds."""
+        return self._capacity
+
+    @property
+    def enabled(self) -> bool:
+        """``False`` when the cache was built with capacity 0."""
+        return self._capacity > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value for ``key`` (marking it recently used), or ``None``."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """Like :meth:`get` but without touching recency or counters."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        """Insert ``value`` under ``key``, evicting the LRU entry when full.
+
+        Returns the value actually stored: under a racing double-compute the
+        first writer wins, so every caller ends up holding the same object.
+        """
+        if self._capacity == 0:
+            return value
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = value
+            if len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return value
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"ResultCache(size={stats.size}/{stats.capacity}, "
+            f"hits={stats.hits}, misses={stats.misses})"
+        )

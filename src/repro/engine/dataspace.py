@@ -20,47 +20,105 @@ The *generation* counter is what prepared queries key their cached filter
 step on, so a reconfigured session transparently refreshes exactly the work
 that went stale.
 
+Concurrency
+-----------
+A session is safe to share between threads.  All session state sits behind a
+writer-preferring :class:`~repro.engine.locking.ReadWriteLock`: any number of
+reader threads snapshot and query concurrently, while ``configure()`` /
+``invalidate()`` / ``set_document()`` take the write side.  Query execution
+never evaluates under the lock — it grabs an immutable
+:class:`EngineSnapshot` (generation + artifacts, captured atomically) and
+works off that, so a mid-flight reconfiguration can never produce a torn
+read: every result is computed entirely against one generation's artifacts.
+
+Two bounded LRU caches ride on the session (see
+:class:`~repro.engine.cache.ResultCache`):
+
+* the **result cache** memoizes evaluated :class:`PTQResult` objects under
+  ``(query, plan, k, tau, generation, document version)`` — stale entries
+  are unreachable by construction, never served;
+* the **filter cache** shares the ``filter_mappings`` prefix across queries
+  whose embeddings require the same target-element sets (the cross-query
+  extension of the paper's amortisation argument for Algorithm 4).
+
 Typical usage::
 
     ds = Dataspace.from_dataset("D7", h=100)
     result = ds.query("Order/DeliverTo/Contact/EMail").top_k(10).execute()
     report = ds.query("Q7").explain()          # which plan ran, and why
-    results = ds.batch(["Q1", "Q2", "Q3"])     # many queries, one session
+    results = ds.query_batch(["Q1", "Q2", "Q3"], max_workers=4)
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple, Union
+import itertools
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple, Union
 
 from repro.core.blocktree import BlockTree, BlockTreeConfig, build_block_tree
 from repro.document.document import XMLDocument
 from repro.document.generator import generate_document
+from repro.engine.cache import ResultCache
+from repro.engine.locking import ReadWriteLock
 from repro.engine.plans import QueryPlan, plan_for
 from repro.engine.prepared import PlanSpec, PreparedQuery, QueryBuilder
 from repro.exceptions import DataspaceError
 from repro.mapping.generator import GenerationMethod, generate_top_h_mappings
+from repro.mapping.mapping import Mapping
 from repro.mapping.mapping_set import MappingSet
 from repro.matching.matcher import MatcherConfig, SchemaMatcher
 from repro.matching.matching import SchemaMatching
 from repro.query.parser import parse_twig
+from repro.query.ptq import filter_mappings
+from repro.query.resolve import Embedding
 from repro.query.results import PTQResult
 from repro.query.twig import TwigQuery
 from repro.schema.schema import Schema
 from repro.workloads.datasets import build_mapping_set, load_dataset, load_source_document
 from repro.workloads.queries import QUERY_ALIASES, QUERY_STRINGS, load_query
 
-__all__ = ["Dataspace"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Executor
+
+__all__ = ["Dataspace", "EngineSnapshot"]
 
 _UNSET = object()
 
+#: Bound on cached PreparedQuery objects per session: a long-lived serving
+#: session receiving ad-hoc query texts must not grow without limit.  An
+#: evicted query is simply re-prepared (and re-resolves) on next use.
+_PREPARED_CACHE_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """An immutable, consistent view of one session generation.
+
+    Captured atomically under the session lock; query execution works
+    entirely off a snapshot, so concurrent reconfiguration cannot interleave
+    with an in-flight evaluation.  ``block_tree`` is ``None`` when the
+    snapshot was taken with ``need_tree=False`` and the tree was not already
+    built.
+    """
+
+    generation: int
+    document_version: int
+    tau: float
+    mapping_set: MappingSet
+    document: XMLDocument
+    block_tree: Optional[BlockTree]
+
 
 class Dataspace:
-    """A stateful engine session over one source/target schema pair.
+    """A stateful, thread-safe engine session over one source/target schema pair.
 
     Construct directly from two schemas, or with :meth:`from_dataset` (one of
     the paper's Table II datasets), :meth:`from_matching` (a pre-computed
     schema matching) or :meth:`from_mapping_set` (a pre-computed mapping
-    set).  See the module docstring for the caching/invalidation contract.
+    set).  See the module docstring for the caching/invalidation contract and
+    the concurrency guarantees.
 
     Parameters
     ----------
@@ -86,6 +144,8 @@ class Dataspace:
         Base seed for matcher noise and document generation.
     name:
         Session name; defaults to ``"<source>-><target>"``.
+    cache_size:
+        Capacity of the session's result cache (``0`` disables caching).
     """
 
     def __init__(
@@ -103,6 +163,7 @@ class Dataspace:
         document_nodes: Optional[int] = None,
         seed: Optional[int] = None,
         name: Optional[str] = None,
+        cache_size: int = 128,
     ) -> None:
         if h < 1:
             raise DataspaceError(f"h must be at least 1, got {h}")
@@ -129,7 +190,21 @@ class Dataspace:
         self._pinned_matching = False
         self._pinned_mapping_set = False
         self._generation = 0
-        self._prepared: dict[str, PreparedQuery] = {}
+        self._document_version = 0
+        self._prepared: ResultCache = ResultCache(_PREPARED_CACHE_CAPACITY)
+        # Caller-supplied twigs get a session-unique key from a monotonic
+        # counter, remembered per live twig object: unlike a raw id(), a key
+        # can never be reissued to a different twig after garbage collection,
+        # so cached results can never alias across twig objects.
+        self._twig_keys: "weakref.WeakKeyDictionary[TwigQuery, str]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._twig_key_counter = itertools.count()
+        self._twig_key_lock = threading.Lock()
+        self._lock = ReadWriteLock()
+        self._result_cache = ResultCache(cache_size)
+        # cache_size=0 disables *all* caching, including filter sharing.
+        self._filter_cache = ResultCache(0 if cache_size == 0 else 64)
 
     # ------------------------------------------------------------------ #
     # Alternative constructors
@@ -146,6 +221,7 @@ class Dataspace:
         max_failures: int = 500,
         document: Optional[XMLDocument] = None,
         seed: Optional[int] = None,
+        cache_size: int = 128,
     ) -> "Dataspace":
         """Open a session on one of the paper's Table II datasets (``"D1"``…``"D10"``).
 
@@ -166,6 +242,7 @@ class Dataspace:
             document=document,
             seed=seed,
             name=dataset.dataset_id,
+            cache_size=cache_size,
         )
         session._dataset_id = dataset.dataset_id
         session._matching = dataset.matching
@@ -185,6 +262,7 @@ class Dataspace:
         document_nodes: Optional[int] = None,
         seed: Optional[int] = None,
         name: Optional[str] = None,
+        cache_size: int = 128,
     ) -> "Dataspace":
         """Open a session over a pre-computed schema matching.
 
@@ -204,6 +282,7 @@ class Dataspace:
             document_nodes=document_nodes,
             seed=seed,
             name=name or matching.name,
+            cache_size=cache_size,
         )
         session._matching = matching
         session._pinned_matching = True
@@ -220,6 +299,7 @@ class Dataspace:
         document: Optional[XMLDocument] = None,
         document_nodes: Optional[int] = None,
         name: Optional[str] = None,
+        cache_size: int = 128,
     ) -> "Dataspace":
         """Open a session over a pre-computed mapping set.
 
@@ -235,6 +315,7 @@ class Dataspace:
             document=document,
             document_nodes=document_nodes,
             name=name,
+            cache_size=cache_size,
         )
         session._mapping_set = mapping_set
         session._pinned_mapping_set = True
@@ -271,7 +352,14 @@ class Dataspace:
     @property
     def generation(self) -> int:
         """Mapping-set generation; bumped whenever the mapping set is invalidated."""
-        return self._generation
+        with self._lock.read_locked():
+            return self._generation
+
+    @property
+    def document_version(self) -> int:
+        """Source-document version; bumped by :meth:`set_document`."""
+        with self._lock.read_locked():
+            return self._document_version
 
     def configure(
         self,
@@ -286,7 +374,9 @@ class Dataspace:
         """Reconfigure the session, invalidating only the affected artifacts.
 
         Returns ``self`` so calls chain fluently.  See the module docstring
-        for the invalidation table.
+        for the invalidation table.  Safe to call while other threads are
+        querying: the whole reconfiguration happens under the write lock, so
+        readers observe either the old or the new generation, never a mix.
 
         Raises
         ------
@@ -294,44 +384,47 @@ class Dataspace:
             When changing a parameter that a pinned artifact depends on
             (e.g. ``h`` on a session built with :meth:`from_mapping_set`).
         """
-        if matcher_config is not _UNSET and matcher_config != self._matcher_config:
-            if self._pinned_matching:
-                raise DataspaceError(
-                    "cannot change matcher_config: this session was built from a "
-                    "pre-computed matching or mapping set"
-                )
-            self._matcher_config = matcher_config
-            self._invalidate_matching()
-        if h is not None and h != self._h:
-            if h < 1:
-                raise DataspaceError(f"h must be at least 1, got {h}")
-            self._require_unpinned_mapping_set("h")
-            self._h = h
-            self._invalidate_mappings()
-        if method is not None:
-            normalized = GenerationMethod(method).value
-            if normalized != self._method:
-                self._require_unpinned_mapping_set("method")
-                self._method = normalized
+        with self._lock.write_locked():
+            if matcher_config is not _UNSET and matcher_config != self._matcher_config:
+                if self._pinned_matching:
+                    raise DataspaceError(
+                        "cannot change matcher_config: this session was built from a "
+                        "pre-computed matching or mapping set"
+                    )
+                self._matcher_config = matcher_config
+                self._invalidate_matching()
+            if h is not None and h != self._h:
+                if h < 1:
+                    raise DataspaceError(f"h must be at least 1, got {h}")
+                self._require_unpinned_mapping_set("h")
+                self._h = h
                 self._invalidate_mappings()
-        tree_params_changed = False
-        new_tau = self._tau if tau is None else tau
-        new_max_blocks = self._max_blocks if max_blocks is None else max_blocks
-        new_max_failures = self._max_failures if max_failures is None else max_failures
-        if (new_tau, new_max_blocks, new_max_failures) != (
-            self._tau,
-            self._max_blocks,
-            self._max_failures,
-        ):
-            BlockTreeConfig(tau=new_tau, max_blocks=new_max_blocks, max_failures=new_max_failures)
-            self._tau, self._max_blocks, self._max_failures = (
-                new_tau,
-                new_max_blocks,
-                new_max_failures,
-            )
-            tree_params_changed = True
-        if tree_params_changed:
-            self._block_tree = None
+            if method is not None:
+                normalized = GenerationMethod(method).value
+                if normalized != self._method:
+                    self._require_unpinned_mapping_set("method")
+                    self._method = normalized
+                    self._invalidate_mappings()
+            tree_params_changed = False
+            new_tau = self._tau if tau is None else tau
+            new_max_blocks = self._max_blocks if max_blocks is None else max_blocks
+            new_max_failures = self._max_failures if max_failures is None else max_failures
+            if (new_tau, new_max_blocks, new_max_failures) != (
+                self._tau,
+                self._max_blocks,
+                self._max_failures,
+            ):
+                BlockTreeConfig(
+                    tau=new_tau, max_blocks=new_max_blocks, max_failures=new_max_failures
+                )
+                self._tau, self._max_blocks, self._max_failures = (
+                    new_tau,
+                    new_max_blocks,
+                    new_max_failures,
+                )
+                tree_params_changed = True
+            if tree_params_changed:
+                self._block_tree = None
         return self
 
     def _require_unpinned_mapping_set(self, parameter: str) -> None:
@@ -354,14 +447,16 @@ class Dataspace:
         """Drop every rebuildable cached artifact and bump the generation.
 
         Pinned artifacts (from :meth:`from_matching` / :meth:`from_mapping_set`)
-        are kept; prepared queries survive but refresh their filter caches.
+        are kept; prepared queries survive but refresh their filter caches,
+        and cached results keyed on the old generation become unreachable.
         """
-        if not self._pinned_matching:
-            self._matching = None
-        if not self._pinned_mapping_set:
-            self._mapping_set = None
-        self._block_tree = None
-        self._generation += 1
+        with self._lock.write_locked():
+            if not self._pinned_matching:
+                self._matching = None
+            if not self._pinned_mapping_set:
+                self._mapping_set = None
+            self._block_tree = None
+            self._generation += 1
         return self
 
     def _check_document(self, document: XMLDocument) -> None:
@@ -373,15 +468,20 @@ class Dataspace:
     def set_document(self, document: XMLDocument) -> "Dataspace":
         """Swap the source document the session evaluates queries over."""
         self._check_document(document)
-        self._document = document
+        with self._lock.write_locked():
+            self._document = document
+            self._document_version += 1
         return self
 
     # ------------------------------------------------------------------ #
     # Lazily built artifacts
     # ------------------------------------------------------------------ #
-    @property
-    def matching(self) -> SchemaMatching:
-        """The schema matching (built and memoized on first access)."""
+    # Locking discipline: the public properties try a read-locked fast path
+    # first, then upgrade (release/reacquire) to the write lock and build via
+    # the _build_* helpers, which assume the write lock is held and call each
+    # other directly — never back through the locking properties.
+
+    def _build_matching(self) -> SchemaMatching:
         if self._matching is None:
             if self._matcher_config is None and self._dataset_id is not None:
                 self._matching = load_dataset(self._dataset_id, seed=self._seed).matching
@@ -393,9 +493,7 @@ class Dataspace:
                 )
         return self._matching
 
-    @property
-    def mapping_set(self) -> MappingSet:
-        """The top-h possible mappings (built and memoized on first access)."""
+    def _build_mapping_set(self) -> MappingSet:
         if self._mapping_set is None:
             if self._dataset_id is not None and self._matcher_config is None:
                 # Share the workload layer's cache with benchmarks and tests.
@@ -404,23 +502,19 @@ class Dataspace:
                 )
             else:
                 self._mapping_set = generate_top_h_mappings(
-                    self.matching, self._h, method=self._method
+                    self._build_matching(), self._h, method=self._method
                 )
         return self._mapping_set
 
-    @property
-    def block_tree(self) -> BlockTree:
-        """The block tree over the mapping set (built and memoized on first access)."""
+    def _build_block_tree(self) -> BlockTree:
         if self._block_tree is None:
             config = BlockTreeConfig(
                 tau=self._tau, max_blocks=self._max_blocks, max_failures=self._max_failures
             )
-            self._block_tree = build_block_tree(self.mapping_set, config)
+            self._block_tree = build_block_tree(self._build_mapping_set(), config)
         return self._block_tree
 
-    @property
-    def document(self) -> XMLDocument:
-        """The source document (loaded or generated on first access)."""
+    def _build_document(self) -> XMLDocument:
         if self._document is None:
             if self._dataset_id is not None:
                 self._document = load_source_document(
@@ -431,6 +525,122 @@ class Dataspace:
                     self.source_schema, target_nodes=self._document_nodes, seed=self._seed
                 )
         return self._document
+
+    @property
+    def matching(self) -> SchemaMatching:
+        """The schema matching (built and memoized on first access)."""
+        with self._lock.read_locked():
+            if self._matching is not None:
+                return self._matching
+        with self._lock.write_locked():
+            return self._build_matching()
+
+    @property
+    def mapping_set(self) -> MappingSet:
+        """The top-h possible mappings (built and memoized on first access)."""
+        with self._lock.read_locked():
+            if self._mapping_set is not None:
+                return self._mapping_set
+        with self._lock.write_locked():
+            return self._build_mapping_set()
+
+    @property
+    def block_tree(self) -> BlockTree:
+        """The block tree over the mapping set (built and memoized on first access)."""
+        with self._lock.read_locked():
+            if self._block_tree is not None:
+                return self._block_tree
+        with self._lock.write_locked():
+            return self._build_block_tree()
+
+    @property
+    def document(self) -> XMLDocument:
+        """The source document (loaded or generated on first access)."""
+        with self._lock.read_locked():
+            if self._document is not None:
+                return self._document
+        with self._lock.write_locked():
+            return self._build_document()
+
+    # ------------------------------------------------------------------ #
+    # Snapshots and shared caches
+    # ------------------------------------------------------------------ #
+    def _snapshot_if_built(self, need_tree: bool) -> Optional[EngineSnapshot]:
+        """Assemble a snapshot from already-built artifacts, else ``None``."""
+        if self._mapping_set is None or self._document is None:
+            return None
+        if need_tree and self._block_tree is None:
+            return None
+        return EngineSnapshot(
+            generation=self._generation,
+            document_version=self._document_version,
+            tau=self._tau,
+            mapping_set=self._mapping_set,
+            document=self._document,
+            block_tree=self._block_tree,
+        )
+
+    def snapshot(self, *, need_tree: bool = True) -> EngineSnapshot:
+        """Capture a consistent :class:`EngineSnapshot` of the session.
+
+        Builds any missing artifact first (under the write lock), then
+        returns generation, document and mapping set — plus the block tree
+        unless ``need_tree=False`` and it is not already built — as one
+        atomic unit.  Execution paths evaluate against a snapshot, never
+        against the live session, which is what makes concurrent
+        ``configure()`` calls safe.
+        """
+        with self._lock.read_locked():
+            snap = self._snapshot_if_built(need_tree)
+            if snap is not None:
+                return snap
+        with self._lock.write_locked():
+            self._build_mapping_set()
+            self._build_document()
+            if need_tree:
+                self._build_block_tree()
+            snap = self._snapshot_if_built(need_tree)
+            assert snap is not None  # all artifacts were just built
+            return snap
+
+    @property
+    def result_cache(self) -> ResultCache:
+        """The session's LRU cache of evaluated :class:`PTQResult` objects."""
+        return self._result_cache
+
+    def cache_stats(self) -> dict:
+        """Hit/miss statistics of the result and filter caches."""
+        return {
+            "result_cache": self._result_cache.stats().to_dict(),
+            "filter_cache": self._filter_cache.stats().to_dict(),
+        }
+
+    def clear_caches(self) -> "Dataspace":
+        """Drop all cached results and shared filter prefixes."""
+        self._result_cache.clear()
+        self._filter_cache.clear()
+        return self
+
+    def relevant_for(
+        self, embeddings: list[Embedding], snapshot: Optional[EngineSnapshot] = None
+    ) -> list[Mapping]:
+        """Relevant mappings for ``embeddings``, via the shared filter cache.
+
+        Queries whose embeddings require the same target-element sets have —
+        by construction of :func:`~repro.query.ptq.filter_mappings` — the
+        same relevant-mapping list, so the filter prefix is cached per
+        ``(generation, required-target signature)`` and shared across every
+        query and caller that hits those schema elements.
+        """
+        snap = snapshot if snapshot is not None else self.snapshot(need_tree=False)
+        signature = frozenset(frozenset(embedding.values()) for embedding in embeddings)
+        key = (snap.generation, signature)
+        relevant = self._filter_cache.get(key)
+        if relevant is None:
+            relevant = self._filter_cache.put(
+                key, filter_mappings(snap.mapping_set, embeddings)
+            )
+        return relevant
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -453,22 +663,30 @@ class Dataspace:
         Preparing the same query text (or the same :class:`TwigQuery`
         object) twice returns the same prepared query, so its resolve/filter
         caches are shared; distinct twig objects are never conflated, even
-        when their text coincides.
+        when their text coincides.  The per-session prepared-query cache is
+        a bounded LRU, so serving arbitrary ad-hoc query texts cannot grow
+        session memory without limit.
         """
         if isinstance(query, TwigQuery):
             # A caller-supplied twig is keyed by identity: its structure may
             # differ from what the session would parse from the same text
-            # (aliases, hand-built trees).  The cached PreparedQuery keeps
-            # the twig alive, so the id stays valid.
+            # (aliases, hand-built trees).  The key comes from a per-session
+            # counter (see __init__), not id(), so it stays unique for the
+            # session's whole lifetime.
             twig = query
-            key = f"<twig:{id(twig)}>"
+            with self._twig_key_lock:
+                key = self._twig_keys.get(twig)
+                if key is None:
+                    key = f"<twig:{next(self._twig_key_counter)}>"
+                    self._twig_keys[twig] = key
         else:
             twig = self._as_twig(query)
             key = twig.text
         prepared = self._prepared.get(key)
         if prepared is None:
-            prepared = PreparedQuery(self, twig)
-            self._prepared[key] = prepared
+            # First-writer-wins put: racing preparers all end up sharing the
+            # one instance that actually landed in the cache.
+            prepared = self._prepared.put(key, PreparedQuery(self, twig, cache_key=key))
         return prepared
 
     def query(self, query: Union[str, TwigQuery]) -> QueryBuilder:
@@ -481,9 +699,10 @@ class Dataspace:
         *,
         k: Optional[int] = None,
         plan: PlanSpec = None,
+        use_cache: bool = True,
     ) -> PTQResult:
         """Prepare (or reuse) and evaluate ``query`` in one call."""
-        return self.prepare(query).execute(k=k, plan=plan)
+        return self.prepare(query).execute(k=k, plan=plan, use_cache=use_cache)
 
     def explain(
         self,
@@ -491,9 +710,10 @@ class Dataspace:
         *,
         k: Optional[int] = None,
         plan: PlanSpec = None,
+        use_cache: bool = True,
     ):
         """Evaluate ``query`` and report plan choice, inputs and timings."""
-        return self.prepare(query).explain(k=k, plan=plan)
+        return self.prepare(query).explain(k=k, plan=plan, use_cache=use_cache)
 
     def batch(
         self,
@@ -504,13 +724,83 @@ class Dataspace:
     ) -> list[PTQResult]:
         """Evaluate many queries against one consistent session state.
 
-        All queries are prepared first (so the plan is selected once and the
-        session's artifacts are built once), then evaluated in order.
+        Sequential convenience alias of :meth:`query_batch`; all queries run
+        against one snapshot, sharing prepared-query and filter-prefix work.
+        """
+        return self.query_batch(queries, k=k, plan=plan)
+
+    def query_batch(
+        self,
+        queries: Iterable[Union[str, TwigQuery]],
+        *,
+        k: Optional[int] = None,
+        plan: PlanSpec = None,
+        max_workers: Optional[int] = None,
+        executor: Optional["Executor"] = None,
+        use_cache: bool = True,
+    ) -> list[PTQResult]:
+        """Evaluate many queries as one batch, sharing prefix work.
+
+        All queries are prepared up front and evaluated against a *single*
+        snapshot, so the session's artifacts are built once and every result
+        belongs to the same generation.  The resolve and ``filter_mappings``
+        prefix is shared: duplicate queries collapse onto one
+        :class:`PreparedQuery`, and distinct queries hitting the same target
+        elements share one filter pass through the session filter cache.
+        Duplicate queries are evaluated once and the result object reused.
+
+        Parameters
+        ----------
+        queries:
+            Query strings, ids or :class:`TwigQuery` objects.
+        k, plan:
+            Per-batch top-k restriction and plan override.
+        max_workers:
+            Fan evaluation out over a private thread pool of this size;
+            ``None`` (default) evaluates sequentially in the calling thread.
+        executor:
+            Fan out over a caller-owned executor instead (takes precedence
+            over ``max_workers``); used by the service layer to share one
+            pool across batches.
+        use_cache:
+            Consult/populate the session result cache (default ``True``).
         """
         prepared = [self.prepare(query) for query in queries]
-        if plan is None and prepared:
-            plan, _ = self.select_plan(None)
-        return [item.execute(k=k, plan=plan) for item in prepared]
+        if not prepared:
+            return []
+        need_tree = plan is None or plan_for(plan).uses_block_tree
+        snap = self.snapshot(need_tree=need_tree)
+        # Dedupe: the same prepared query is evaluated once per batch.
+        unique: dict[int, PreparedQuery] = {}
+        for item in prepared:
+            unique.setdefault(id(item), item)
+        items = list(unique.values())
+        # Warm the shared resolve + filter prefix before fanning out, so
+        # concurrent workers hit the filter cache instead of racing on it.
+        for item in items:
+            item.relevant_mappings(snapshot=snap)
+
+        def run_one(item: PreparedQuery) -> PTQResult:
+            return item.execute(k=k, plan=plan, snapshot=snap, use_cache=use_cache)
+
+        results: dict[int, PTQResult]
+        if executor is not None and len(items) > 1:
+            futures = [(id(item), executor.submit(run_one, item)) for item in items]
+            results = {key: future.result() for key, future in futures}
+        elif max_workers is not None and max_workers > 1 and len(items) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=min(max_workers, len(items))) as pool:
+                futures = [(id(item), pool.submit(run_one, item)) for item in items]
+                results = {key: future.result() for key, future in futures}
+        else:
+            results = {id(item): run_one(item) for item in items}
+        return [results[id(item)] for item in prepared]
+
+    def _plan_from_tree(self, tree: BlockTree) -> Tuple[QueryPlan, str]:
+        if tree.num_blocks == 0:
+            return plan_for("basic"), "block tree carries no c-blocks"
+        return plan_for("blocktree"), f"block tree with {tree.num_blocks} c-blocks available"
 
     def select_plan(self, plan: PlanSpec = None) -> Tuple[QueryPlan, str]:
         """Pick the evaluation plan: ``(plan, reason)``.
@@ -522,10 +812,19 @@ class Dataspace:
         """
         if plan is not None:
             return plan_for(plan), "forced by caller"
-        tree = self.block_tree
-        if tree.num_blocks == 0:
-            return plan_for("basic"), "block tree carries no c-blocks"
-        return plan_for("blocktree"), f"block tree with {tree.num_blocks} c-blocks available"
+        return self._plan_from_tree(self.block_tree)
+
+    def select_plan_for(
+        self, plan: PlanSpec, snapshot: EngineSnapshot
+    ) -> Tuple[QueryPlan, str]:
+        """Like :meth:`select_plan`, but decided against a snapshot's tree."""
+        if plan is not None:
+            return plan_for(plan), "forced by caller"
+        if snapshot.block_tree is None:
+            raise DataspaceError(
+                "automatic plan selection needs a snapshot taken with need_tree=True"
+            )
+        return self._plan_from_tree(snapshot.block_tree)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -536,31 +835,34 @@ class Dataspace:
         Only reports statistics of artifacts that are already built — calling
         this never triggers a build.
         """
-        info: dict = {
-            "name": self.name,
-            "dataset": self._dataset_id,
-            "source": self.source_schema.name,
-            "|S|": len(self.source_schema),
-            "target": self.target_schema.name,
-            "|T|": len(self.target_schema),
-            "h": self._h,
-            "method": self._method,
-            "tau": self._tau,
-            "generation": self._generation,
-            "prepared_queries": len(self._prepared),
-            "matching_built": self._matching is not None,
-            "mapping_set_built": self._mapping_set is not None,
-            "block_tree_built": self._block_tree is not None,
-            "document_loaded": self._document is not None,
-        }
-        if self._matching is not None:
-            info["capacity"] = self._matching.capacity
-        if self._mapping_set is not None:
-            info["o_ratio"] = round(self._mapping_set.o_ratio(), 4)
-        if self._block_tree is not None:
-            info["num_blocks"] = self._block_tree.num_blocks
-        if self._document is not None:
-            info["document_nodes"] = len(self._document)
+        with self._lock.read_locked():
+            info: dict = {
+                "name": self.name,
+                "dataset": self._dataset_id,
+                "source": self.source_schema.name,
+                "|S|": len(self.source_schema),
+                "target": self.target_schema.name,
+                "|T|": len(self.target_schema),
+                "h": self._h,
+                "method": self._method,
+                "tau": self._tau,
+                "generation": self._generation,
+                "document_version": self._document_version,
+                "prepared_queries": len(self._prepared),
+                "matching_built": self._matching is not None,
+                "mapping_set_built": self._mapping_set is not None,
+                "block_tree_built": self._block_tree is not None,
+                "document_loaded": self._document is not None,
+            }
+            if self._matching is not None:
+                info["capacity"] = self._matching.capacity
+            if self._mapping_set is not None:
+                info["o_ratio"] = round(self._mapping_set.o_ratio(), 4)
+            if self._block_tree is not None:
+                info["num_blocks"] = self._block_tree.num_blocks
+            if self._document is not None:
+                info["document_nodes"] = len(self._document)
+        info.update(self.cache_stats())
         return info
 
     def __repr__(self) -> str:

@@ -22,7 +22,7 @@ name the same plan).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.blocktree import BlockTree
 from repro.document.document import XMLDocument
@@ -86,8 +86,8 @@ class QueryPlan:
         *,
         block_tree: Optional[BlockTree] = None,
         embeddings: Optional[list[Embedding]] = None,
-        relevant: Optional[Sequence[Mapping]] = None,
-        mappings: Optional[Sequence[Mapping]] = None,
+        relevant: Optional[Iterable[Mapping]] = None,
+        mappings: Optional[Iterable[Mapping]] = None,
         k: Optional[int] = None,
     ) -> PTQResult:
         """Full pipeline: resolve and filter (unless pre-computed), then evaluate.
@@ -103,10 +103,11 @@ class QueryPlan:
             resolved here when omitted.
         relevant:
             Pre-filtered relevant mappings (from :func:`filter_mappings`
-            over the whole mapping set); computed here when omitted.
+            over the whole mapping set); computed here when omitted.  Any
+            iterable is accepted and materialised once.
         mappings:
-            Explicit candidate subset; overrides ``relevant`` and is
-            re-filtered, mirroring the seed free functions.
+            Explicit candidate subset (any iterable); overrides ``relevant``
+            and is re-filtered, mirroring the seed free functions.
         k:
             Optional top-k restriction (Definition 5).
         """
@@ -114,10 +115,14 @@ class QueryPlan:
             raise QueryError(f"k must be positive, got {k}")
         if embeddings is None:
             embeddings = resolve_query(query, mapping_set.matching.target)
+        # Normalise candidate inputs to concrete lists exactly once: the
+        # evaluators iterate their mapping subset once per embedding, so a
+        # caller-supplied generator or other one-shot iterable must not reach
+        # them raw (it would silently drain after the first embedding).
         if mappings is not None:
             selected: Sequence[Mapping] = filter_mappings(mappings, embeddings)
         elif relevant is not None:
-            selected = relevant
+            selected = list(relevant)
         else:
             selected = filter_mappings(mapping_set, embeddings)
         if k is not None:
@@ -238,7 +243,9 @@ class ExplainReport:
     Produced by :meth:`repro.engine.prepared.PreparedQuery.explain`; rendered
     by the CLI's ``explain`` subcommand.  ``timings_ms`` holds the measured
     ``resolve``/``filter``/``evaluate`` stage times — a stage served from a
-    prepared-query cache reports (close to) zero.
+    prepared-query cache reports (close to) zero.  ``cache`` records how the
+    session's result cache participated (``"hit"``, ``"miss"`` or
+    ``"bypass"``) and ``cache_stats`` snapshots its counters.
     """
 
     query: str
@@ -255,6 +262,8 @@ class ExplainReport:
     timings_ms: dict[str, float]
     num_answers: int
     num_non_empty: int
+    cache: Optional[str] = None
+    cache_stats: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable view of the report."""
@@ -273,6 +282,8 @@ class ExplainReport:
             "timings_ms": {stage: round(ms, 3) for stage, ms in self.timings_ms.items()},
             "num_answers": self.num_answers,
             "num_non_empty": self.num_non_empty,
+            "cache": self.cache,
+            "cache_stats": self.cache_stats,
         }
 
     def format(self) -> str:
@@ -295,5 +306,14 @@ class ExplainReport:
             lines.append(f"c-blocks:   {self.num_blocks}")
             lines.append(f"anchored:   {anchored}")
         lines.append(f"timings:    {timings}")
+        if self.cache is not None:
+            stats = self.cache_stats or {}
+            detail = ""
+            if stats:
+                detail = (
+                    f" (hits={stats.get('hits', 0)} misses={stats.get('misses', 0)}"
+                    f" hit_rate={stats.get('hit_rate', 0.0)})"
+                )
+            lines.append(f"cache:      {self.cache}{detail}")
         lines.append(f"answers:    {self.num_answers} ({self.num_non_empty} non-empty)")
         return "\n".join(lines)

@@ -5,7 +5,15 @@ A :class:`PreparedQuery` is a twig query compiled against one
 target-schema embeddings) is computed once per query, and the filter step
 (relevant mappings) once per *mapping-set generation* — the session bumps its
 generation counter whenever the mapping set is invalidated, so a prepared
-query transparently refreshes exactly the work that went stale.
+query transparently refreshes exactly the work that went stale.  The filter
+step goes through the session's shared filter cache, so distinct queries that
+require the same target elements share one ``filter_mappings`` pass.
+
+Execution is snapshot-based and thread-safe: each :meth:`PreparedQuery.execute`
+captures (or receives) a consistent :class:`~repro.engine.dataspace.EngineSnapshot`
+and consults the session's result cache under a key that includes the
+snapshot's generation, so concurrent reconfiguration can neither tear an
+evaluation nor let a stale cached answer escape.
 
 :class:`QueryBuilder` is the immutable fluent front-end::
 
@@ -18,8 +26,10 @@ can be shared and specialised without aliasing surprises.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import TYPE_CHECKING, Optional, Union
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable, Optional, Union
 
 from repro.engine.plans import (
     ExplainReport,
@@ -28,17 +38,20 @@ from repro.engine.plans import (
     plan_for,
 )
 from repro.mapping.mapping import Mapping
-from repro.query.ptq import filter_mappings
 from repro.query.resolve import Embedding, resolve_query
 from repro.query.results import PTQResult
 from repro.query.twig import TwigQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from repro.engine.dataspace import Dataspace
+    from repro.engine.dataspace import Dataspace, EngineSnapshot
 
 __all__ = ["PreparedQuery", "QueryBuilder"]
 
 PlanSpec = Union[str, QueryPlan, None]
+
+#: Per-generation relevant-mapping memos kept per prepared query; old
+#: generations are pruned so long-lived sessions cannot grow unboundedly.
+_MAX_GENERATION_MEMOS = 8
 
 
 class PreparedQuery:
@@ -47,19 +60,27 @@ class PreparedQuery:
     Obtain instances through :meth:`Dataspace.prepare` (or the fluent
     :meth:`Dataspace.query`); the session caches them per query text.
     ``resolve_count`` and ``filter_count`` record how often the two cached
-    pipeline stages were actually recomputed — they are what the engine's
-    cache tests observe.
+    pipeline stages were actually refreshed — they are what the engine's
+    cache tests observe.  (A refresh of the filter stage may itself be served
+    by the session's *shared* filter cache when another query with the same
+    target-element signature got there first.)
     """
 
-    def __init__(self, dataspace: "Dataspace", query: TwigQuery) -> None:
+    def __init__(
+        self, dataspace: "Dataspace", query: TwigQuery, cache_key: Optional[str] = None
+    ) -> None:
         self._dataspace = dataspace
         self._query = query
+        self._cache_key = cache_key if cache_key is not None else (
+            query.text or f"<twig:{id(query)}>"
+        )
+        self._memo_lock = threading.Lock()
         self._embeddings: Optional[list[Embedding]] = None
-        self._relevant: Optional[list[Mapping]] = None
-        self._relevant_generation = -1
+        self._relevant_by_generation: "OrderedDict[int, list[Mapping]]" = OrderedDict()
         #: Number of times the resolve stage ran (never more than once).
         self.resolve_count = 0
-        #: Number of times the filter stage ran (once per mapping-set generation used).
+        #: Number of times the filter stage was refreshed (once per mapping-set
+        #: generation this query executed against).
         self.filter_count = 0
 
     # ------------------------------------------------------------------ #
@@ -81,28 +102,78 @@ class PreparedQuery:
         return self._query.text
 
     @property
+    def cache_key(self) -> str:
+        """Stable key identifying this query in the session's caches."""
+        return self._cache_key
+
+    @property
     def embeddings(self) -> list[Embedding]:
         """Embeddings of the query into the target schema (resolved once)."""
-        if self._embeddings is None:
-            self._embeddings = resolve_query(self._query, self._dataspace.target_schema)
-            self.resolve_count += 1
-        return self._embeddings
+        with self._memo_lock:
+            if self._embeddings is None:
+                self._embeddings = resolve_query(self._query, self._dataspace.target_schema)
+                self.resolve_count += 1
+            return self._embeddings
 
-    def relevant_mappings(self) -> list[Mapping]:
-        """Relevant mappings, filtered once per mapping-set generation."""
-        mapping_set = self._dataspace.mapping_set
-        generation = self._dataspace.generation
-        if self._relevant is None or self._relevant_generation != generation:
-            self._relevant = filter_mappings(mapping_set, self.embeddings)
-            self._relevant_generation = generation
-            self.filter_count += 1
-        return self._relevant
+    def relevant_mappings(
+        self, snapshot: Optional["EngineSnapshot"] = None
+    ) -> list[Mapping]:
+        """Relevant mappings, refreshed once per mapping-set generation.
+
+        Delegates the actual filtering to
+        :meth:`~repro.engine.dataspace.Dataspace.relevant_for`, which shares
+        the work across queries requiring the same target elements.
+        """
+        ds = self._dataspace
+        snap = snapshot if snapshot is not None else ds.snapshot(need_tree=False)
+        generation = snap.generation
+        with self._memo_lock:
+            relevant = self._relevant_by_generation.get(generation)
+        if relevant is not None:
+            return relevant
+        relevant = ds.relevant_for(self.embeddings, snap)
+        with self._memo_lock:
+            if generation not in self._relevant_by_generation:
+                self._relevant_by_generation[generation] = relevant
+                self.filter_count += 1
+                while len(self._relevant_by_generation) > _MAX_GENERATION_MEMOS:
+                    self._relevant_by_generation.popitem(last=False)
+            relevant = self._relevant_by_generation[generation]
+        return relevant
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def execute(self, *, k: Optional[int] = None, plan: PlanSpec = None) -> PTQResult:
-        """Evaluate the query against the session's current artifacts.
+    def _result_key(
+        self, plan: QueryPlan, k: Optional[int], snapshot: "EngineSnapshot"
+    ) -> Hashable:
+        """Result-cache key: query, plan, k, tau and snapshot identity."""
+        return (
+            self._cache_key,
+            plan.name,
+            k,
+            snapshot.tau,
+            snapshot.generation,
+            snapshot.document_version,
+        )
+
+    def _snapshot_for(
+        self, plan: PlanSpec, snapshot: Optional["EngineSnapshot"]
+    ) -> "EngineSnapshot":
+        if snapshot is not None:
+            return snapshot
+        need_tree = plan is None or plan_for(plan).uses_block_tree
+        return self._dataspace.snapshot(need_tree=need_tree)
+
+    def execute(
+        self,
+        *,
+        k: Optional[int] = None,
+        plan: PlanSpec = None,
+        snapshot: Optional["EngineSnapshot"] = None,
+        use_cache: bool = True,
+    ) -> PTQResult:
+        """Evaluate the query against one consistent session snapshot.
 
         Parameters
         ----------
@@ -111,47 +182,80 @@ class PreparedQuery:
         plan:
             Optional plan override (name or :class:`QueryPlan`); when
             omitted the session selects one.
+        snapshot:
+            Evaluate against this pre-captured snapshot instead of taking a
+            fresh one (batch executors pass the batch's shared snapshot).
+        use_cache:
+            Consult/populate the session's result cache (default ``True``).
+            Cached results are shared objects — treat them as read-only.
         """
         ds = self._dataspace
-        chosen, _ = ds.select_plan(plan)
-        block_tree = ds.block_tree if chosen.uses_block_tree else None
-        return chosen.run(
+        snap = self._snapshot_for(plan, snapshot)
+        chosen, _ = ds.select_plan_for(plan, snap)
+        cache = ds.result_cache if use_cache else None
+        key = self._result_key(chosen, k, snap)
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        result = chosen.run(
             self._query,
-            ds.mapping_set,
-            ds.document,
-            block_tree=block_tree,
+            snap.mapping_set,
+            snap.document,
+            block_tree=snap.block_tree if chosen.uses_block_tree else None,
             embeddings=self.embeddings,
-            relevant=self.relevant_mappings(),
+            relevant=self.relevant_mappings(snap),
             k=k,
         )
+        if cache is not None:
+            result = cache.put(key, result)
+        return result
 
-    def explain(self, *, k: Optional[int] = None, plan: PlanSpec = None) -> ExplainReport:
+    def explain(
+        self,
+        *,
+        k: Optional[int] = None,
+        plan: PlanSpec = None,
+        snapshot: Optional["EngineSnapshot"] = None,
+        use_cache: bool = True,
+    ) -> ExplainReport:
         """Execute the query and report plan choice, inputs and stage timings."""
         ds = self._dataspace
+        snap = self._snapshot_for(plan, snapshot)
+        chosen, reason = ds.select_plan_for(plan, snap)
         timings: dict[str, float] = {}
 
         started = time.perf_counter()
         embeddings = self.embeddings
         timings["resolve"] = (time.perf_counter() - started) * 1000.0
 
-        mapping_set = ds.mapping_set
+        mapping_set = snap.mapping_set
         started = time.perf_counter()
-        relevant = self.relevant_mappings()
+        relevant = self.relevant_mappings(snap)
         timings["filter"] = (time.perf_counter() - started) * 1000.0
 
-        chosen, reason = ds.select_plan(plan)
-        block_tree = ds.block_tree if chosen.uses_block_tree else None
+        block_tree = snap.block_tree if chosen.uses_block_tree else None
+        cache = ds.result_cache if use_cache else None
+        key = self._result_key(chosen, k, snap)
 
         started = time.perf_counter()
-        result = chosen.run(
-            self._query,
-            mapping_set,
-            ds.document,
-            block_tree=block_tree,
-            embeddings=embeddings,
-            relevant=relevant,
-            k=k,
-        )
+        cache_state = "bypass"
+        result: Optional[PTQResult] = None
+        if cache is not None:
+            result = cache.get(key)
+            cache_state = "hit" if result is not None else "miss"
+        if result is None:
+            result = chosen.run(
+                self._query,
+                mapping_set,
+                snap.document,
+                block_tree=block_tree,
+                embeddings=embeddings,
+                relevant=relevant,
+                k=k,
+            )
+            if cache is not None:
+                result = cache.put(key, result)
         timings["evaluate"] = (time.perf_counter() - started) * 1000.0
 
         num_selected = len(relevant) if k is None else min(k, len(relevant))
@@ -175,6 +279,8 @@ class PreparedQuery:
             timings_ms=timings,
             num_answers=len(result),
             num_non_empty=len(result.non_empty()),
+            cache=cache_state,
+            cache_stats=ds.result_cache.stats().to_dict() if use_cache else None,
         )
 
     def __repr__(self) -> str:
@@ -184,14 +290,19 @@ class PreparedQuery:
 class QueryBuilder:
     """Immutable fluent builder over a :class:`PreparedQuery` (see module docs)."""
 
-    __slots__ = ("_prepared", "_k", "_plan")
+    __slots__ = ("_prepared", "_k", "_plan", "_use_cache")
 
     def __init__(
-        self, prepared: PreparedQuery, k: Optional[int] = None, plan: PlanSpec = None
+        self,
+        prepared: PreparedQuery,
+        k: Optional[int] = None,
+        plan: PlanSpec = None,
+        use_cache: bool = True,
     ) -> None:
         self._prepared = prepared
         self._k = k
         self._plan = plan
+        self._use_cache = use_cache
 
     @property
     def prepared(self) -> PreparedQuery:
@@ -200,19 +311,23 @@ class QueryBuilder:
 
     def top_k(self, k: int) -> "QueryBuilder":
         """Return a builder restricted to the ``k`` most probable answers."""
-        return QueryBuilder(self._prepared, k, self._plan)
+        return QueryBuilder(self._prepared, k, self._plan, self._use_cache)
 
     def plan(self, plan: Union[str, QueryPlan]) -> "QueryBuilder":
         """Return a builder forced onto a specific evaluation plan."""
-        return QueryBuilder(self._prepared, self._k, plan)
+        return QueryBuilder(self._prepared, self._k, plan, self._use_cache)
+
+    def no_cache(self) -> "QueryBuilder":
+        """Return a builder that bypasses the session's result cache."""
+        return QueryBuilder(self._prepared, self._k, self._plan, use_cache=False)
 
     def execute(self) -> PTQResult:
         """Evaluate with the builder's settings."""
-        return self._prepared.execute(k=self._k, plan=self._plan)
+        return self._prepared.execute(k=self._k, plan=self._plan, use_cache=self._use_cache)
 
     def explain(self) -> ExplainReport:
         """Evaluate and report how (plan, inputs, timings)."""
-        return self._prepared.explain(k=self._k, plan=self._plan)
+        return self._prepared.explain(k=self._k, plan=self._plan, use_cache=self._use_cache)
 
     def __repr__(self) -> str:
         plan = self._plan.name if isinstance(self._plan, QueryPlan) else self._plan

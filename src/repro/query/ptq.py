@@ -21,7 +21,7 @@ The two produce identical :class:`~repro.query.results.PTQResult` contents.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.core.blocktree import BlockTree
 from repro.document.document import XMLDocument
@@ -50,13 +50,20 @@ MappingResults = dict[int, list[Match]]
 # Shared pipeline pieces
 # --------------------------------------------------------------------------- #
 def filter_mappings(
-    mapping_set: MappingSet | Sequence[Mapping], embeddings: list[Embedding]
+    mapping_set: MappingSet | Iterable[Mapping], embeddings: list[Embedding]
 ) -> list[Mapping]:
     """Drop mappings that cannot produce any match (the paper's ``filter_mappings``).
 
     A mapping is *relevant* when, for at least one embedding of the query
     into the target schema, it contains a correspondence for every query
     node's target element.
+
+    ``mapping_set`` may be a :class:`MappingSet` or any iterable of
+    :class:`Mapping` objects (including a one-shot generator): the input is
+    normalised to a concrete list exactly once at this boundary, and the
+    returned list is always freshly materialised, so downstream evaluators —
+    which iterate their mapping subset once per embedding — can never drain a
+    caller's iterator or alias its storage.
     """
     mappings = list(mapping_set)
     if not embeddings:
@@ -183,7 +190,7 @@ def evaluate_ptq_basic(
     query: TwigQuery,
     mapping_set: MappingSet,
     document: XMLDocument,
-    mappings: Optional[Sequence[Mapping]] = None,
+    mappings: Optional[Iterable[Mapping]] = None,
 ) -> PTQResult:
     """Evaluate a PTQ with the basic per-mapping algorithm (Algorithm 3).
 
@@ -347,7 +354,7 @@ def evaluate_ptq_blocktree(
     mapping_set: MappingSet,
     document: XMLDocument,
     block_tree: BlockTree,
-    mappings: Optional[Sequence[Mapping]] = None,
+    mappings: Optional[Iterable[Mapping]] = None,
 ) -> PTQResult:
     """Evaluate a PTQ with the block-tree algorithm (Algorithm 4).
 

@@ -1,0 +1,50 @@
+"""The concurrent query service layer.
+
+The engine's :class:`~repro.engine.dataspace.Dataspace` is thread-safe, but it
+is still a passive session: every caller drives it one query at a time.  This
+package adds the serving machinery that the ROADMAP's production story needs:
+
+* :class:`~repro.engine.cache.ResultCache` — a bounded, thread-safe LRU over
+  evaluated :class:`~repro.query.results.PTQResult` objects, keyed by
+  ``(query, plan, k, tau, generation, document version)`` so reconfigured
+  sessions can never serve stale answers;
+* :class:`~repro.service.service.QueryService` — a thread-pooled front-end
+  over one session with ``submit`` / ``submit_many`` futures, single-flight
+  de-duplication of identical in-flight queries, and shared-prefix batch
+  execution (``execute_many``);
+* :mod:`~repro.service.driver` — a workload replay driver that mixes queries
+  over the paper's D1–D10 datasets at configurable concurrency and reports
+  throughput and p50/p95/p99 latency.
+
+Typical usage::
+
+    from repro.engine import Dataspace
+    from repro.service import QueryService
+
+    ds = Dataspace.from_dataset("D7", h=100)
+    with QueryService(ds, max_workers=8) as service:
+        futures = service.submit_many(["Q1", "Q2", "Q7"])
+        results = [future.result() for future in futures]
+        print(service.stats())
+"""
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.service.driver import (
+    ReplayOp,
+    ReplayReport,
+    build_workload,
+    replay_workload,
+    workload_queries,
+)
+from repro.service.service import QueryService
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "QueryService",
+    "ReplayOp",
+    "ReplayReport",
+    "build_workload",
+    "replay_workload",
+    "workload_queries",
+]

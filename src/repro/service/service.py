@@ -1,0 +1,337 @@
+"""The concurrent query service: a thread-pooled front-end over one session.
+
+:class:`QueryService` turns a (thread-safe) engine session into a serving
+component: callers submit queries and receive futures, identical in-flight
+queries are de-duplicated onto one evaluation (*single-flight*), batches
+share their resolve/filter prefix and snapshot through
+:meth:`~repro.engine.dataspace.Dataspace.query_batch`, and every request is
+timed so the service can report throughput and latency percentiles alongside
+the session's cache statistics.
+
+The service adds no caching of its own — the session's generation-keyed
+result cache is the single source of truth, which is what guarantees that a
+``configure()`` racing with in-flight queries can never surface a stale
+answer through the service either.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
+
+from repro.exceptions import DataspaceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.dataspace import Dataspace
+    from repro.engine.prepared import PlanSpec
+    from repro.query.results import PTQResult
+    from repro.query.twig import TwigQuery
+
+__all__ = ["QueryService", "percentile", "percentile_summary"]
+
+QueryLike = Union[str, "TwigQuery"]
+
+#: Ring-buffer size for per-request latency samples: percentiles reflect the
+#: most recent window, and a long-lived service cannot grow without bound
+#: (same rationale as the engine's bounded prepared-query cache).
+_LATENCY_SAMPLE_CAPACITY = 4096
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of ``values`` (``fraction`` in [0, 1]).
+
+    Raises
+    ------
+    ValueError
+        On an empty sequence or a fraction outside [0, 1].
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def percentile_summary(values: Sequence[float], ndigits: int = 3) -> dict[str, float]:
+    """The p50/p95/p99 summary reported by services and replay drivers.
+
+    Raises
+    ------
+    ValueError
+        On an empty sequence (callers guard and report "no samples").
+    """
+    return {
+        "p50": round(percentile(values, 0.50), ndigits),
+        "p95": round(percentile(values, 0.95), ndigits),
+        "p99": round(percentile(values, 0.99), ndigits),
+    }
+
+
+class QueryService:
+    """A concurrent query front-end over one :class:`Dataspace` session.
+
+    Parameters
+    ----------
+    dataspace:
+        The session to serve; it may be shared with other services and with
+        direct callers (the session is thread-safe).
+    max_workers:
+        Size of the service's thread pool (used by :meth:`submit`,
+        :meth:`submit_many` and :meth:`execute_many`).
+    use_cache:
+        Whether served queries consult the session's result cache
+        (default ``True``).
+
+    The service is a context manager; leaving the ``with`` block shuts the
+    pool down.  Statistics (request counts, latency percentiles, cache
+    counters) are available through :meth:`stats` at any time.
+    """
+
+    def __init__(
+        self, dataspace: "Dataspace", *, max_workers: int = 8, use_cache: bool = True
+    ) -> None:
+        if max_workers < 1:
+            raise DataspaceError(f"max_workers must be at least 1, got {max_workers}")
+        self._dataspace = dataspace
+        self._use_cache = use_cache
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=f"ptq-{dataspace.name}"
+        )
+        self._max_workers = max_workers
+        self._lock = threading.Lock()
+        self._inflight: dict = {}
+        self._submitted = 0
+        self._completed = 0
+        self._deduped = 0
+        self._errors = 0
+        self._latencies_ms: "deque[float]" = deque(maxlen=_LATENCY_SAMPLE_CAPACITY)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def dataspace(self) -> "Dataspace":
+        """The session this service fronts."""
+        return self._dataspace
+
+    @property
+    def max_workers(self) -> int:
+        """Thread-pool size."""
+        return self._max_workers
+
+    def close(self, *, wait: bool = True) -> None:
+        """Shut the pool down; queued work finishes when ``wait`` is true.
+
+        ``_closed`` flips under the service lock *before* the pool shuts
+        down, and :meth:`submit` checks it in the same critical section that
+        reserves pool work — so a submit either lands before the shutdown or
+        fails cleanly with :class:`DataspaceError`, never with the pool's
+        RuntimeError.
+        """
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DataspaceError("the query service has been closed")
+
+    # ------------------------------------------------------------------ #
+    # Execution paths
+    # ------------------------------------------------------------------ #
+    def _record(self, started: float, failed: bool) -> None:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        with self._lock:
+            self._completed += 1
+            if failed:
+                self._errors += 1
+            else:
+                self._latencies_ms.append(elapsed_ms)
+
+    def execute(
+        self, query: QueryLike, *, k: Optional[int] = None, plan: "PlanSpec" = None
+    ) -> "PTQResult":
+        """Evaluate ``query`` synchronously in the calling thread (timed).
+
+        This is the path replay drivers use: the driver owns the
+        concurrency, the service contributes caching and accounting.
+        """
+        with self._lock:
+            self._submitted += 1
+        started = time.perf_counter()
+        try:
+            result = self._dataspace.execute(
+                query, k=k, plan=plan, use_cache=self._use_cache
+            )
+        except Exception:
+            self._record(started, failed=True)
+            raise
+        self._record(started, failed=False)
+        return result
+
+    def submit(
+        self, query: QueryLike, *, k: Optional[int] = None, plan: "PlanSpec" = None
+    ) -> "Future[PTQResult]":
+        """Submit ``query`` to the pool; returns a future.
+
+        Identical requests — same prepared query, ``k``, ``plan`` *and
+        session generation/document version* — that are concurrently in
+        flight share one future (single-flight), so a thundering herd on a
+        cold cache evaluates once.  A submit issued after a ``configure()``
+        committed never joins a pre-reconfiguration flight: the generation
+        is part of the flight key.
+        """
+        self._check_open()
+        prepared = self._dataspace.prepare(query)
+        plan_name = plan if isinstance(plan, str) or plan is None else plan.name
+        flight_key = (
+            prepared.cache_key,
+            plan_name,
+            k,
+            self._dataspace.generation,
+            self._dataspace.document_version,
+        )
+        started = time.perf_counter()
+
+        def run() -> "PTQResult":
+            return prepared.execute(k=k, plan=plan, use_cache=self._use_cache)
+
+        def done(f: "Future[PTQResult]") -> None:
+            with self._lock:
+                self._inflight.pop(flight_key, None)
+            self._record(started, failed=f.exception() is not None)
+
+        # Check-and-reserve atomically: concurrent identical submits must
+        # observe either the shared in-flight future or insert exactly one,
+        # and a racing close() must be seen before the pool shuts down.
+        with self._lock:
+            if self._closed:
+                raise DataspaceError("the query service has been closed")
+            self._submitted += 1
+            existing = self._inflight.get(flight_key)
+            if existing is None:
+                future = self._pool.submit(run)
+                self._inflight[flight_key] = future
+            else:
+                self._deduped += 1
+        # Callbacks are registered outside the lock: on an already-finished
+        # future they fire inline, and _record/done re-acquire it.
+        if existing is not None:
+            # A deduped join is still a request that completes — record it so
+            # submitted == completed converges for every caller.
+            existing.add_done_callback(
+                lambda f: self._record(started, failed=f.exception() is not None)
+            )
+            return existing
+        # If the worker already finished, add_done_callback fires inline and
+        # pops the reservation, so completed futures never linger.
+        future.add_done_callback(done)
+        return future
+
+    def submit_many(
+        self,
+        queries: Iterable[QueryLike],
+        *,
+        k: Optional[int] = None,
+        plan: "PlanSpec" = None,
+    ) -> list["Future[PTQResult]"]:
+        """Submit every query; duplicates share futures via single-flight."""
+        return [self.submit(query, k=k, plan=plan) for query in queries]
+
+    def execute_many(
+        self,
+        queries: Iterable[QueryLike],
+        *,
+        k: Optional[int] = None,
+        plan: "PlanSpec" = None,
+    ) -> list["PTQResult"]:
+        """Evaluate a batch with shared prefix work, fanned over the pool.
+
+        Delegates to :meth:`Dataspace.query_batch` with the service's
+        executor: one snapshot for the whole batch, duplicate queries
+        collapsed, resolve/filter shared, evaluation parallel.
+        """
+        queries = list(queries)
+        with self._lock:
+            if self._closed:
+                raise DataspaceError("the query service has been closed")
+            self._submitted += len(queries)
+        started = time.perf_counter()
+        try:
+            results = self._dataspace.query_batch(
+                queries, k=k, plan=plan, executor=self._pool, use_cache=self._use_cache
+            )
+        except Exception as error:
+            # The batch fails as a unit: account every submitted slot as
+            # completed-with-error so submitted == completed always converges
+            # and stats() never reports phantom in-flight work.
+            with self._lock:
+                self._completed += len(queries)
+                self._errors += len(queries)
+            # A close() racing the batch surfaces as the pool's shutdown
+            # RuntimeError; translate it to the documented error type.
+            if isinstance(error, RuntimeError) and "shutdown" in str(error):
+                raise DataspaceError("the query service has been closed") from error
+            raise
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        with self._lock:
+            self._completed += len(queries)
+            # One batch produces one wall-clock measurement per query slot so
+            # percentiles remain per-query comparable across paths.
+            if queries:
+                self._latencies_ms.extend([elapsed_ms / len(queries)] * len(queries))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def latency_percentiles(self) -> Optional[dict[str, float]]:
+        """p50/p95/p99 over the most recent latency samples (ms), or ``None``.
+
+        Samples live in a bounded ring buffer, so the percentiles describe
+        the recent window (up to ``_LATENCY_SAMPLE_CAPACITY`` requests), not
+        the service's whole lifetime.
+        """
+        with self._lock:
+            samples = list(self._latencies_ms)
+        if not samples:
+            return None
+        return percentile_summary(samples)
+
+    def stats(self) -> dict:
+        """Counters, latency percentiles and the session's cache statistics."""
+        with self._lock:
+            info = {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "deduped": self._deduped,
+                "errors": self._errors,
+                "inflight": len(self._inflight),
+                "max_workers": self._max_workers,
+            }
+        info["latency_ms"] = self.latency_percentiles()
+        info.update(self._dataspace.cache_stats())
+        return info
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService({self._dataspace.name!r}, max_workers={self._max_workers}, "
+            f"submitted={self._submitted})"
+        )

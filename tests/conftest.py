@@ -12,7 +12,17 @@ Two families of fixtures exist:
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
+
+# Hypothesis profiles: "dev" (default) keeps random exploration; "ci" is
+# derandomized so CI failures are reproducible and the suite is
+# deterministic run-to-run.  Select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", deadline=None, derandomize=True, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.core.blocktree import BlockTreeConfig, build_block_tree
 from repro.document.document import XMLDocument
@@ -21,6 +31,16 @@ from repro.mapping.mapping_set import MappingSet
 from repro.matching.matching import SchemaMatching
 from repro.schema.parser import parse_schema
 from repro.workloads.datasets import build_mapping_set, load_dataset, load_source_document
+
+
+def pytest_addoption(parser):
+    """Add ``--update-golden``: regenerate tests/golden snapshots in place."""
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden PTQ answer snapshots instead of asserting them",
+    )
 
 
 # --------------------------------------------------------------------------- #

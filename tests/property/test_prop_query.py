@@ -12,102 +12,11 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from _scenarios import query_scenarios, random_tree_schema
 from repro.core.blocktree import BlockTreeConfig, build_block_tree
-from repro.document.document import XMLDocument
-from repro.mapping.mapping import Mapping
-from repro.mapping.mapping_set import MappingSet
-from repro.matching.matching import SchemaMatching
 from repro.query.ptq import evaluate_ptq_basic, evaluate_ptq_blocktree
 from repro.query.topk import evaluate_topk_ptq
-from repro.query.twig import AXIS_CHILD, AXIS_DESCENDANT, TwigNode, TwigQuery
 from repro.schema.parser import parse_schema, schema_to_text
-from repro.schema.schema import Schema
-
-
-def _random_tree_schema(rng: random.Random, name: str, size: int, labels: list[str]) -> Schema:
-    schema = Schema(name)
-    root = schema.add_root(labels[0])
-    elements = [root]
-    for index in range(1, size):
-        parent = rng.choice(elements)
-        label = f"{rng.choice(labels)}{index}"
-        elements.append(schema.add_child(parent, label, repeatable=rng.random() < 0.3))
-    return schema.freeze()
-
-
-@st.composite
-def query_scenarios(draw):
-    """A random matching, mapping set, conforming document and twig query."""
-    seed = draw(st.integers(0, 100_000))
-    rng = random.Random(seed)
-    labels = ["Order", "Party", "Contact", "Name", "Line", "Qty", "Price", "City"]
-    source = _random_tree_schema(rng, "S", draw(st.integers(4, 12)), labels)
-    target = _random_tree_schema(rng, "T", draw(st.integers(3, 8)), labels)
-
-    matching = SchemaMatching(source, target, name=f"q{seed}")
-    source_ids = list(range(len(source)))
-    for target_id in range(len(target)):
-        for source_id in rng.sample(source_ids, k=min(len(source_ids), rng.randint(1, 3))):
-            if matching.get(source_id, target_id) is None:
-                matching.add_pair(source_id, target_id, round(rng.uniform(0.3, 1.0), 3))
-
-    mappings = []
-    for mapping_id in range(draw(st.integers(2, 6))):
-        used: set[int] = set()
-        keys = set()
-        for target_id in range(len(target)):
-            options = [c for c in matching.for_target(target_id) if c.source_id not in used]
-            if options and rng.random() < 0.85:
-                chosen = rng.choice(options)
-                keys.add(chosen.key)
-                used.add(chosen.source_id)
-        mappings.append(Mapping(mapping_id, frozenset(keys), score=round(rng.uniform(0.5, 2.0), 3)))
-    mapping_set = MappingSet(matching, mappings)
-
-    # A conforming document: instantiate everything once, then add a few
-    # extra instances of repeatable elements.
-    document = XMLDocument(source, "random.xml")
-
-    def instantiate(element, parent_node):
-        node = document.add_root(element.element_id) if parent_node is None else document.add_child(
-            parent_node, element.element_id
-        )
-        if element.is_leaf:
-            node.value = rng.choice(["Cathy", "Bob", "Alice", "42"])
-        for child in element.children:
-            instantiate(child, node)
-        return node
-
-    instantiate(source.root, None)
-    repeatable = [e for e in source.iter_preorder() if e.repeatable and e.parent is not None]
-    for _ in range(rng.randint(0, 4)):
-        if not repeatable:
-            break
-        element = rng.choice(repeatable)
-        parents = document.nodes_of_element(element.parent.element_id)
-        instantiate(element, rng.choice(parents))
-    document.finalize()
-
-    # A random query: a downward path in the target schema plus optional branches.
-    target_elements = list(target.iter_preorder())
-    anchor = rng.choice(target_elements)
-    path = [anchor]
-    while path[-1].children and rng.random() < 0.7:
-        path.append(rng.choice(path[-1].children))
-    root_axis = AXIS_CHILD if anchor is target.root else AXIS_DESCENDANT
-    query_root = TwigNode(path[0].label, axis=root_axis)
-    current = query_root
-    for element in path[1:]:
-        axis = AXIS_CHILD if rng.random() < 0.7 else AXIS_DESCENDANT
-        current = current.add_child(TwigNode(element.label, axis=axis))
-    # optional predicate branch from the query root
-    if anchor.children and rng.random() < 0.5:
-        branch = rng.choice(anchor.children)
-        query_root.add_child(TwigNode(branch.label, axis=AXIS_CHILD, on_main_path=False))
-    query = TwigQuery(query_root, text="random")
-
-    tau = draw(st.sampled_from([0.1, 0.3, 0.6]))
-    return mapping_set, document, query, tau
 
 
 def _answer_set(result):
@@ -165,7 +74,7 @@ class TestSchemaRoundTripProperties:
     def test_text_round_trip(self, seed, size):
         rng = random.Random(seed)
         labels = ["Order", "Party", "Contact", "Name", "Line"]
-        schema = _random_tree_schema(rng, "RT", size, labels)
+        schema = random_tree_schema(rng, "RT", size, labels)
         text = schema_to_text(schema)
         parsed = parse_schema(text, name="RT")
         assert [e.path for e in parsed.iter_preorder()] == [

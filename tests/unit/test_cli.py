@@ -122,12 +122,50 @@ class TestCommands:
         payload = json.loads(output)
         assert "num_blocks" in payload and "compression_ratio" in payload
 
+    def test_batch(self):
+        code, output = run_cli(
+            "batch", "D7", "Q2", "//EMail", "Q2",
+            "--num-mappings", "50", "--workers", "4", "--repeat", "2",
+        )
+        assert code == 0
+        assert "6 queries (3 distinct x 2 rounds)" in output
+        assert output.count("answers") == 3
+        assert "cache: hits=" in output
+
+    def test_batch_json(self):
+        code, output = run_cli(
+            "batch", "D7", "Q2", "Q4", "--num-mappings", "50",
+            "--top-k", "5", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["dataset"] == "D7"
+        assert payload["total_ops"] == 2
+        assert [item["num_answers"] for item in payload["results"]] == [5, 5]
+        assert payload["service"]["completed"] == 2
+        assert "result_cache" in payload["service"]
+
+    def test_batch_no_cache(self):
+        code, output = run_cli(
+            "batch", "D7", "Q2", "--num-mappings", "50", "--repeat", "2",
+            "--no-cache", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["service"]["result_cache"]["hits"] == 0
+
+    def test_batch_bad_query(self):
+        code, output = run_cli("batch", "D7", "Order/[", "--num-mappings", "50")
+        assert code == 2
+        assert "error:" in output
+
     def test_explain(self):
         code, output = run_cli("explain", "D7", "Q2", "--num-mappings", "50")
         assert code == 0
         assert "plan:" in output
         assert "blocktree" in output
         assert "timings:" in output
+        assert "cache:" in output
 
     def test_explain_forced_plan_json(self):
         code, output = run_cli(

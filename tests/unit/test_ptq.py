@@ -37,6 +37,93 @@ class TestFilterMappings:
     def test_no_embeddings_means_no_mappings(self, figure_mappings):
         assert filter_mappings(figure_mappings, []) == []
 
+    def test_accepts_plain_sequence(self, figure_mappings, target_schema, icn_query):
+        embeddings = resolve_query(icn_query, target_schema)
+        from_set = filter_mappings(figure_mappings, embeddings)
+        from_tuple = filter_mappings(tuple(figure_mappings), embeddings)
+        assert [m.mapping_id for m in from_tuple] == [m.mapping_id for m in from_set]
+
+    def test_accepts_one_shot_iterator(self, figure_mappings, target_schema, icn_query):
+        # A generator must be normalised exactly once at the boundary — the
+        # relevance check probes several embeddings per mapping.
+        embeddings = resolve_query(icn_query, target_schema)
+        from_generator = filter_mappings(iter(list(figure_mappings)), embeddings)
+        assert [m.mapping_id for m in from_generator] == [
+            m.mapping_id for m in filter_mappings(figure_mappings, embeddings)
+        ]
+
+    def test_returns_fresh_list(self, figure_mappings, target_schema, icn_query):
+        embeddings = resolve_query(icn_query, target_schema)
+        first = filter_mappings(figure_mappings, embeddings)
+        second = filter_mappings(figure_mappings, embeddings)
+        assert first == second and first is not second
+
+
+class TestCandidateNormalisation:
+    """Downstream evaluators must not re-iterate a caller's raw iterable."""
+
+    def test_basic_accepts_mapping_generator(
+        self, figure_mappings, figure_document, icn_query
+    ):
+        baseline = evaluate_ptq_basic(
+            icn_query, figure_mappings, figure_document, mappings=list(figure_mappings)
+        )
+        from_generator = evaluate_ptq_basic(
+            icn_query,
+            figure_mappings,
+            figure_document,
+            mappings=(m for m in figure_mappings),
+        )
+        assert {(a.mapping_id, a.matches) for a in from_generator} == {
+            (a.mapping_id, a.matches) for a in baseline
+        }
+        assert len(from_generator) == len(figure_mappings)
+
+    def test_blocktree_accepts_mapping_generator(
+        self, figure_mappings, figure_document, figure_block_tree, icn_query
+    ):
+        baseline = evaluate_ptq_blocktree(
+            icn_query, figure_mappings, figure_document, figure_block_tree
+        )
+        from_generator = evaluate_ptq_blocktree(
+            icn_query,
+            figure_mappings,
+            figure_document,
+            figure_block_tree,
+            mappings=(m for m in figure_mappings),
+        )
+        assert {(a.mapping_id, a.matches) for a in from_generator} == {
+            (a.mapping_id, a.matches) for a in baseline
+        }
+
+    def test_plan_run_accepts_relevant_generator(
+        self, figure_mappings, figure_document, target_schema, icn_query
+    ):
+        from repro.engine.plans import plan_for
+
+        embeddings = resolve_query(icn_query, target_schema)
+        relevant = filter_mappings(figure_mappings, embeddings)
+        plan = plan_for("basic")
+        baseline = plan.run(
+            icn_query,
+            figure_mappings,
+            figure_document,
+            embeddings=embeddings,
+            relevant=relevant,
+        )
+        # A multi-embedding query evaluated over a one-shot iterator would
+        # silently drop every mapping after the first embedding pass.
+        from_generator = plan.run(
+            icn_query,
+            figure_mappings,
+            figure_document,
+            embeddings=embeddings,
+            relevant=iter(relevant),
+        )
+        assert {(a.mapping_id, a.matches) for a in from_generator} == {
+            (a.mapping_id, a.matches) for a in baseline
+        }
+
 
 class TestBasicPTQ:
     def test_answers_cover_relevant_mappings(self, icn_query, figure_mappings, figure_document):
