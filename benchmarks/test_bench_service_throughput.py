@@ -61,9 +61,11 @@ def test_service_throughput(benchmark, experiment_report):
     try:
         # Build every session's artifacts outside the timed windows, so the
         # baseline measures steady-state sequential evaluation — not one-time
-        # matching/mapping/tree construction.
+        # matching/mapping construction.  The default (compiled) plan needs
+        # the compiled mapping set but no block tree.
         for session in sessions.values():
-            session.snapshot()
+            session.snapshot(need_tree=False)
+            session.compiled
         baseline = replay_workload(ops, concurrency=1, services=uncached)
         service = replay_workload(ops, concurrency=8, services=cached, warm=True)
 

@@ -121,6 +121,8 @@ from repro.engine import (
     BasicPlan,
     BlockTreePlan,
     CacheStats,
+    CompiledMappingSet,
+    CompiledPlan,
     Dataspace,
     EngineSnapshot,
     ExplainReport,
@@ -129,6 +131,7 @@ from repro.engine import (
     QueryPlan,
     ResultCache,
     available_plans,
+    compile_mapping_set,
     plan_for,
     register_plan,
 )
@@ -141,7 +144,7 @@ from repro.service import (
     workload_queries,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -168,6 +171,9 @@ __all__ = [
     "QueryPlan",
     "BasicPlan",
     "BlockTreePlan",
+    "CompiledPlan",
+    "CompiledMappingSet",
+    "compile_mapping_set",
     "ExplainReport",
     "plan_for",
     "register_plan",

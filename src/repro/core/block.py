@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.exceptions import BlockTreeError
+from repro.mapping.mapping_set import mapping_mask
 from repro.matching.correspondence import CorrespondenceKey
 
 __all__ = ["Block"]
@@ -28,6 +30,11 @@ class Block:
     anchor_id: int
     correspondences: frozenset[CorrespondenceKey]
     mapping_ids: frozenset[int]
+    # Lazily computed bitmask form of mapping_ids; excluded from equality and
+    # hashing so two blocks compare on their definition, not cache state.
+    _mapping_mask: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.anchor_id < 0:
@@ -51,6 +58,20 @@ class Block:
     def support(self) -> int:
         """Number of mappings sharing the block (``|b.M|``)."""
         return len(self.mapping_ids)
+
+    @property
+    def mapping_mask(self) -> int:
+        """``mapping_ids`` as a bitmask (bit ``i`` set iff mapping ``i`` shares the block).
+
+        Computed on first access and cached, so c-block membership tests in
+        the evaluators are single bitwise-AND operations instead of frozenset
+        intersections.
+        """
+        mask = self._mapping_mask
+        if mask is None:
+            mask = mapping_mask(self.mapping_ids)
+            object.__setattr__(self, "_mapping_mask", mask)
+        return mask
 
     def covered_target_ids(self) -> set[int]:
         """Target element ids covered by the block's correspondences."""

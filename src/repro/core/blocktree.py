@@ -116,6 +116,12 @@ class BlockTree:
         self.construction_seconds: float = 0.0
         self.non_leaf_blocks_created: int = 0
         self.failed_attempts: int = 0
+        # Lazily built statistic caches.  The builder is the only mutator and
+        # never reads them; once build_block_tree returns, the tree is
+        # immutable, so caching the flat block list and the per-mapping
+        # membership index (block count + covered correspondences) is safe.
+        self._all_blocks: Optional[list[Block]] = None
+        self._membership: Optional[dict[int, tuple[int, frozenset]]] = None
 
         self._build_skeleton()
 
@@ -156,18 +162,49 @@ class BlockTree:
         for element in self.target_schema.iter_preorder():
             yield from self._nodes[element.element_id].blocks
 
+    def all_blocks(self) -> list[Block]:
+        """Every c-block (pre-order), materialised once and cached.
+
+        Statistics and storage accounting share this list instead of
+        re-walking the target schema per call.
+        """
+        if self._all_blocks is None:
+            self._all_blocks = list(self.iter_blocks())
+        return self._all_blocks
+
     @property
     def num_blocks(self) -> int:
         """Total number of c-blocks stored in the tree."""
-        return sum(len(node.blocks) for node in self._nodes.values())
+        return len(self.all_blocks())
 
     # ------------------------------------------------------------------ #
     # Storage accounting (compression ratio of Section VI-B.2)
     # ------------------------------------------------------------------ #
+    def _membership_index(self) -> dict[int, tuple[int, frozenset]]:
+        """Per-mapping block membership, built once over all blocks and cached.
+
+        Maps every mapping id to ``(number of blocks containing it, union of
+        the correspondences those blocks cover)`` — the inputs both
+        :meth:`residual_correspondences` and :meth:`compressed_storage_bytes`
+        used to recompute from scratch per call.
+        """
+        if self._membership is None:
+            counts: dict[int, int] = {m.mapping_id: 0 for m in self.mapping_set}
+            covered: dict[int, set] = {m.mapping_id: set() for m in self.mapping_set}
+            for block in self.all_blocks():
+                for mapping_id in block.mapping_ids:
+                    counts[mapping_id] += 1
+                    covered[mapping_id].update(block.correspondences)
+            self._membership = {
+                mapping_id: (counts[mapping_id], frozenset(covered[mapping_id]))
+                for mapping_id in counts
+            }
+        return self._membership
+
     def block_storage_bytes(self) -> int:
         """Estimated bytes to store all c-blocks (correspondences + mapping ids)."""
         total = 0
-        for block in self.iter_blocks():
+        for block in self.all_blocks():
             total += CORRESPONDENCE_BYTES * block.size
             total += MAPPING_ID_BYTES * block.support
         return total
@@ -177,13 +214,11 @@ class BlockTree:
 
         This is the effect of the paper's ``remove_duplicate_corr`` step: a
         mapping stores pointers to the blocks it belongs to plus only these
-        residual correspondences.
+        residual correspondences.  Served from the cached per-mapping
+        membership index.
         """
         mapping = self.mapping_set[mapping_id]
-        covered: set = set()
-        for block in self.iter_blocks():
-            if mapping_id in block.mapping_ids:
-                covered.update(block.correspondences)
+        _, covered = self._membership_index()[mapping_id]
         return frozenset(mapping.correspondences - covered)
 
     def compressed_storage_bytes(self) -> int:
@@ -191,21 +226,17 @@ class BlockTree:
 
         Counts the blocks, the tree skeleton, the hash table, and for every
         mapping its header, its block pointers and its residual (uncovered)
-        correspondences.
+        correspondences — the latter two via the cached membership index.
         """
         total = self.block_storage_bytes()
         total += TREE_NODE_BYTES * len(self._nodes)
         total += HASH_ENTRY_BYTES * len(self.hash_table)
-        block_membership: dict[int, int] = {m.mapping_id: 0 for m in self.mapping_set}
-        covered_by_mapping: dict[int, set] = {m.mapping_id: set() for m in self.mapping_set}
-        for block in self.iter_blocks():
-            for mapping_id in block.mapping_ids:
-                block_membership[mapping_id] += 1
-                covered_by_mapping[mapping_id].update(block.correspondences)
+        membership = self._membership_index()
         for mapping in self.mapping_set:
-            residual = len(mapping.correspondences - covered_by_mapping[mapping.mapping_id])
+            count, covered = membership[mapping.mapping_id]
+            residual = len(mapping.correspondences - covered)
             total += MAPPING_HEADER_BYTES
-            total += MAPPING_ID_BYTES * block_membership[mapping.mapping_id]
+            total += MAPPING_ID_BYTES * count
             total += CORRESPONDENCE_BYTES * residual
         return total
 
@@ -223,10 +254,11 @@ class BlockTree:
 
     def describe(self) -> dict:
         """Summary of the tree: block counts, sizes, support and storage."""
-        sizes = [block.size for block in self.iter_blocks()]
-        supports = [block.support for block in self.iter_blocks()]
+        blocks = self.all_blocks()
+        sizes = [block.size for block in blocks]
+        supports = [block.support for block in blocks]
         return {
-            "num_blocks": self.num_blocks,
+            "num_blocks": len(blocks),
             "non_leaf_blocks_created": self.non_leaf_blocks_created,
             "hash_entries": len(self.hash_table),
             "max_block_size": max(sizes, default=0),

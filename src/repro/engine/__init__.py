@@ -7,8 +7,11 @@ document), builds them lazily, memoizes them, and invalidates exactly the
 affected suffix when configuration changes.  Queries go through a fluent
 builder that compiles twig strings into reusable
 :class:`~repro.engine.prepared.PreparedQuery` objects and picks an
-evaluation :class:`~repro.engine.plans.QueryPlan` (Algorithm 3 vs
-Algorithm 4) automatically::
+evaluation :class:`~repro.engine.plans.QueryPlan` automatically — by
+default the ``compiled`` plan, which runs on the mapping set's bitset view
+(:mod:`repro.engine.compiled`) and evaluates each distinct query rewrite
+exactly once; Algorithm 3 (``basic``) and Algorithm 4 (``blocktree``)
+remain available as forced overrides::
 
     from repro.engine import Dataspace
 
@@ -22,11 +25,13 @@ remain available as thin wrappers over the plan layer.
 """
 
 from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.compiled import CompiledMappingSet, compile_mapping_set
 from repro.engine.dataspace import Dataspace, EngineSnapshot
 from repro.engine.locking import ReadWriteLock
 from repro.engine.plans import (
     BasicPlan,
     BlockTreePlan,
+    CompiledPlan,
     ExplainReport,
     QueryPlan,
     available_plans,
@@ -46,6 +51,9 @@ __all__ = [
     "QueryPlan",
     "BasicPlan",
     "BlockTreePlan",
+    "CompiledPlan",
+    "CompiledMappingSet",
+    "compile_mapping_set",
     "ExplainReport",
     "plan_for",
     "register_plan",

@@ -1,0 +1,267 @@
+"""The compiled evaluation core: columnar bitset algebra over a mapping set.
+
+The paper's speed argument (Section III) is that possible mappings share most
+of their correspondences, so evaluation work should be shared across them.
+The object-graph representation pays per-mapping costs anyway: probing
+``Mapping.source_for_target`` per query node per mapping, intersecting
+``frozenset`` mapping-id sets for c-block membership, and filling one dict
+entry per mapping in the evaluators.  This module lowers a
+:class:`~repro.mapping.mapping_set.MappingSet` into dense integer indices so
+those operations become single bitwise AND / popcount steps:
+
+* **posting lists** — for every correspondence ``(s, t)`` a bitmask of the
+  mappings that contain it (:meth:`CompiledMappingSet.pair_mask`);
+* **coverage masks** — for every target element the union of its posting
+  lists, i.e. the mappings that map it *somewhere*
+  (:meth:`CompiledMappingSet.covered_mask`); ``filter_mappings`` becomes one
+  AND per query node (:meth:`CompiledMappingSet.relevant_mask`);
+* **source partitions** — for every target element, its posting lists grouped
+  by source element: the one-step refinement used to split a candidate mask
+  into groups sharing the same rewrite
+  (:meth:`CompiledMappingSet.rewrite_groups`);
+* **probability column** — mapping probabilities as a flat tuple indexed by
+  mapping id.
+
+:meth:`CompiledMappingSet.rewrite_groups` is what the engine's ``compiled``
+query plan runs on: it partitions the relevant mappings of a query embedding
+into groups whose members rewrite *every* query node to the same source
+element, so each distinct rewrite is evaluated exactly once and the result is
+fanned back out by bitmask.  This generalises the c-block sharing of
+Algorithm 4 — it shares work even where the block tree carries no anchored
+block, and it never misses sharing because of the tree's construction budgets.
+
+Instances are built through :meth:`MappingSet.compile`, which memoizes the
+artifact on the (immutable) mapping set — under the engine's generation
+machinery, invalidating the mapping set therefore also retires its compiled
+view.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+from repro.mapping.mapping_set import MappingSet, iter_mapping_ids, mapping_mask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mapping.mapping import Mapping
+    from repro.matching.correspondence import CorrespondenceKey
+    from repro.query.resolve import Embedding
+
+__all__ = ["CompiledMappingSet", "compile_mapping_set"]
+
+#: A rewrite group: (bitmask of member mappings, target element -> source element).
+RewriteGroup = tuple[int, dict[int, int]]
+
+
+class CompiledMappingSet:
+    """Dense, integer-indexed view of a mapping set (see module docstring).
+
+    Built once per (immutable) mapping set via :meth:`MappingSet.compile`.
+    All masks index mappings by their ``mapping_id``, which by construction
+    is the mapping's position in the set.
+    """
+
+    __slots__ = (
+        "mapping_set",
+        "num_mappings",
+        "all_mask",
+        "probabilities",
+        "_pair_masks",
+        "_covered_masks",
+        "_target_sources",
+    )
+
+    def __init__(self, mapping_set: MappingSet) -> None:
+        self.mapping_set = mapping_set
+        self.num_mappings = len(mapping_set)
+        #: Bitmask with one bit per mapping, all set.
+        self.all_mask = (1 << self.num_mappings) - 1
+        #: Probability column, indexed by mapping id.
+        self.probabilities: tuple[float, ...] = tuple(
+            mapping.probability for mapping in mapping_set
+        )
+        pair_masks: dict["CorrespondenceKey", int] = {}
+        covered_masks: dict[int, int] = {}
+        sources: dict[int, dict[int, int]] = {}
+        for mapping in mapping_set:
+            bit = 1 << mapping.mapping_id
+            for source_id, target_id in mapping.correspondences:
+                key = (source_id, target_id)
+                pair_masks[key] = pair_masks.get(key, 0) | bit
+                covered_masks[target_id] = covered_masks.get(target_id, 0) | bit
+                by_source = sources.setdefault(target_id, {})
+                by_source[source_id] = by_source.get(source_id, 0) | bit
+        self._pair_masks = pair_masks
+        self._covered_masks = covered_masks
+        # Source partitions are stored sorted by source id so every traversal
+        # (rewrite grouping, stats) is deterministic.
+        self._target_sources: dict[int, tuple[tuple[int, int], ...]] = {
+            target_id: tuple(sorted(by_source.items()))
+            for target_id, by_source in sources.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Mask primitives
+    # ------------------------------------------------------------------ #
+    def pair_mask(self, key: "CorrespondenceKey") -> int:
+        """Posting list of correspondence ``key``: mappings containing it."""
+        return self._pair_masks.get(key, 0)
+
+    def covered_mask(self, target_id: int) -> int:
+        """Mappings that map ``target_id`` to *some* source element."""
+        return self._covered_masks.get(target_id, 0)
+
+    def source_partitions(self, target_id: int) -> tuple[tuple[int, int], ...]:
+        """``(source_id, mask)`` partition of :meth:`covered_mask`, ascending source id."""
+        return self._target_sources.get(target_id, ())
+
+    def mask_for(self, mappings: Iterable["Mapping"]) -> int:
+        """Bitmask of the given mapping objects (by ``mapping_id``)."""
+        return mapping_mask(mapping.mapping_id for mapping in mappings)
+
+    def iter_ids(self, mask: int) -> Iterator[int]:
+        """Mapping ids encoded in ``mask``, ascending."""
+        return iter_mapping_ids(mask)
+
+    def mappings_of(self, mask: int) -> list["Mapping"]:
+        """Materialise ``mask`` as mapping objects, in ascending-id order."""
+        mapping_set = self.mapping_set
+        return [mapping_set[mapping_id] for mapping_id in iter_mapping_ids(mask)]
+
+    # ------------------------------------------------------------------ #
+    # Coverage / filtering (the paper's filter_mappings, as bit algebra)
+    # ------------------------------------------------------------------ #
+    def covers_mask(self, target_ids: Iterable[int]) -> int:
+        """Mappings containing a correspondence for *every* given target element."""
+        mask = self.all_mask
+        for target_id in target_ids:
+            mask &= self._covered_masks.get(target_id, 0)
+            if not mask:
+                break
+        return mask
+
+    def covers_targets(self, mapping_id: int, target_ids: Iterable[int]) -> bool:
+        """Single-mapping coverage test against the compiled index."""
+        bit = 1 << mapping_id
+        return all(self._covered_masks.get(target_id, 0) & bit for target_id in target_ids)
+
+    def mappings_covering(self, target_ids: Iterable[int]) -> list["Mapping"]:
+        """Mapping objects covering every target id (ascending-id order)."""
+        return self.mappings_of(self.covers_mask(target_ids))
+
+    def relevant_mask(self, embeddings: Iterable["Embedding"]) -> int:
+        """Mappings relevant for *any* embedding (union of per-embedding coverage)."""
+        mask = 0
+        for embedding in embeddings:
+            mask |= self.covers_mask(set(embedding.values()))
+            if mask == self.all_mask:
+                break
+        return mask
+
+    def relevant_mappings(self, embeddings: Iterable["Embedding"]) -> list["Mapping"]:
+        """The paper's ``filter_mappings`` over pre-resolved embeddings."""
+        return self.mappings_of(self.relevant_mask(embeddings))
+
+    # ------------------------------------------------------------------ #
+    # Rewrite grouping (the compiled plan's sharing step)
+    # ------------------------------------------------------------------ #
+    def rewrite_groups(
+        self, target_ids: Iterable[int], mask: Optional[int] = None
+    ) -> list[RewriteGroup]:
+        """Partition mappings by their rewrite of the given target elements.
+
+        Starting from the mappings covering every target element (optionally
+        intersected with ``mask``), the candidate bitmask is refined one
+        target element at a time by the element's source partitions.  Each
+        returned ``(group_mask, assignment)`` satisfies: every mapping in
+        ``group_mask`` maps each requested target element to
+        ``assignment[target_id]`` — i.e. the whole group shares one query
+        rewrite.  Groups are disjoint and their union is exactly the covering
+        candidates; traversal order is deterministic (targets ascending,
+        sources ascending).
+        """
+        required = sorted(set(target_ids))
+        candidates = self.covers_mask(required)
+        if mask is not None:
+            candidates &= mask
+        if not candidates:
+            return []
+        groups: list[RewriteGroup] = [(candidates, {})]
+        for target_id in required:
+            refined: list[RewriteGroup] = []
+            for group_mask, assignment in groups:
+                for source_id, source_mask in self.source_partitions(target_id):
+                    shared = group_mask & source_mask
+                    if shared:
+                        extended = dict(assignment)
+                        extended[target_id] = source_id
+                        refined.append((shared, extended))
+            groups = refined
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # Statistics (surfaced by explain())
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Bitset statistics of the compiled artifact."""
+        popcounts = [mask.bit_count() for mask in self._pair_masks.values()]
+        num_masks = (
+            len(self._pair_masks)
+            + len(self._covered_masks)
+            + sum(len(partitions) for partitions in self._target_sources.values())
+        )
+        mask_bytes = (self.num_mappings + 7) // 8
+        return {
+            "num_mappings": self.num_mappings,
+            "num_posting_lists": len(self._pair_masks),
+            "num_target_elements": len(self._covered_masks),
+            "mean_posting_popcount": (
+                round(sum(popcounts) / len(popcounts), 2) if popcounts else 0.0
+            ),
+            "max_posting_popcount": max(popcounts, default=0),
+            "bitset_bytes": num_masks * mask_bytes,
+        }
+
+    def rewrite_stats(
+        self, embeddings: Iterable["Embedding"], mappings: Iterable["Mapping"]
+    ) -> dict:
+        """Sharing statistics for one query: how many rewrites are distinct.
+
+        ``num_rewrite_groups`` counts the per-embedding groups the compiled
+        plan would evaluate; ``num_distinct_rewrites`` deduplicates identical
+        target→source assignments across embeddings; ``evaluations_saved`` is
+        the number of per-mapping evaluations Algorithm 3 would have run that
+        the compiled plan shares away.
+        """
+        mask = self.mask_for(mappings)
+        signatures: set[tuple[tuple[int, int], ...]] = set()
+        num_groups = 0
+        per_mapping_evaluations = 0
+        for embedding in embeddings:
+            for group_mask, assignment in self.rewrite_groups(
+                set(embedding.values()), mask
+            ):
+                num_groups += 1
+                per_mapping_evaluations += group_mask.bit_count()
+                signatures.add(tuple(sorted(assignment.items())))
+        stats = self.stats()
+        stats.update(
+            {
+                "num_selected": mask.bit_count(),
+                "num_rewrite_groups": num_groups,
+                "num_distinct_rewrites": len(signatures),
+                "evaluations_saved": per_mapping_evaluations - num_groups,
+            }
+        )
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledMappingSet(mappings={self.num_mappings}, "
+            f"posting_lists={len(self._pair_masks)})"
+        )
+
+
+def compile_mapping_set(mapping_set: MappingSet) -> CompiledMappingSet:
+    """Functional alias of :meth:`MappingSet.compile` (same memoized artifact)."""
+    return mapping_set.compile()

@@ -18,7 +18,10 @@ change                    invalidates
 
 The *generation* counter is what prepared queries key their cached filter
 step on, so a reconfigured session transparently refreshes exactly the work
-that went stale.
+that went stale.  The compiled bitset view of the mapping set
+(:mod:`repro.engine.compiled`, the default plan's substrate) is memoized on
+the mapping set itself, so whatever invalidates the mapping set retires the
+compiled artifact with it.
 
 Concurrency
 -----------
@@ -81,6 +84,8 @@ from repro.workloads.queries import QUERY_ALIASES, QUERY_STRINGS, load_query
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from concurrent.futures import Executor
+
+    from repro.engine.compiled import CompiledMappingSet
 
 __all__ = ["Dataspace", "EngineSnapshot"]
 
@@ -562,6 +567,18 @@ class Dataspace:
         with self._lock.write_locked():
             return self._build_document()
 
+    @property
+    def compiled(self) -> "CompiledMappingSet":
+        """The compiled bitset view of the mapping set (built and memoized on first use).
+
+        The artifact is cached on the (immutable) mapping set itself, so it
+        rides the session's existing generation machinery: any invalidation
+        that replaces the mapping set also retires its compiled view, and a
+        snapshot's ``mapping_set.compile()`` always matches that snapshot's
+        generation.
+        """
+        return self.mapping_set.compile()
+
     # ------------------------------------------------------------------ #
     # Snapshots and shared caches
     # ------------------------------------------------------------------ #
@@ -768,7 +785,7 @@ class Dataspace:
         prepared = [self.prepare(query) for query in queries]
         if not prepared:
             return []
-        need_tree = plan is None or plan_for(plan).uses_block_tree
+        need_tree = plan is not None and plan_for(plan).uses_block_tree
         snap = self.snapshot(need_tree=need_tree)
         # Dedupe: the same prepared query is evaluated once per batch.
         unique: dict[int, PreparedQuery] = {}
@@ -797,34 +814,31 @@ class Dataspace:
             results = {id(item): run_one(item) for item in items}
         return [results[id(item)] for item in prepared]
 
-    def _plan_from_tree(self, tree: BlockTree) -> Tuple[QueryPlan, str]:
-        if tree.num_blocks == 0:
-            return plan_for("basic"), "block tree carries no c-blocks"
-        return plan_for("blocktree"), f"block tree with {tree.num_blocks} c-blocks available"
+    def _default_plan(self) -> Tuple[QueryPlan, str]:
+        return plan_for("compiled"), "compiled bitset core (session default)"
 
     def select_plan(self, plan: PlanSpec = None) -> Tuple[QueryPlan, str]:
         """Pick the evaluation plan: ``(plan, reason)``.
 
         A caller-supplied ``plan`` (name or instance) is honoured verbatim;
-        otherwise the session prefers the block-tree plan whenever the tree
-        actually carries c-blocks, falling back to the basic plan when the
-        tree is empty (the two then do identical work).
+        otherwise the session runs the ``compiled`` plan — it shares work
+        across mappings wherever they agree on a rewrite (a strict
+        generalisation of the block tree's c-block sharing) and needs no
+        block tree at all, so automatic selection never triggers a tree
+        build.  All plans return identical answers, so the choice is purely
+        a performance strategy.
         """
         if plan is not None:
             return plan_for(plan), "forced by caller"
-        return self._plan_from_tree(self.block_tree)
+        return self._default_plan()
 
     def select_plan_for(
         self, plan: PlanSpec, snapshot: EngineSnapshot
     ) -> Tuple[QueryPlan, str]:
-        """Like :meth:`select_plan`, but decided against a snapshot's tree."""
+        """Like :meth:`select_plan`; the snapshot pins the artifacts evaluated against."""
         if plan is not None:
             return plan_for(plan), "forced by caller"
-        if snapshot.block_tree is None:
-            raise DataspaceError(
-                "automatic plan selection needs a snapshot taken with need_tree=True"
-            )
-        return self._plan_from_tree(snapshot.block_tree)
+        return self._default_plan()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -851,6 +865,8 @@ class Dataspace:
                 "prepared_queries": len(self._prepared),
                 "matching_built": self._matching is not None,
                 "mapping_set_built": self._mapping_set is not None,
+                "compiled_built": self._mapping_set is not None
+                and self._mapping_set.is_compiled,
                 "block_tree_built": self._block_tree is not None,
                 "document_loaded": self._document is not None,
             }

@@ -2,10 +2,13 @@
 
 A :class:`QueryPlan` packages one way of evaluating a probabilistic twig
 query: the ``basic`` plan runs the paper's per-mapping Algorithm 3, the
-``blocktree`` plan runs the c-block sharing Algorithm 4.  Both produce
-identical :class:`~repro.query.results.PTQResult` contents; a plan is a pure
-strategy choice, so the engine (or a caller forcing an override) can pick one
-without affecting answers.
+``blocktree`` plan runs the c-block sharing Algorithm 4, and the ``compiled``
+plan (the engine default) runs on the mapping set's compiled bitset view —
+mappings are grouped by identical query rewrite up front and each distinct
+rewrite is evaluated exactly once.  All plans produce identical
+:class:`~repro.query.results.PTQResult` contents; a plan is a pure strategy
+choice, so the engine (or a caller forcing an override) can pick one without
+affecting answers.
 
 Every plan shares the resolve → filter → evaluate pipeline through
 :meth:`QueryPlan.run`, which accepts pre-computed ``embeddings`` and
@@ -32,6 +35,7 @@ from repro.mapping.mapping_set import MappingSet
 from repro.query.ptq import (
     evaluate_resolved_basic,
     evaluate_resolved_blocktree,
+    evaluate_resolved_compiled,
     filter_mappings,
 )
 from repro.query.resolve import Embedding, resolve_query
@@ -42,6 +46,7 @@ __all__ = [
     "QueryPlan",
     "BasicPlan",
     "BlockTreePlan",
+    "CompiledPlan",
     "ExplainReport",
     "plan_for",
     "register_plan",
@@ -77,6 +82,10 @@ class QueryPlan:
     name: str = "abstract"
     #: Whether :meth:`evaluate` needs a block tree.
     uses_block_tree: bool = False
+    #: Whether :meth:`evaluate` runs on the compiled bitset view of the
+    #: mapping set (``MappingSet.compile()``); ``explain()`` reports the
+    #: compiled rewrite/bitset statistics for such plans.
+    uses_compiled: bool = False
 
     def run(
         self,
@@ -168,6 +177,24 @@ class BlockTreePlan(QueryPlan):
         )
 
 
+class CompiledPlan(QueryPlan):
+    """Compiled core: group mappings by identical rewrite, evaluate each once.
+
+    Runs on the mapping set's compiled bitset view
+    (:mod:`repro.engine.compiled`).  Generalises the c-block sharing of
+    Algorithm 4 — sharing applies even where the block tree carries no
+    anchored blocks — without needing the tree at all.
+    """
+
+    name = "compiled"
+    uses_block_tree = False
+    uses_compiled = True
+
+    def evaluate(self, query, mapping_set, document, embeddings, mappings, block_tree):
+        """Delegate to :func:`repro.query.ptq.evaluate_resolved_compiled`."""
+        return evaluate_resolved_compiled(query, mapping_set, document, embeddings, mappings)
+
+
 # --------------------------------------------------------------------------- #
 # Plan registry
 # --------------------------------------------------------------------------- #
@@ -209,6 +236,7 @@ def plan_for(plan: Union[str, QueryPlan]) -> QueryPlan:
 
 register_plan(BasicPlan())
 register_plan(BlockTreePlan())
+register_plan(CompiledPlan())
 
 
 # --------------------------------------------------------------------------- #
@@ -246,6 +274,10 @@ class ExplainReport:
     prepared-query cache reports (close to) zero.  ``cache`` records how the
     session's result cache participated (``"hit"``, ``"miss"`` or
     ``"bypass"``) and ``cache_stats`` snapshots its counters.
+    ``compiled_stats`` is populated when the plan ran on the compiled bitset
+    core: distinct-rewrite counts for this query plus bitset statistics of the
+    compiled artifact (see
+    :meth:`repro.engine.compiled.CompiledMappingSet.rewrite_stats`).
     """
 
     query: str
@@ -264,6 +296,7 @@ class ExplainReport:
     num_non_empty: int
     cache: Optional[str] = None
     cache_stats: Optional[dict] = None
+    compiled_stats: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable view of the report."""
@@ -284,6 +317,7 @@ class ExplainReport:
             "num_non_empty": self.num_non_empty,
             "cache": self.cache,
             "cache_stats": self.cache_stats,
+            "compiled_stats": self.compiled_stats,
         }
 
     def format(self) -> str:
@@ -305,6 +339,16 @@ class ExplainReport:
             anchored = ", ".join(self.anchored_paths) if self.anchored_paths else "(none)"
             lines.append(f"c-blocks:   {self.num_blocks}")
             lines.append(f"anchored:   {anchored}")
+        if self.compiled_stats is not None:
+            stats = self.compiled_stats
+            lines.append(
+                "compiled:   "
+                f"{stats.get('num_distinct_rewrites', 0)} distinct rewrites / "
+                f"{stats.get('num_rewrite_groups', 0)} groups "
+                f"(saved {stats.get('evaluations_saved', 0)} evaluations; "
+                f"{stats.get('num_posting_lists', 0)} posting lists, "
+                f"{stats.get('bitset_bytes', 0)} B bitsets)"
+            )
         lines.append(f"timings:    {timings}")
         if self.cache is not None:
             stats = self.cache_stats or {}

@@ -36,6 +36,7 @@ from repro.engine.plans import (
     QueryPlan,
     anchored_subtree_paths,
     plan_for,
+    select_top_k,
 )
 from repro.mapping.mapping import Mapping
 from repro.query.resolve import Embedding, resolve_query
@@ -162,7 +163,9 @@ class PreparedQuery:
     ) -> "EngineSnapshot":
         if snapshot is not None:
             return snapshot
-        need_tree = plan is None or plan_for(plan).uses_block_tree
+        # Only an explicit block-tree plan needs the tree; the default
+        # (compiled) plan runs entirely on the compiled mapping set.
+        need_tree = plan is not None and plan_for(plan).uses_block_tree
         return self._dataspace.snapshot(need_tree=need_tree)
 
     def execute(
@@ -264,6 +267,10 @@ class PreparedQuery:
             if block_tree is not None
             else ()
         )
+        compiled_stats = None
+        if chosen.uses_compiled:
+            selected = relevant if k is None else select_top_k(relevant, k)
+            compiled_stats = snap.mapping_set.compile().rewrite_stats(embeddings, selected)
         return ExplainReport(
             query=self.text,
             plan=chosen.name,
@@ -281,6 +288,7 @@ class PreparedQuery:
             num_non_empty=len(result.non_empty()),
             cache=cache_state,
             cache_stats=ds.result_cache.stats().to_dict() if use_cache else None,
+            compiled_stats=compiled_stats,
         )
 
     def __repr__(self) -> str:

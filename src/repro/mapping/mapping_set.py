@@ -1,15 +1,43 @@
-"""The :class:`MappingSet`: the paper's set ``M`` of possible mappings."""
+"""The :class:`MappingSet`: the paper's set ``M`` of possible mappings.
+
+Besides the object model, this module hosts the two primitive bitset helpers
+(:func:`mapping_mask` / :func:`iter_mapping_ids`) shared by the compiled
+evaluation core (:mod:`repro.engine.compiled`), the block tree and the PTQ
+evaluators: a set of mapping ids is encoded as a Python int with bit ``i``
+set iff mapping ``i`` is a member, so set algebra over mappings becomes
+single bitwise AND/OR/popcount operations.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+import threading
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.exceptions import MappingError
 from repro.mapping.mapping import Mapping
 from repro.matching.correspondence import CorrespondenceKey
 from repro.matching.matching import SchemaMatching
 
-__all__ = ["MappingSet"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.compiled import CompiledMappingSet
+
+__all__ = ["MappingSet", "mapping_mask", "iter_mapping_ids"]
+
+
+def mapping_mask(mapping_ids: Iterable[int]) -> int:
+    """Encode a set of mapping ids as a bitmask (bit ``i`` set iff ``i`` present)."""
+    mask = 0
+    for mapping_id in mapping_ids:
+        mask |= 1 << mapping_id
+    return mask
+
+
+def iter_mapping_ids(mask: int) -> Iterator[int]:
+    """Yield the mapping ids encoded in ``mask``, in ascending order."""
+    while mask:
+        low_bit = mask & -mask
+        yield low_bit.bit_length() - 1
+        mask ^= low_bit
 
 #: Estimated storage cost of one correspondence (two element ids + a score),
 #: used by the compression-ratio metric.  The exact constant does not matter;
@@ -59,6 +87,12 @@ class MappingSet:
                 mappings = [m.with_probability(m.score / total) for m in mappings]
         self._mappings: list[Mapping] = list(mappings)
         self._validate()
+        # Compiled bitset view (repro.engine.compiled), built lazily on first
+        # use and memoized for the set's lifetime: a MappingSet is immutable,
+        # so the engine's generation machinery (which swaps whole sets on
+        # invalidation) also governs the compiled artifact.
+        self._compiled: "CompiledMappingSet | None" = None
+        self._compiled_lock = threading.Lock()
 
     def _validate(self) -> None:
         for index, mapping in enumerate(self._mappings):
@@ -97,21 +131,46 @@ class MappingSet:
         return list(self._mappings)
 
     # ------------------------------------------------------------------ #
+    # Compiled bitset view
+    # ------------------------------------------------------------------ #
+    def compile(self) -> "CompiledMappingSet":
+        """Lower the set into the compiled bitset representation (memoized).
+
+        The first call builds a :class:`~repro.engine.compiled.CompiledMappingSet`
+        — per-correspondence posting lists, per-target source partitions and a
+        probability column, all encoded as Python-int bitmasks — and caches it
+        on the set; later calls (from any thread) return the same object.
+        """
+        if self._compiled is None:
+            from repro.engine.compiled import CompiledMappingSet
+
+            with self._compiled_lock:
+                if self._compiled is None:
+                    self._compiled = CompiledMappingSet(self)
+        return self._compiled
+
+    @property
+    def is_compiled(self) -> bool:
+        """``True`` once :meth:`compile` has built the bitset view."""
+        return self._compiled is not None
+
+    # ------------------------------------------------------------------ #
     # Queries used by the block tree and PTQ evaluation
     # ------------------------------------------------------------------ #
     def mappings_with_pair(self, key: CorrespondenceKey) -> set[int]:
         """Return ids of the mappings containing the correspondence ``key``."""
-        return {m.mapping_id for m in self._mappings if key in m.correspondences}
+        return set(iter_mapping_ids(self.compile().pair_mask(key)))
 
     def relevant_mappings(self, target_ids: Iterable[int]) -> list[Mapping]:
         """The paper's ``filter_mappings``: mappings covering every target id.
 
         A mapping is *irrelevant* for a query when some query node's target
         element has no correspondence in it; such mappings can only produce
-        empty (zero-probability) results and are pruned.
+        empty (zero-probability) results and are pruned.  Runs on the compiled
+        bitset view: one AND per target element instead of per-mapping hash
+        lookups.
         """
-        required = list(target_ids)
-        return [m for m in self._mappings if m.covers_targets(required)]
+        return self.compile().mappings_covering(target_ids)
 
     def top_k_by_probability(self, k: int) -> list[Mapping]:
         """Return the ``k`` mappings with the highest probabilities."""

@@ -1,6 +1,6 @@
-"""Probabilistic twig query evaluation (Algorithms 3 and 4).
+"""Probabilistic twig query evaluation (Algorithms 3 and 4, plus the compiled core).
 
-Both algorithms share the same pipeline:
+All evaluators share the same pipeline:
 
 1. **resolve** the query against the target schema
    (:func:`repro.query.resolve.resolve_query`);
@@ -9,14 +9,18 @@ Both algorithms share the same pipeline:
 3. **evaluate** the query per mapping.
 
 They differ only in step 3: :func:`evaluate_ptq_basic` rewrites and matches
-the whole query once per mapping (Algorithm 3, ``query_basic``), while
+the whole query once per mapping (Algorithm 3, ``query_basic``);
 :func:`evaluate_ptq_blocktree` walks the query top-down, uses the block
 tree's hash table to find anchored subtrees whose c-blocks let it evaluate a
 sub-query *once per block* instead of once per mapping, and re-assembles
 partial results with structural joins (Algorithm 4, ``twig_query_tree`` /
-``query_subtree``).
+``query_subtree``); :func:`evaluate_resolved_compiled` runs on the
+mapping set's compiled bitset view (:mod:`repro.engine.compiled`), grouping
+mappings by their full query rewrite and evaluating each distinct rewrite
+exactly once.
 
-The two produce identical :class:`~repro.query.results.PTQResult` contents.
+All evaluators produce identical :class:`~repro.query.results.PTQResult`
+contents.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ from repro.core.blocktree import BlockTree
 from repro.document.document import XMLDocument
 from repro.exceptions import QueryError
 from repro.mapping.mapping import Mapping
-from repro.mapping.mapping_set import MappingSet
+from repro.mapping.mapping_set import MappingSet, iter_mapping_ids, mapping_mask
 from repro.query.resolve import Embedding, resolve_query
 from repro.query.results import CanonicalMatch, PTQAnswer, PTQResult
 from repro.query.twig import TwigNode, TwigQuery
@@ -37,6 +41,7 @@ __all__ = [
     "filter_mappings",
     "evaluate_resolved_basic",
     "evaluate_resolved_blocktree",
+    "evaluate_resolved_compiled",
     "evaluate_ptq_basic",
     "evaluate_ptq_blocktree",
     "evaluate_ptq",
@@ -64,7 +69,16 @@ def filter_mappings(
     returned list is always freshly materialised, so downstream evaluators —
     which iterate their mapping subset once per embedding — can never drain a
     caller's iterator or alias its storage.
+
+    A :class:`MappingSet` input is filtered through its compiled bitset view
+    (one AND per query node instead of per-mapping hash probes); the result —
+    relevant mappings in ascending-id order — is identical to the plain scan
+    used for loose iterables.
     """
+    if isinstance(mapping_set, MappingSet):
+        if not embeddings:
+            return []
+        return mapping_set.compile().relevant_mappings(embeddings)
     mappings = list(mapping_set)
     if not embeddings:
         return []
@@ -227,13 +241,13 @@ def _query_subtree(
 ) -> MappingResults:
     """The paper's ``query_subtree``: evaluate once per c-block, replicate per mapping."""
     results: MappingResults = {}
-    covered_ids: set[int] = set()
-    relevant_ids = {mapping.mapping_id for mapping in mappings}
+    covered_mask = 0
+    relevant_mask = mapping_mask(mapping.mapping_id for mapping in mappings)
     subquery_nodes = list(qnode.iter_subtree())
 
     for block in tree_node.blocks:
-        shared_ids = block.mapping_ids & relevant_ids
-        if not shared_ids:
+        shared_mask = block.mapping_mask & relevant_mask
+        if not shared_mask:
             continue
         block_sources = {target_id: source_id for source_id, target_id in block.correspondences}
         element_map: dict[int, int] = {}
@@ -247,12 +261,12 @@ def _query_subtree(
         if not usable:
             continue
         matches = match_twig(document, qnode, element_map)
-        for mapping_id in shared_ids:
+        for mapping_id in iter_mapping_ids(shared_mask):
             results[mapping_id] = matches
-            covered_ids.add(mapping_id)
+        covered_mask |= shared_mask
 
     for mapping in mappings:
-        if mapping.mapping_id in covered_ids:
+        if covered_mask >> mapping.mapping_id & 1:
             continue
         element_map = _element_map_for_mapping(qnode, embedding, mapping)
         if element_map is None:
@@ -374,6 +388,59 @@ def evaluate_ptq_blocktree(
     return plan_for("blocktree").run(
         query, mapping_set, document, block_tree=block_tree, mappings=mappings
     )
+
+
+# --------------------------------------------------------------------------- #
+# Compiled core: evaluate each distinct rewrite exactly once
+# --------------------------------------------------------------------------- #
+def evaluate_resolved_compiled(
+    query: TwigQuery,
+    mapping_set: MappingSet,
+    document: XMLDocument,
+    embeddings: list[Embedding],
+    mappings: Sequence[Mapping],
+) -> PTQResult:
+    """Compiled-core evaluation loop over pre-resolved embeddings.
+
+    Runs on the mapping set's compiled bitset view
+    (:meth:`~repro.mapping.mapping_set.MappingSet.compile`): for every
+    embedding, the selected mappings are partitioned into groups that rewrite
+    *every* query node to the same source element
+    (:meth:`~repro.engine.compiled.CompiledMappingSet.rewrite_groups`), each
+    distinct rewrite is matched against the document exactly once, and the
+    canonical matches are fanned back out to the group's mappings by bitmask.
+    This generalises Algorithm 4's c-block sharing — it needs no anchored
+    blocks and never misses sharing due to construction budgets — and
+    produces results identical to :func:`evaluate_resolved_basic`.
+
+    The contract on ``embeddings`` and ``mappings`` matches
+    :func:`evaluate_resolved_basic`.
+    """
+    compiled = mapping_set.compile()
+    selected_mask = compiled.mask_for(mappings)
+    query_nodes = list(query.root.iter_subtree())
+    per_mapping: dict[int, frozenset[CanonicalMatch]] = {}
+    # One match_twig + canonicalisation per distinct element map, shared
+    # across embeddings too (two embeddings can induce the same rewrite).
+    rewrite_cache: dict[tuple[tuple[int, int], ...], frozenset[CanonicalMatch]] = {}
+    for embedding in embeddings:
+        for group_mask, assignment in compiled.rewrite_groups(
+            set(embedding.values()), selected_mask
+        ):
+            element_map = {
+                node.node_id: assignment[embedding[node.node_id]] for node in query_nodes
+            }
+            signature = tuple(sorted(element_map.items()))
+            canonical = rewrite_cache.get(signature)
+            if canonical is None:
+                canonical = _canonicalize(match_twig(document, query.root, element_map))
+                rewrite_cache[signature] = canonical
+            for mapping_id in iter_mapping_ids(group_mask):
+                existing = per_mapping.get(mapping_id)
+                per_mapping[mapping_id] = (
+                    canonical if existing is None else existing | canonical
+                )
+    return _build_result(query, document, per_mapping, mapping_set)
 
 
 def evaluate_ptq(

@@ -42,7 +42,9 @@ def evaluate_topk_ptq(
         are relevant, all of them are returned.
     block_tree:
         Optional block tree; when provided, the restricted evaluation uses
-        Algorithm 4, otherwise the basic algorithm.
+        Algorithm 4.  Otherwise it runs on the mapping set's compiled bitset
+        view (the engine's ``compiled`` plan) — identical answers, with each
+        distinct rewrite of the restricted mapping subset evaluated once.
 
     Returns
     -------
@@ -51,5 +53,5 @@ def evaluate_topk_ptq(
     """
     from repro.engine.plans import plan_for
 
-    plan = plan_for("basic" if block_tree is None else "blocktree")
+    plan = plan_for("compiled" if block_tree is None else "blocktree")
     return plan.run(query, mapping_set, document, block_tree=block_tree, k=k)

@@ -85,6 +85,10 @@ def update_golden(request):
 def test_golden_answers(dataset_id, update_golden):
     queries = workload_queries(dataset_id, limit=GOLDEN_QUERIES)
     session = Dataspace.from_dataset(dataset_id, h=GOLDEN_H)
+    # The service path below runs the engine's default plan — the compiled
+    # bitset core — so these snapshots pin the compiled plan byte-exactly
+    # against answers generated from the seed free functions.
+    assert session.select_plan()[0].name == "compiled"
 
     if update_golden:
         # Regenerate from the *seed free functions* — the reference the

@@ -43,6 +43,11 @@ class TestEngineMatchesSeedPipeline:
         seed = evaluate_ptq_basic(load_query("Q7"), d7_mappings, d7_document)
         assert answers_of(engine) == answers_of(seed)
 
+    def test_q7_compiled_identical_to_seed_basic(self, d7_session, d7_mappings, d7_document):
+        engine = d7_session.query("Q7").plan("compiled").execute()
+        seed = evaluate_ptq_basic(load_query("Q7"), d7_mappings, d7_document)
+        assert answers_of(engine) == answers_of(seed)
+
     def test_q7_topk_identical(self, d7_session, d7_mappings, d7_document, d7_block_tree):
         engine = d7_session.query("Q7").top_k(10).execute()
         seed = evaluate_topk_ptq(
@@ -61,12 +66,22 @@ class TestEngineMatchesSeedPipeline:
             )
             assert answers_of(engine) == answers_of(seed)
 
-    def test_explain_reports_blocktree_plan(self, d7_session):
+    def test_explain_reports_compiled_default_plan(self, d7_session):
         report = d7_session.query("Q7").explain()
-        assert report.plan == "blocktree"
+        assert report.plan == "compiled"
         assert report.num_mappings == 100
         assert report.num_relevant > 0
         assert report.num_answers == report.num_relevant
+        stats = report.compiled_stats
+        assert stats is not None
+        # The whole point of the compiled plan: far fewer distinct rewrites
+        # than relevant mappings on the paper's workload.
+        assert stats["num_distinct_rewrites"] < report.num_relevant
+        assert stats["evaluations_saved"] > 0
+
+    def test_explain_forced_blocktree_reports_blocks(self, d7_session):
+        report = d7_session.query("Q7").plan("blocktree").explain()
+        assert report.plan == "blocktree"
         assert report.num_blocks == d7_session.block_tree.num_blocks
 
     def test_query_string_and_id_agree(self, d7_session):

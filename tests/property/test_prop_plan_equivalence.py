@@ -2,8 +2,8 @@
 
 The paper's correctness claim (Algorithm 3 ≡ Algorithm 4) is extended here to
 the whole serving stack: on hypothesis-generated scenarios, the engine's
-``basic`` and ``blocktree`` plans, the cached and uncached paths, the batch
-executor (sequential and thread-pooled) and the concurrent
+``basic``, ``blocktree`` and ``compiled`` plans, the cached and uncached
+paths, the batch executor (sequential and thread-pooled) and the concurrent
 :class:`~repro.service.QueryService` must all return exactly the same
 :class:`~repro.query.results.PTQResult` contents.  This is the safety net
 that lets future perf PRs refactor hot paths without changing answers.
@@ -34,12 +34,18 @@ def open_session(scenario, cache_size=128):
 class TestPlanEquivalence:
     @settings(max_examples=30, deadline=None)
     @given(query_scenarios())
-    def test_basic_plan_equals_blocktree_plan(self, scenario):
+    def test_all_plans_identical(self, scenario):
         session, query = open_session(scenario)
         basic = session.execute(query, plan="basic", use_cache=False)
         tree = session.execute(query, plan="blocktree", use_cache=False)
-        auto = session.execute(query, use_cache=False)
-        assert answer_set(basic) == answer_set(tree) == answer_set(auto)
+        compiled = session.execute(query, plan="compiled", use_cache=False)
+        auto = session.execute(query, use_cache=False)  # auto == compiled default
+        assert (
+            answer_set(basic)
+            == answer_set(tree)
+            == answer_set(compiled)
+            == answer_set(auto)
+        )
 
     @settings(max_examples=30, deadline=None)
     @given(query_scenarios(), st.integers(1, 6))
@@ -47,7 +53,22 @@ class TestPlanEquivalence:
         session, query = open_session(scenario)
         basic = session.execute(query, k=k, plan="basic", use_cache=False)
         tree = session.execute(query, k=k, plan="blocktree", use_cache=False)
-        assert answer_set(basic) == answer_set(tree)
+        compiled = session.execute(query, k=k, plan="compiled", use_cache=False)
+        assert answer_set(basic) == answer_set(tree) == answer_set(compiled)
+
+    @settings(max_examples=20, deadline=None)
+    @given(query_scenarios())
+    def test_compiled_filter_matches_plain_scan(self, scenario):
+        # The compiled bitset filter must select exactly the mappings the
+        # seed per-mapping scan would, in the same order.
+        from repro.query.ptq import filter_mappings
+        from repro.query.resolve import resolve_query
+
+        mapping_set, _, query, _ = scenario
+        embeddings = resolve_query(query, mapping_set.matching.target)
+        via_bitsets = filter_mappings(mapping_set, embeddings)
+        via_scan = filter_mappings(list(mapping_set), embeddings)
+        assert via_bitsets == via_scan
 
 
 class TestCacheEquivalence:
@@ -82,15 +103,33 @@ class TestBatchAndServiceEquivalence:
         ]
         sequential = session.query_batch([query, query, query], use_cache=False)
         pooled = session.query_batch([query, query, query], max_workers=3)
-        for single, batch_seq, batch_pool in zip(one_at_a_time, sequential, pooled):
-            assert answer_set(single) == answer_set(batch_seq) == answer_set(batch_pool)
+        compiled_batch = session.query_batch(
+            [query, query, query], plan="compiled", use_cache=False
+        )
+        for single, batch_seq, batch_pool, batch_compiled in zip(
+            one_at_a_time, sequential, pooled, compiled_batch
+        ):
+            assert (
+                answer_set(single)
+                == answer_set(batch_seq)
+                == answer_set(batch_pool)
+                == answer_set(batch_compiled)
+            )
 
     @settings(max_examples=15, deadline=None)
     @given(query_scenarios(), st.integers(1, 4))
     def test_service_equals_direct_execution(self, scenario, k):
         session, query = open_session(scenario)
         direct = session.execute(query, k=k, use_cache=False)
+        basic = session.execute(query, k=k, plan="basic", use_cache=False)
         with QueryService(session, max_workers=2) as service:
             submitted = service.submit(query, k=k).result(timeout=30)
             batched = service.execute_many([query], k=k)[0]
-        assert answer_set(direct) == answer_set(submitted) == answer_set(batched)
+            compiled = service.execute_many([query], k=k, plan="compiled")[0]
+        assert (
+            answer_set(direct)
+            == answer_set(basic)
+            == answer_set(submitted)
+            == answer_set(batched)
+            == answer_set(compiled)
+        )

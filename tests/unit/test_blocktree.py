@@ -145,6 +145,27 @@ class TestFigureBlockTree:
         assert "compression_ratio" in info
         assert "construction_seconds" in info
 
+    def test_membership_index_built_once_and_consistent(self, figure_block_tree, figure_mappings):
+        tree = figure_block_tree
+        index = tree._membership_index()
+        assert tree._membership_index() is index  # cached, not recomputed
+        assert tree.all_blocks() is tree.all_blocks()
+        for mapping in figure_mappings:
+            count, covered = index[mapping.mapping_id]
+            # Recompute by brute force over the blocks.
+            brute_count = sum(
+                1 for block in tree.iter_blocks() if mapping.mapping_id in block.mapping_ids
+            )
+            brute_covered = set()
+            for block in tree.iter_blocks():
+                if mapping.mapping_id in block.mapping_ids:
+                    brute_covered.update(block.correspondences)
+            assert count == brute_count
+            assert covered == frozenset(brute_covered)
+            assert tree.residual_correspondences(mapping.mapping_id) == frozenset(
+                mapping.correspondences - brute_covered
+            )
+
 
 class TestTauBehaviour:
     def test_higher_tau_fewer_blocks(self, figure_mappings):

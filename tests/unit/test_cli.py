@@ -29,9 +29,23 @@ class TestParser:
 
     def test_query_defaults(self):
         args = build_parser().parse_args(["query", "D7", "Q7"])
-        assert args.algorithm == "block-tree"
+        assert args.algorithm == "auto"
         assert args.top_k is None
         assert args.num_mappings == 100
+
+    def test_plan_help_derived_from_registry(self):
+        from repro.engine import available_plans
+
+        parser = build_parser()
+        args = parser.parse_args(["query", "D7", "Q7", "--plan", "compiled"])
+        assert args.algorithm == "compiled"
+        # Every registered plan must appear in the query and explain
+        # subparser help (the text is generated from the registry).
+        subparsers = parser._subparsers._group_actions[0].choices
+        for command in ("query", "explain"):
+            help_text = subparsers[command].format_help()
+            for name in available_plans():
+                assert name in help_text, f"{name} missing from {command} --plan help"
 
 
 class TestCommands:
@@ -93,6 +107,25 @@ class TestCommands:
         )
         assert code == 0
         assert "using basic" in output
+
+    def test_query_compiled_and_dashed_spellings_accepted(self):
+        code, output = run_cli(
+            "query", "D7", "Q2", "--num-mappings", "25", "--plan", "compiled",
+        )
+        assert code == 0
+        assert "using compiled" in output
+        code, output = run_cli(
+            "query", "D7", "Q2", "--num-mappings", "25", "--algorithm", "block-tree",
+        )
+        assert code == 0
+        assert "using block-tree" in output
+
+    def test_query_unknown_plan_lists_registered_plans(self):
+        code, output = run_cli("query", "D7", "Q2", "--algorithm", "quantum")
+        assert code == 2
+        assert "error:" in output
+        for name in ("basic", "blocktree", "compiled"):
+            assert name in output
 
     def test_query_top_k(self):
         code, output = run_cli("query", "D7", "Q2", "--num-mappings", "50", "--top-k", "5")
@@ -163,7 +196,8 @@ class TestCommands:
         code, output = run_cli("explain", "D7", "Q2", "--num-mappings", "50")
         assert code == 0
         assert "plan:" in output
-        assert "blocktree" in output
+        assert "compiled" in output
+        assert "distinct rewrites" in output
         assert "timings:" in output
         assert "cache:" in output
 

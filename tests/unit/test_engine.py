@@ -7,6 +7,7 @@ import pytest
 from repro.engine import (
     BasicPlan,
     BlockTreePlan,
+    CompiledPlan,
     Dataspace,
     PreparedQuery,
     QueryBuilder,
@@ -208,35 +209,43 @@ class TestPreparedQueries:
 # Plans
 # --------------------------------------------------------------------------- #
 class TestPlans:
-    def test_registry_contains_both_plans(self):
+    def test_registry_contains_all_plans(self):
         assert "basic" in available_plans()
         assert "blocktree" in available_plans()
+        assert "compiled" in available_plans()
 
     def test_plan_lookup_normalises_spelling(self):
         assert isinstance(plan_for("block-tree"), BlockTreePlan)
         assert isinstance(plan_for("BLOCKTREE"), BlockTreePlan)
         assert isinstance(plan_for("basic"), BasicPlan)
+        assert isinstance(plan_for("Compiled"), CompiledPlan)
 
     def test_plan_instances_pass_through(self):
         plan = BasicPlan()
         assert plan_for(plan) is plan
 
-    def test_unknown_plan_rejected(self):
-        with pytest.raises(QueryError):
+    def test_unknown_plan_error_lists_registered_plans(self):
+        with pytest.raises(QueryError) as excinfo:
             plan_for("quantum")
+        message = str(excinfo.value)
+        for name in ("basic", "blocktree", "compiled"):
+            assert name in message
 
-    def test_default_selection_prefers_block_tree(self, figure_dataspace):
+    def test_default_selection_is_compiled(self, figure_dataspace):
         plan, reason = figure_dataspace.select_plan()
-        assert plan.name == "blocktree"
-        assert "c-blocks" in reason
+        assert plan.name == "compiled"
+        assert "compiled" in reason
+        # Automatic selection no longer forces a block-tree build.
+        assert not figure_dataspace.describe()["block_tree_built"]
 
     def test_forced_override_reported_by_explain(self, figure_dataspace):
         report = figure_dataspace.query(ICN_QUERY).plan("basic").explain()
         assert report.plan == "basic"
         assert report.reason == "forced by caller"
         assert report.num_blocks is None
+        assert report.compiled_stats is None
 
-    def test_empty_block_tree_falls_back_to_basic(self):
+    def test_compiled_matches_basic_on_empty_block_tree(self):
         source = parse_schema("A\n  B\n  C\n", name="src")
         target = parse_schema("X\n  Y\n", name="tgt")
         matching = SchemaMatching(source, target, name="tiny")
@@ -254,9 +263,11 @@ class TestPlans:
         )
         ds = Dataspace.from_mapping_set(mappings, tau=1.0)
         assert ds.block_tree.num_blocks == 0
-        plan, reason = ds.select_plan()
-        assert plan.name == "basic"
-        assert "no c-blocks" in reason
+        plan, _ = ds.select_plan()
+        assert plan.name == "compiled"
+        auto = ds.execute("//Y", use_cache=False)
+        basic = ds.execute("//Y", plan="basic", use_cache=False)
+        assert answers_of(auto) == answers_of(basic)
 
     def test_blocktree_plan_requires_tree(self, figure_mappings, figure_document):
         plan = plan_for("blocktree")
@@ -284,12 +295,14 @@ class TestBuilderAndExecution:
         query = parse_twig(ICN_QUERY)
         engine_tree = figure_dataspace.query(ICN_QUERY).plan("blocktree").execute()
         engine_basic = figure_dataspace.query(ICN_QUERY).plan("basic").execute()
+        engine_compiled = figure_dataspace.query(ICN_QUERY).plan("compiled").execute()
         seed_tree = evaluate_ptq_blocktree(
             query, figure_mappings, figure_document, figure_block_tree
         )
         seed_basic = evaluate_ptq_basic(query, figure_mappings, figure_document)
         assert answers_of(engine_tree) == answers_of(seed_tree)
         assert answers_of(engine_basic) == answers_of(seed_basic)
+        assert answers_of(engine_compiled) == answers_of(seed_basic)
 
     def test_top_k_identical_to_free_function(
         self, figure_dataspace, figure_mappings, figure_document, figure_block_tree
@@ -320,15 +333,30 @@ class TestBuilderAndExecution:
 
     def test_explain_counts_answers(self, figure_dataspace):
         report = figure_dataspace.query(ICN_QUERY).explain()
-        assert report.plan == "blocktree"
+        assert report.plan == "compiled"
         assert report.num_mappings == 5
         assert report.num_relevant == 5
         assert report.num_answers == 5
         assert set(report.timings_ms) == {"resolve", "filter", "evaluate"}
-        assert report.num_blocks is not None and report.num_blocks > 0
+        # The compiled plan needs no block tree; it reports rewrite sharing
+        # and bitset statistics instead.
+        assert report.num_blocks is None
+        stats = report.compiled_stats
+        assert stats is not None
+        assert stats["num_distinct_rewrites"] >= 1
+        assert stats["num_rewrite_groups"] >= stats["num_distinct_rewrites"]
+        assert stats["num_posting_lists"] > 0
         as_dict = report.to_dict()
-        assert as_dict["plan"] == "blocktree"
+        assert as_dict["plan"] == "compiled"
+        assert as_dict["compiled_stats"] == stats
         assert "plan:" in report.format()
+        assert "compiled:" in report.format()
+
+    def test_explain_blocktree_reports_blocks(self, figure_dataspace):
+        report = figure_dataspace.query(ICN_QUERY).plan("blocktree").explain()
+        assert report.plan == "blocktree"
+        assert report.num_blocks is not None and report.num_blocks > 0
+        assert report.compiled_stats is None
 
     def test_set_document_swaps_evaluation_target(
         self, figure_dataspace, source_schema, figure_elements
