@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Render a per-package coverage table from a coverage.py JSON report.
+
+The CI coverage gate (``--cov-fail-under``) guards the total, but a total
+hides *where* a regression landed.  This script aggregates the JSON report
+(``--cov-report=json``) per package under ``src/repro`` and prints an
+aligned table, so a drop is attributable to the subsystem that caused it.
+
+Standard library only; usable standalone::
+
+    python -m pytest --cov=repro --cov-report=json:coverage.json ...
+    python scripts/coverage_table.py coverage.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["package_of", "package_rows", "format_table", "main"]
+
+
+def package_of(path: str, root: str = "repro") -> str:
+    """Package name of a measured file path.
+
+    ``src/repro/engine/cache.py`` → ``repro.engine``; files directly under
+    the root package (``src/repro/cli.py``) → ``repro``.  Paths outside the
+    root package keep their first directory as the bucket name.
+    """
+    parts = Path(path).parts
+    if root in parts:
+        index = parts.index(root)
+        remainder = parts[index + 1 : -1]  # directories below the root package
+        return ".".join((root, *remainder)) if remainder else root
+    return parts[0] if len(parts) > 1 else root
+
+
+def package_rows(payload: dict, root: str = "repro") -> list[dict]:
+    """Aggregate a coverage JSON payload into per-package rows.
+
+    Each row carries ``package``, ``statements``, ``missing`` and
+    ``percent`` (covered statements over total, 1 decimal).  Rows are sorted
+    by package name; a final ``TOTAL`` row sums everything.
+    """
+    totals: dict[str, list[int]] = {}
+    for file_path, data in payload.get("files", {}).items():
+        summary = data.get("summary", {})
+        statements = int(summary.get("num_statements", 0))
+        missing = int(summary.get("missing_lines", 0))
+        bucket = totals.setdefault(package_of(file_path, root), [0, 0])
+        bucket[0] += statements
+        bucket[1] += missing
+    rows = []
+    for package in sorted(totals):
+        statements, missing = totals[package]
+        covered = statements - missing
+        rows.append(
+            {
+                "package": package,
+                "statements": statements,
+                "missing": missing,
+                "percent": round(100.0 * covered / statements, 1) if statements else 100.0,
+            }
+        )
+    statements = sum(row["statements"] for row in rows)
+    missing = sum(row["missing"] for row in rows)
+    rows.append(
+        {
+            "package": "TOTAL",
+            "statements": statements,
+            "missing": missing,
+            "percent": (
+                round(100.0 * (statements - missing) / statements, 1)
+                if statements
+                else 100.0
+            ),
+        }
+    )
+    return rows
+
+
+def format_table(rows: Sequence[dict]) -> str:
+    """Aligned text table of :func:`package_rows` output."""
+    width = max([len("package")] + [len(str(row["package"])) for row in rows])
+    lines = [
+        f"{'package':<{width}}  {'stmts':>7}  {'miss':>6}  {'cover':>6}",
+        "-" * (width + 25),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['package']:<{width}}  {row['statements']:>7}  "
+            f"{row['missing']:>6}  {row['percent']:>5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; prints the per-package table for a coverage report."""
+    parser = argparse.ArgumentParser(
+        description="Per-package coverage table from a coverage.py JSON report"
+    )
+    parser.add_argument(
+        "report", nargs="?", default="coverage.json", help="coverage JSON report path"
+    )
+    parser.add_argument("--root", default="repro", help="root package name")
+    args = parser.parse_args(argv)
+
+    path = Path(args.report)
+    if not path.exists():
+        print(f"error: coverage report {path} does not exist", file=sys.stderr)
+        return 2
+    payload = json.loads(path.read_text())
+    print(format_table(package_rows(payload, root=args.root)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Normalise pytest-benchmark JSON output into a ``BENCH_<run>.json`` artifact.
+
+The CI ``perf-trajectory`` job runs the ratio-only benchmark gates with
+``--benchmark-json`` and feeds the raw report(s) through this script, which
+strips the volatile bulk (per-round timings, full machine info) down to a
+small, stable trajectory record: one row per benchmark with its summary
+statistics, stamped with the CI run id and commit.  The resulting
+``BENCH_<run>.json`` files are uploaded as workflow artifacts, so the perf
+trajectory of the project accumulates run by run instead of being discarded
+with each CI log.
+
+Standard library only; usable standalone::
+
+    python -m pytest benchmarks/... --benchmark-json raw.json
+    python scripts/perf_trajectory.py raw.json --run-id local --out artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["normalise_report", "build_trajectory", "main"]
+
+#: Trajectory record schema version (bump on incompatible shape changes).
+SCHEMA_VERSION = 1
+
+#: Benchmark statistics copied into a trajectory row (seconds).
+_STAT_FIELDS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
+
+
+def normalise_report(payload: dict) -> list[dict]:
+    """One trajectory row per benchmark of a raw pytest-benchmark report.
+
+    Rows are sorted by benchmark name so trajectory diffs are stable even
+    when pytest collection order changes.
+    """
+    rows: list[dict] = []
+    for benchmark in payload.get("benchmarks", []):
+        stats = benchmark.get("stats", {})
+        row: dict = {
+            "name": benchmark.get("fullname") or benchmark.get("name"),
+            "group": benchmark.get("group"),
+        }
+        for field in _STAT_FIELDS:
+            row[field] = stats.get(field)
+        rows.append(row)
+    rows.sort(key=lambda row: row["name"] or "")
+    return rows
+
+
+def _machine_summary(payload: dict) -> dict:
+    machine = payload.get("machine_info", {})
+    return {
+        "python_version": machine.get("python_version"),
+        "machine": machine.get("machine"),
+        "system": machine.get("system"),
+        "cpu_count": (machine.get("cpu") or {}).get("count"),
+    }
+
+
+def build_trajectory(
+    reports: Sequence[dict],
+    *,
+    run_id: str,
+    commit: Optional[str] = None,
+    timestamp: Optional[str] = None,
+) -> dict:
+    """Merge raw reports into one stamped trajectory record."""
+    benchmarks: list[dict] = []
+    for report in reports:
+        benchmarks.extend(normalise_report(report))
+    benchmarks.sort(key=lambda row: row["name"] or "")
+    return {
+        "schema": SCHEMA_VERSION,
+        "run_id": run_id,
+        "commit": commit,
+        "timestamp": timestamp,
+        "num_benchmarks": len(benchmarks),
+        "machine": _machine_summary(reports[0]) if reports else {},
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; writes ``<out>/BENCH_<run-id>.json`` and prints its path."""
+    parser = argparse.ArgumentParser(
+        description="Normalise pytest-benchmark JSON into a BENCH_<run>.json artifact"
+    )
+    parser.add_argument("reports", nargs="+", help="raw --benchmark-json output files")
+    parser.add_argument("--run-id", required=True, help="CI run id (artifact suffix)")
+    parser.add_argument("--commit", default=None, help="commit SHA to stamp")
+    parser.add_argument("--timestamp", default=None, help="ISO timestamp to stamp")
+    parser.add_argument("--out", default="artifacts", help="output directory")
+    args = parser.parse_args(argv)
+
+    payloads = []
+    for report_path in args.reports:
+        path = Path(report_path)
+        if not path.exists():
+            print(f"error: benchmark report {path} does not exist", file=sys.stderr)
+            return 2
+        payloads.append(json.loads(path.read_text()))
+
+    trajectory = build_trajectory(
+        payloads, run_id=args.run_id, commit=args.commit, timestamp=args.timestamp
+    )
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{args.run_id}.json"
+    out_path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    print(out_path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,7 @@ from repro.exceptions import (
     DocumentError,
     MappingError,
     MatchingError,
+    CorpusError,
     QueryError,
     ReproError,
     RewriteError,
@@ -113,13 +114,22 @@ from repro.workloads import (
     load_dataset,
     load_query,
     load_source_document,
+    open_corpus,
     open_dataspace,
     standard_datasets,
     standard_queries,
 )
+from repro.corpus import (
+    CorpusAnswer,
+    CorpusExecution,
+    ShardDocument,
+    ShardedCorpus,
+    partition_document,
+)
 from repro.engine import (
     BasicPlan,
     BlockTreePlan,
+    CacheKey,
     CacheStats,
     CompiledMappingSet,
     CompiledPlan,
@@ -144,7 +154,7 @@ from repro.service import (
     workload_queries,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -163,6 +173,7 @@ __all__ = [
     "RewriteError",
     "DatasetError",
     "DataspaceError",
+    "CorpusError",
     # engine facade
     "Dataspace",
     "EngineSnapshot",
@@ -178,9 +189,16 @@ __all__ = [
     "plan_for",
     "register_plan",
     "available_plans",
+    # sharded corpus
+    "ShardedCorpus",
+    "ShardDocument",
+    "CorpusAnswer",
+    "CorpusExecution",
+    "partition_document",
     # service layer
     "QueryService",
     "ResultCache",
+    "CacheKey",
     "CacheStats",
     "ReplayOp",
     "ReplayReport",
@@ -251,4 +269,5 @@ __all__ = [
     "load_query",
     "standard_queries",
     "open_dataspace",
+    "open_corpus",
 ]

@@ -11,6 +11,8 @@ The CLI exposes the engine's pipeline for quick, scriptable inspection::
     python -m repro query D7 Q7                  # evaluate one of the paper's queries
     python -m repro query D7 "Order/DeliverTo/Contact/EMail" --top-k 10
     python -m repro batch D7 Q1 Q2 Q7 --workers 8 --repeat 3
+    python -m repro corpus D7 Q2 Q7 --shards 4   # scatter-gather over shards
+    python -m repro corpus D1,D2,D7 "//ContactName" --top-k 5
     python -m repro explain D7 Q7                # which plan would run, and why
 
 All dataset-bound commands are backed by one :class:`repro.engine.Dataspace`
@@ -108,6 +110,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the session result cache")
     batch.add_argument("--json", action="store_true",
                        help="emit results and service statistics as a JSON object")
+
+    corpus = subparsers.add_parser(
+        "corpus",
+        help="evaluate queries on a sharded corpus (scatter-gather over shards)",
+    )
+    corpus.add_argument(
+        "dataset",
+        help="dataset id (subtree-sharded), or comma-separated ids for a "
+             "multi-dataset corpus (e.g. D1,D2,D7)",
+    )
+    corpus.add_argument("queries", nargs="+",
+                        help="query ids (Q1..Q10) and/or twig pattern strings")
+    corpus.add_argument("--shards", type=int, default=4,
+                        help="shards per dataset document (default 4)")
+    corpus.add_argument("--num-mappings", type=int, default=100)
+    corpus.add_argument("--top-k", type=int, default=None)
+    corpus.add_argument("--no-cache", action="store_true",
+                        help="bypass the sessions' result caches")
+    corpus.add_argument("--json", action="store_true",
+                        help="emit per-query scatter-gather reports as a JSON object")
 
     explain = subparsers.add_parser(
         "explain", help="show how a query would be evaluated (plan, inputs, timings)"
@@ -324,6 +346,43 @@ def _cmd_batch(args, out) -> int:
     return 0
 
 
+def _cmd_corpus(args, out) -> int:
+    from repro.workloads import open_corpus
+
+    dataset_ids = [item.strip().upper() for item in args.dataset.split(",") if item.strip()]
+    corpus = open_corpus(
+        dataset_ids[0] if len(dataset_ids) == 1 else dataset_ids,
+        shards=args.shards,
+        h=args.num_mappings,
+    )
+    use_cache = not args.no_cache
+    executions = [
+        corpus.gather(query, k=args.top_k, use_cache=use_cache)
+        for query in args.queries
+    ]
+
+    if args.json:
+        payload = {
+            "datasets": dataset_ids,
+            "shards": args.shards,
+            "num_shards": corpus.num_shards,
+            "num_mappings": args.num_mappings,
+            "top_k": args.top_k,
+            "queries": [execution.to_dict() for execution in executions],
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 0
+
+    out.write(
+        f"corpus {corpus.name}: {corpus.num_shards} shards over "
+        f"{len(dataset_ids)} dataset(s), |M|={args.num_mappings}\n"
+    )
+    for query, execution in zip(args.queries, executions):
+        out.write(f"\n== {query}\n")
+        out.write(execution.format() + "\n")
+    return 0
+
+
 def _cmd_explain(args, out) -> int:
     session = Dataspace.from_dataset(args.dataset, h=args.num_mappings)
     report = session.explain(args.query, k=args.top_k, plan=_plan_name(args.algorithm))
@@ -343,6 +402,7 @@ _COMMANDS = {
     "blocktree": _cmd_blocktree,
     "query": _cmd_query,
     "batch": _cmd_batch,
+    "corpus": _cmd_corpus,
     "explain": _cmd_explain,
 }
 

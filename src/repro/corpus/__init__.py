@@ -1,0 +1,55 @@
+"""The sharded corpus engine: partitioned documents, scatter-gather top-k.
+
+This package scales the engine from one document per session to a
+partitioned corpus (the ROADMAP's production-traffic story).  A
+:class:`ShardedCorpus` partitions one or many documents into shards — by
+subtree within a document (:func:`partition_document` /
+:class:`ShardDocument`) and by dataset across sessions — compiles each
+shard's mapping set (shared within a session, independent across datasets),
+and answers PTQ / top-k queries with a scatter-gather executor: parallel
+per-shard compiled evaluation, then an exact global merge.  Top-k selection uses per-shard probability upper bounds
+to skip shards that cannot enter the current top-k.
+
+Single-session corpora return results byte-identical to the unsharded
+``compiled`` plan; the differential and golden suites pin this down for
+shard counts 1, 2, 4 and 7.
+
+Typical usage::
+
+    from repro.engine import Dataspace
+
+    ds = Dataspace.from_dataset("D7", h=100)
+    corpus = ds.shard(4)                        # subtree sharding
+    result = corpus.execute("Q7", k=10)         # == unsharded answers
+    print(corpus.explain("Q7").format())        # fan-out / skips / merge
+
+    from repro.corpus import ShardedCorpus
+    multi = ShardedCorpus.from_datasets(["D1", "D2", "D7"], h=25)
+    ranked = multi.top_k("//ContactName", k=5)  # bound-pruned global top-k
+"""
+
+from repro.corpus.engine import (
+    CorpusAnswer,
+    CorpusExecution,
+    CorpusShard,
+    ShardedCorpus,
+    ShardReport,
+)
+from repro.corpus.sharding import (
+    DocumentPartition,
+    ShardDocument,
+    partition_document,
+    subtree_size,
+)
+
+__all__ = [
+    "ShardedCorpus",
+    "CorpusShard",
+    "CorpusAnswer",
+    "CorpusExecution",
+    "ShardReport",
+    "ShardDocument",
+    "DocumentPartition",
+    "partition_document",
+    "subtree_size",
+]

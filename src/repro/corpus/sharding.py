@@ -1,0 +1,222 @@
+"""Document partitioning for the sharded corpus engine.
+
+A shard of a document is a *view*, not a copy: :class:`ShardDocument` shares
+the base document's :class:`~repro.document.node.DocumentNode` objects (and
+therefore their node ids and region encoding) and only narrows the
+per-element candidate index that twig matching draws from.  That is what
+makes scatter-gather results mergeable byte-for-byte — a match found on a
+shard *is* a match of the base document, with the same canonical form.
+
+:func:`partition_document` cuts a finalized document into ``num_shards``
+views along subtree boundaries:
+
+* a **cut frontier** of disjoint subtrees is grown from the root's children,
+  repeatedly expanding the largest frontier subtree until there are enough
+  cuts to balance (``cut_factor`` subtrees per shard);
+* the nodes *above* the frontier — the **spine** — are replicated into every
+  shard, so matches that descend through the spine into one subtree are
+  complete inside the owning shard;
+* frontier subtrees are assigned greedily (largest first, to the least
+  loaded shard), which is deterministic and keeps shard sizes even.
+
+The one match shape a subtree shard cannot see on its own is a *crossing*
+match: a branchy query whose root binds a spine node and whose branches land
+in two different frontier subtrees.  The corpus engine routes exactly those
+rewrites through a spine pass over the base document (see
+:mod:`repro.corpus.engine`); everything else is provably shard-local because
+every matched node is a descendant-or-self of the query root's binding.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.document.document import XMLDocument
+from repro.document.node import DocumentNode
+from repro.exceptions import CorpusError
+
+__all__ = ["ShardDocument", "DocumentPartition", "partition_document", "subtree_size"]
+
+#: Target number of frontier subtrees per shard: more cuts than shards lets
+#: the greedy assignment even out skewed subtree sizes.
+DEFAULT_CUT_FACTOR = 4
+
+#: Upper bound on frontier expansion, so partitioning a huge flat document
+#: stays linear in the number of cuts actually needed.
+MAX_CUTS = 4096
+
+
+def subtree_size(node: DocumentNode) -> int:
+    """Number of nodes in ``node``'s subtree, from the region encoding.
+
+    Finalisation assigns every node one ``start`` and one ``end`` counter
+    value, so a subtree spanning ``[start, end]`` holds exactly
+    ``(end - start + 1) // 2`` nodes.
+    """
+    return (node.end - node.start + 1) // 2
+
+
+class ShardDocument:
+    """One shard of a partitioned document: a narrowed candidate index.
+
+    The view quacks like an :class:`~repro.document.document.XMLDocument` as
+    far as twig matching is concerned (``finalized``, ``schema``,
+    ``nodes_of_element``) while sharing the base document's node objects —
+    node ids, values and region encoding are the originals, so matches found
+    on different shards of one document canonicalise identically and
+    deduplicate under set union.
+    """
+
+    __slots__ = (
+        "base",
+        "shard_id",
+        "schema",
+        "name",
+        "num_subtrees",
+        "present_elements",
+        "_by_element",
+        "_num_nodes",
+    )
+
+    def __init__(
+        self,
+        base: XMLDocument,
+        shard_id: int,
+        spine: Sequence[DocumentNode],
+        subtrees: Sequence[DocumentNode],
+    ) -> None:
+        self.base = base
+        self.shard_id = shard_id
+        self.schema = base.schema
+        self.name = f"{base.name}#shard{shard_id}"
+        self.num_subtrees = len(subtrees)
+        members: list[DocumentNode] = list(spine)
+        for top in subtrees:
+            members.extend(top.iter_subtree())
+        # Candidate lists in document order, exactly like the base index.
+        members.sort(key=lambda node: node.start)
+        by_element: dict[int, list[DocumentNode]] = {}
+        for node in members:
+            by_element.setdefault(node.element_id, []).append(node)
+        self._by_element = by_element
+        self._num_nodes = len(members)
+        #: Schema elements with at least one instance in this shard; the
+        #: scatter step prunes rewrites that touch an absent element.
+        self.present_elements = frozenset(by_element)
+
+    @property
+    def finalized(self) -> bool:
+        """Shard views exist only over finalized documents."""
+        return True
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def nodes_of_element(self, element_id: int) -> list[DocumentNode]:
+        """The shard's instances of ``element_id`` (shared node objects)."""
+        return list(self._by_element.get(element_id, ()))
+
+    def covers_elements(self, element_ids: Iterable[int]) -> bool:
+        """``True`` when every given element has an instance in this shard."""
+        return all(element_id in self.present_elements for element_id in element_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardDocument({self.name!r}, nodes={self._num_nodes}, "
+            f"subtrees={self.num_subtrees})"
+        )
+
+
+@dataclass(frozen=True)
+class DocumentPartition:
+    """A document cut into shard views plus the replicated spine."""
+
+    document: XMLDocument
+    shards: tuple[ShardDocument, ...]
+    spine_node_ids: frozenset[int]
+    spine_element_ids: frozenset[int]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard views."""
+        return len(self.shards)
+
+    def describe(self) -> dict:
+        """JSON-serialisable partition summary (sizes, spine, balance)."""
+        sizes = [len(shard) for shard in self.shards]
+        return {
+            "document": self.document.name,
+            "num_nodes": len(self.document),
+            "num_shards": len(self.shards),
+            "spine_nodes": len(self.spine_node_ids),
+            "shard_nodes": sizes,
+            "shard_subtrees": [shard.num_subtrees for shard in self.shards],
+            "largest_shard": max(sizes, default=0),
+        }
+
+
+def partition_document(
+    document: XMLDocument,
+    num_shards: int,
+    *,
+    cut_factor: int = DEFAULT_CUT_FACTOR,
+    max_cuts: int = MAX_CUTS,
+) -> DocumentPartition:
+    """Cut ``document`` into ``num_shards`` balanced :class:`ShardDocument` views.
+
+    Deterministic for a given document: the frontier expansion always splits
+    the largest expandable subtree (ties broken by document order) and the
+    greedy assignment always places the largest remaining subtree on the
+    least loaded shard (ties broken by shard index).
+
+    Raises
+    ------
+    CorpusError
+        If ``num_shards`` is not positive or the document is not finalized.
+    """
+    if num_shards < 1:
+        raise CorpusError(f"num_shards must be at least 1, got {num_shards}")
+    if document.root is None or not document.finalized:
+        raise CorpusError(
+            f"document {document.name!r} must be finalized before partitioning"
+        )
+
+    target_cuts = min(max_cuts, max(num_shards, num_shards * cut_factor))
+    spine: list[DocumentNode] = [document.root]
+    # Heap of expandable frontier subtrees: largest first, document order on ties.
+    heap: list[tuple[int, int, DocumentNode]] = [
+        (-subtree_size(child), child.start, child) for child in document.root.children
+    ]
+    heapq.heapify(heap)
+    atoms: list[DocumentNode] = []  # frontier subtrees we will not expand further
+    while heap and len(heap) + len(atoms) < target_cuts:
+        _, _, node = heapq.heappop(heap)
+        if not node.children:
+            atoms.append(node)
+            continue
+        spine.append(node)
+        for child in node.children:
+            heapq.heappush(heap, (-subtree_size(child), child.start, child))
+    frontier = atoms + [entry[2] for entry in heap]
+
+    # Greedy balanced assignment: largest subtree first onto the least loaded
+    # shard.  Shards beyond the frontier size simply stay spine-only.
+    assignments: list[list[DocumentNode]] = [[] for _ in range(num_shards)]
+    loads = [0] * num_shards
+    for node in sorted(frontier, key=lambda n: (-subtree_size(n), n.start)):
+        index = min(range(num_shards), key=lambda j: (loads[j], j))
+        assignments[index].append(node)
+        loads[index] += subtree_size(node)
+
+    shards = tuple(
+        ShardDocument(document, shard_id, spine, assigned)
+        for shard_id, assigned in enumerate(assignments)
+    )
+    return DocumentPartition(
+        document=document,
+        shards=shards,
+        spine_node_ids=frozenset(node.node_id for node in spine),
+        spine_element_ids=frozenset(node.element_id for node in spine),
+    )

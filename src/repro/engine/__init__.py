@@ -24,7 +24,7 @@ The seed free functions (:func:`repro.evaluate_ptq_basic`,
 remain available as thin wrappers over the plan layer.
 """
 
-from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.cache import CacheKey, CacheStats, ResultCache
 from repro.engine.compiled import CompiledMappingSet, compile_mapping_set
 from repro.engine.dataspace import Dataspace, EngineSnapshot
 from repro.engine.locking import ReadWriteLock
@@ -43,6 +43,7 @@ from repro.engine.prepared import PreparedQuery, QueryBuilder
 __all__ = [
     "Dataspace",
     "EngineSnapshot",
+    "CacheKey",
     "CacheStats",
     "ResultCache",
     "ReadWriteLock",

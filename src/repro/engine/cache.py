@@ -19,9 +19,49 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional
+from typing import Any, Hashable, NamedTuple, Optional
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["CacheKey", "CacheStats", "ResultCache"]
+
+
+class CacheKey(NamedTuple):
+    """Explicit, collision-proof result-cache key.
+
+    Historically the engine keyed cached results by a bare positional tuple
+    ``(query, plan, k, tau, generation, document_version)``.  With sharded
+    execution in the picture — where a corpus holds one document view per
+    shard and caches merged results *and* per-shard partials in the same
+    session cache — positional tuples invite silent collisions, so the key
+    is an explicit record instead:
+
+    * ``scope`` discriminates the entry family: ``"session"`` for plain
+      engine results, ``"corpus"`` for merged scatter-gather results,
+      ``"shard"`` / ``"spine"`` for per-shard partials.  Two keys with
+      different scopes are never equal, whatever their other fields.
+    * ``shard`` / ``shards`` pin a partial to one shard of one layout, so a
+      4-shard partial can never serve a 7-shard (or whole-corpus) lookup.
+    * ``generation`` and ``document_version`` stay :class:`Hashable` rather
+      than ``int`` because corpus scopes store the *full* per-session
+      generation signature there — a multi-session corpus result depends on
+      every member's generation, not just one.
+
+    Implemented as a :class:`~typing.NamedTuple` rather than a dataclass:
+    a key is built on every cache consultation, and tuple construction and
+    hashing are ~2.5x cheaper than a frozen dataclass's — measurable on the
+    warm-request path, where the key is most of the remaining work.  The
+    field layout is identical for every instance, so tuple equality is
+    exactly field-wise equality.
+    """
+
+    query: str
+    plan: str
+    k: Optional[int]
+    tau: Optional[float]
+    generation: Hashable
+    document_version: Hashable
+    scope: str = "session"
+    shard: Optional[int] = None
+    shards: Optional[int] = None
 
 
 @dataclass(frozen=True)

@@ -710,6 +710,19 @@ class Dataspace:
         """Start a fluent query: ``ds.query("...").top_k(10).execute()``."""
         return QueryBuilder(self.prepare(query))
 
+    def shard(self, num_shards: int, *, max_workers: Optional[int] = None):
+        """Open a :class:`~repro.corpus.ShardedCorpus` over this session.
+
+        The session's document is partitioned into ``num_shards`` subtree
+        shards and queries are answered scatter-gather, with results
+        byte-identical to the unsharded ``compiled`` plan.  The corpus holds
+        a reference to this session (not a copy): reconfiguring the session
+        transparently rebuilds the shard state at the next query.
+        """
+        from repro.corpus import ShardedCorpus
+
+        return ShardedCorpus.from_dataspace(self, num_shards, max_workers=max_workers)
+
     def execute(
         self,
         query: Union[str, TwigQuery],

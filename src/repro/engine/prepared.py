@@ -31,6 +31,7 @@ import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable, Optional, Union
 
+from repro.engine.cache import CacheKey
 from repro.engine.plans import (
     ExplainReport,
     QueryPlan,
@@ -148,14 +149,20 @@ class PreparedQuery:
     def _result_key(
         self, plan: QueryPlan, k: Optional[int], snapshot: "EngineSnapshot"
     ) -> Hashable:
-        """Result-cache key: query, plan, k, tau and snapshot identity."""
-        return (
-            self._cache_key,
-            plan.name,
-            k,
-            snapshot.tau,
-            snapshot.generation,
-            snapshot.document_version,
+        """Result-cache key: query, plan, k, tau and snapshot identity.
+
+        Built as an explicit :class:`~repro.engine.cache.CacheKey` with the
+        default ``scope="session"``, so plain engine results can never
+        collide with the corpus- and shard-scoped entries the sharded
+        executor stores in the same cache.
+        """
+        return CacheKey(
+            query=self._cache_key,
+            plan=plan.name,
+            k=k,
+            tau=snapshot.tau,
+            generation=snapshot.generation,
+            document_version=snapshot.document_version,
         )
 
     def _snapshot_for(
@@ -196,8 +203,9 @@ class PreparedQuery:
         snap = self._snapshot_for(plan, snapshot)
         chosen, _ = ds.select_plan_for(plan, snap)
         cache = ds.result_cache if use_cache else None
-        key = self._result_key(chosen, k, snap)
+        key: Optional[Hashable] = None
         if cache is not None:
+            key = self._result_key(chosen, k, snap)
             cached = cache.get(key)
             if cached is not None:
                 return cached

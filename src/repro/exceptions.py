@@ -24,6 +24,7 @@ __all__ = [
     "RewriteError",
     "DatasetError",
     "DataspaceError",
+    "CorpusError",
 ]
 
 
@@ -81,3 +82,7 @@ class DatasetError(ReproError):
 
 class DataspaceError(ReproError):
     """Raised when an engine session (:class:`repro.engine.Dataspace`) is misused."""
+
+
+class CorpusError(ReproError):
+    """Raised when a sharded corpus (:class:`repro.corpus.ShardedCorpus`) is misused."""

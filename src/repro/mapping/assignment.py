@@ -21,7 +21,7 @@ All solvers work on the *maximisation* problem with implicit zero-weight
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.exceptions import AssignmentError
 from repro.mapping.bipartite import BipartiteGraph

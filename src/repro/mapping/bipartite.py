@@ -17,7 +17,7 @@ bipartite on which the assignment algorithms run independently.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.exceptions import AssignmentError
 from repro.matching.correspondence import CorrespondenceKey

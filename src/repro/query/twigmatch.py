@@ -14,8 +14,6 @@ A *match* is a dictionary from query node id to the
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.document.document import XMLDocument
 from repro.document.node import DocumentNode
 from repro.exceptions import QueryError

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 from repro.exceptions import DataspaceError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus import ShardedCorpus
     from repro.engine.dataspace import Dataspace
     from repro.engine.prepared import PlanSpec
     from repro.query.results import PTQResult
@@ -83,14 +84,21 @@ class QueryService:
     Parameters
     ----------
     dataspace:
-        The session to serve; it may be shared with other services and with
-        direct callers (the session is thread-safe).
+        The session to serve — or a single-session
+        :class:`~repro.corpus.ShardedCorpus`, in which case every request is
+        routed through the corpus' scatter-gather executor (batches fan
+        queries over the pool and each query's shards evaluate inline in its
+        worker).  Either may be shared with other services and with direct
+        callers (both are thread-safe).
     max_workers:
         Size of the service's thread pool (used by :meth:`submit`,
         :meth:`submit_many` and :meth:`execute_many`).
     use_cache:
         Whether served queries consult the session's result cache
-        (default ``True``).
+        (default ``True``).  Corpus-backed services cache under
+        corpus-scoped :class:`~repro.engine.cache.CacheKey` entries, keyed
+        per shard for partials, so sharded and unsharded answers never
+        collide.
 
     The service is a context manager; leaving the ``with`` block shuts the
     pool down.  Statistics (request counts, latency percentiles, cache
@@ -98,11 +106,28 @@ class QueryService:
     """
 
     def __init__(
-        self, dataspace: "Dataspace", *, max_workers: int = 8, use_cache: bool = True
+        self,
+        dataspace: Union["Dataspace", "ShardedCorpus"],
+        *,
+        max_workers: int = 8,
+        use_cache: bool = True,
     ) -> None:
         if max_workers < 1:
             raise DataspaceError(f"max_workers must be at least 1, got {max_workers}")
-        self._dataspace = dataspace
+        from repro.corpus import ShardedCorpus as _ShardedCorpus
+
+        self._corpus: Optional["ShardedCorpus"]
+        if isinstance(dataspace, _ShardedCorpus):
+            if not dataspace.is_homogeneous:
+                raise DataspaceError(
+                    "QueryService fronts a single-session corpus; use "
+                    "ShardedCorpus.gather()/top_k() directly for multi-dataset corpora"
+                )
+            self._corpus = dataspace
+            self._dataspace = dataspace.sessions[0]
+        else:
+            self._corpus = None
+            self._dataspace = dataspace
         self._use_cache = use_cache
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix=f"ptq-{dataspace.name}"
@@ -122,8 +147,30 @@ class QueryService:
     # ------------------------------------------------------------------ #
     @property
     def dataspace(self) -> "Dataspace":
-        """The session this service fronts."""
+        """The session this service fronts (the corpus' session when sharded)."""
         return self._dataspace
+
+    @property
+    def corpus(self) -> Optional["ShardedCorpus"]:
+        """The sharded corpus being served, or ``None`` for a plain session."""
+        return self._corpus
+
+    def _check_plan(self, plan: "PlanSpec") -> None:
+        if self._corpus is not None and plan is not None:
+            raise DataspaceError(
+                "a corpus-backed service always runs the scatter-gather executor; "
+                "plan overrides apply only to session-backed services"
+            )
+
+    def _flight_scope(self) -> tuple:
+        """Configuration scope of single-flight keys (corpus- or session-wide)."""
+        if self._corpus is not None:
+            return ("corpus", self._corpus.num_shards, self._corpus.generation_signature())
+        return (
+            "session",
+            self._dataspace.generation,
+            self._dataspace.document_version,
+        )
 
     @property
     def max_workers(self) -> int:
@@ -173,13 +220,17 @@ class QueryService:
         This is the path replay drivers use: the driver owns the
         concurrency, the service contributes caching and accounting.
         """
+        self._check_plan(plan)
         with self._lock:
             self._submitted += 1
         started = time.perf_counter()
         try:
-            result = self._dataspace.execute(
-                query, k=k, plan=plan, use_cache=self._use_cache
-            )
+            if self._corpus is not None:
+                result = self._corpus.execute(query, k=k, use_cache=self._use_cache)
+            else:
+                result = self._dataspace.execute(
+                    query, k=k, plan=plan, use_cache=self._use_cache
+                )
         except Exception:
             self._record(started, failed=True)
             raise
@@ -199,18 +250,17 @@ class QueryService:
         is part of the flight key.
         """
         self._check_open()
+        self._check_plan(plan)
         prepared = self._dataspace.prepare(query)
         plan_name = plan if isinstance(plan, str) or plan is None else plan.name
-        flight_key = (
-            prepared.cache_key,
-            plan_name,
-            k,
-            self._dataspace.generation,
-            self._dataspace.document_version,
-        )
+        flight_key = (prepared.cache_key, plan_name, k, self._flight_scope())
         started = time.perf_counter()
 
+        corpus = self._corpus
+
         def run() -> "PTQResult":
+            if corpus is not None:
+                return corpus.execute(query, k=k, use_cache=self._use_cache)
             return prepared.execute(k=k, plan=plan, use_cache=self._use_cache)
 
         def done(f: "Future[PTQResult]") -> None:
@@ -268,6 +318,7 @@ class QueryService:
         executor: one snapshot for the whole batch, duplicate queries
         collapsed, resolve/filter shared, evaluation parallel.
         """
+        self._check_plan(plan)
         queries = list(queries)
         with self._lock:
             if self._closed:
@@ -275,9 +326,16 @@ class QueryService:
             self._submitted += len(queries)
         started = time.perf_counter()
         try:
-            results = self._dataspace.query_batch(
-                queries, k=k, plan=plan, executor=self._pool, use_cache=self._use_cache
-            )
+            if self._corpus is not None:
+                # Route the batch across shards: one pool worker per query,
+                # each query's scatter evaluated inline in its worker.
+                results = self._corpus.execute_batch(
+                    queries, k=k, use_cache=self._use_cache, executor=self._pool
+                )
+            else:
+                results = self._dataspace.query_batch(
+                    queries, k=k, plan=plan, executor=self._pool, use_cache=self._use_cache
+                )
         except Exception as error:
             # The batch fails as a unit: account every submitted slot as
             # completed-with-error so submitted == completed always converges

@@ -130,3 +130,45 @@ def test_golden_answers(dataset_id, update_golden):
     )
     # The warm pass must actually have been served by the cache.
     assert session.result_cache.stats().hits >= len(queries)
+
+
+#: Shard counts the scatter-gather executor is pinned against.
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+@pytest.mark.parametrize("dataset_id", DATASET_IDS)
+def test_golden_answers_sharded(dataset_id, update_golden):
+    """Scatter-gather answers are byte-identical to the golden snapshots.
+
+    The same fixed query set is evaluated through a :class:`ShardedCorpus`
+    at every shard count in :data:`SHARD_COUNTS` — both uncached and via the
+    corpus-scoped result cache — and serialised answers must match the
+    snapshot byte for byte, which pins sharded execution to the unsharded
+    compiled plan (itself pinned to the seed free functions above).
+    """
+    if update_golden:
+        pytest.skip("snapshots are regenerated by test_golden_answers")
+    path = golden_path(dataset_id)
+    assert path.exists(), (
+        f"missing golden snapshot {path}; run pytest tests/golden --update-golden"
+    )
+    golden = path.read_text()
+    queries = workload_queries(dataset_id, limit=GOLDEN_QUERIES)
+    session = Dataspace.from_dataset(dataset_id, h=GOLDEN_H)
+    for num_shards in SHARD_COUNTS:
+        corpus = session.shard(num_shards)
+        cold = {
+            query: canonical_result(corpus.execute(query, use_cache=False))
+            for query in queries
+        }
+        assert serialize(dataset_id, cold) == golden, (
+            f"{dataset_id}: scatter-gather answers over {num_shards} shards diverge "
+            "from the golden snapshot"
+        )
+        warm = {
+            query: canonical_result(corpus.execute(query)) for query in queries
+        }
+        assert serialize(dataset_id, warm) == golden, (
+            f"{dataset_id}: cached scatter-gather answers over {num_shards} shards "
+            "diverge from the golden snapshot"
+        )

@@ -93,6 +93,48 @@ class TestCacheEquivalence:
         )
 
 
+class TestShardedCorpusEquivalence:
+    """Scatter-gather over any shard count ≡ the unsharded compiled plan.
+
+    The scenarios include branchy queries (predicate branches off the query
+    root), so the corpus' spine pass — the only place a sharded evaluation
+    could lose crossing matches — is exercised adversarially.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(query_scenarios(), st.sampled_from([1, 2, 4, 7]))
+    def test_sharded_execute_identical(self, scenario, num_shards):
+        session, query = open_session(scenario)
+        corpus = session.shard(num_shards)
+        unsharded = session.execute(query, use_cache=False)
+        sharded = corpus.execute(query, use_cache=False)
+        cached = corpus.execute(query)
+        assert answer_set(sharded) == answer_set(unsharded)
+        assert answer_set(cached) == answer_set(unsharded)
+
+    @settings(max_examples=15, deadline=None)
+    @given(query_scenarios(), st.sampled_from([1, 2, 4, 7]), st.integers(1, 5))
+    def test_sharded_topk_identical(self, scenario, num_shards, k):
+        session, query = open_session(scenario)
+        corpus = session.shard(num_shards)
+        unsharded = session.execute(query, k=k, use_cache=False)
+        sharded = corpus.execute(query, k=k, use_cache=False)
+        assert answer_set(sharded) == answer_set(unsharded)
+
+    @settings(max_examples=10, deadline=None)
+    @given(query_scenarios())
+    def test_corpus_service_identical(self, scenario):
+        session, query = open_session(scenario)
+        corpus = session.shard(3)
+        direct = session.execute(query, use_cache=False)
+        with QueryService(corpus, max_workers=2) as service:
+            submitted = service.submit(query).result(timeout=30)
+            batched = service.execute_many([query, query])
+        assert answer_set(submitted) == answer_set(direct)
+        for result in batched:
+            assert answer_set(result) == answer_set(direct)
+
+
 class TestBatchAndServiceEquivalence:
     @settings(max_examples=25, deadline=None)
     @given(query_scenarios())

@@ -217,3 +217,49 @@ class TestCommands:
         code, output = run_cli("explain", "D42", "Q2")
         assert code == 2
         assert "error:" in output
+
+
+class TestCorpusCommand:
+    def test_corpus_single_dataset(self):
+        code, output = run_cli(
+            "corpus", "D1", "//ContactName", "--shards", "3", "--num-mappings", "10"
+        )
+        assert code == 0
+        assert "3 shards over 1 dataset(s)" in output
+        assert "scatter-gather" in output
+        assert "fan-out:" in output
+
+    def test_corpus_json_reports_fanout_and_skips(self):
+        code, output = run_cli(
+            "corpus", "D1", "//ContactName", "//Name",
+            "--shards", "2", "--num-mappings", "10", "--top-k", "3", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["datasets"] == ["D1"]
+        assert payload["num_shards"] == 2
+        assert len(payload["queries"]) == 2
+        report = payload["queries"][0]
+        for field in ("fan_out", "skipped_shards", "spine_rewrites",
+                      "duplicate_matches", "shards", "answers"):
+            assert field in report
+
+    def test_corpus_multi_dataset(self):
+        code, output = run_cli(
+            "corpus", "D1,D2", "//ContactName",
+            "--shards", "2", "--num-mappings", "8", "--top-k", "3", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["datasets"] == ["D1", "D2"]
+        assert payload["num_shards"] == 4
+
+    def test_corpus_unknown_dataset(self):
+        code, output = run_cli("corpus", "D99", "//Name")
+        assert code == 2
+        assert "error:" in output
+
+    def test_corpus_bad_query(self):
+        code, output = run_cli("corpus", "D1", "Order/[", "--num-mappings", "8")
+        assert code == 2
+        assert "error:" in output

@@ -23,6 +23,8 @@ class TestHierarchy:
             "TwigParseError",
             "RewriteError",
             "DatasetError",
+            "DataspaceError",
+            "CorpusError",
         ],
     )
     def test_all_derive_from_repro_error(self, name):

@@ -1,0 +1,155 @@
+"""Unit tests for the CI helper scripts (perf trajectory, coverage table)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+SCRIPTS = Path(__file__).resolve().parents[2] / "scripts"
+
+
+def load_script(name: str):
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+perf_trajectory = load_script("perf_trajectory")
+coverage_table = load_script("coverage_table")
+
+
+RAW_BENCHMARK = {
+    "machine_info": {
+        "python_version": "3.12.0",
+        "machine": "x86_64",
+        "system": "Linux",
+        "cpu": {"count": 8},
+    },
+    "benchmarks": [
+        {
+            "name": "test_service_throughput",
+            "fullname": "benchmarks/test_bench_service_throughput.py::test_service_throughput",
+            "group": None,
+            "stats": {
+                "min": 0.5,
+                "max": 0.7,
+                "mean": 0.6,
+                "stddev": 0.05,
+                "median": 0.58,
+                "rounds": 3,
+                "iterations": 1,
+                "data": [0.5, 0.6, 0.7],  # volatile bulk, must be dropped
+            },
+        },
+        {
+            "name": "test_a",
+            "fullname": "benchmarks/test_a.py::test_a",
+            "group": "alpha",
+            "stats": {"min": 0.1, "max": 0.2, "mean": 0.15, "stddev": 0.01,
+                      "median": 0.15, "rounds": 5, "iterations": 2},
+        },
+    ],
+}
+
+
+class TestPerfTrajectory:
+    def test_normalise_sorts_and_strips(self):
+        rows = perf_trajectory.normalise_report(RAW_BENCHMARK)
+        assert [row["name"] for row in rows] == sorted(row["name"] for row in rows)
+        assert rows[0]["mean"] == 0.15
+        assert "data" not in rows[0] and "data" not in rows[1]
+
+    def test_build_trajectory_stamps_run(self):
+        trajectory = perf_trajectory.build_trajectory(
+            [RAW_BENCHMARK], run_id="123", commit="abc", timestamp="2026-01-01T00:00:00Z"
+        )
+        assert trajectory["schema"] == perf_trajectory.SCHEMA_VERSION
+        assert trajectory["run_id"] == "123"
+        assert trajectory["commit"] == "abc"
+        assert trajectory["num_benchmarks"] == 2
+        assert trajectory["machine"]["python_version"] == "3.12.0"
+        assert trajectory["machine"]["cpu_count"] == 8
+
+    def test_empty_reports(self):
+        trajectory = perf_trajectory.build_trajectory([], run_id="0")
+        assert trajectory["num_benchmarks"] == 0
+        assert trajectory["machine"] == {}
+
+    def test_main_writes_bench_artifact(self, tmp_path, capsys):
+        raw = tmp_path / "raw.json"
+        raw.write_text(json.dumps(RAW_BENCHMARK))
+        out = tmp_path / "artifacts"
+        code = perf_trajectory.main(
+            [str(raw), "--run-id", "77", "--commit", "deadbeef", "--out", str(out)]
+        )
+        assert code == 0
+        artifact = out / "BENCH_77.json"
+        assert artifact.exists()
+        assert str(artifact) in capsys.readouterr().out
+        payload = json.loads(artifact.read_text())
+        assert payload["run_id"] == "77"
+        assert len(payload["benchmarks"]) == 2
+
+    def test_main_missing_report(self, tmp_path):
+        code = perf_trajectory.main(
+            [str(tmp_path / "nope.json"), "--run-id", "1", "--out", str(tmp_path)]
+        )
+        assert code == 2
+
+
+COVERAGE_PAYLOAD = {
+    "files": {
+        "src/repro/cli.py": {"summary": {"num_statements": 100, "missing_lines": 10}},
+        "src/repro/engine/cache.py": {
+            "summary": {"num_statements": 50, "missing_lines": 0}
+        },
+        "src/repro/engine/plans.py": {
+            "summary": {"num_statements": 50, "missing_lines": 25}
+        },
+        "src/repro/corpus/engine.py": {
+            "summary": {"num_statements": 200, "missing_lines": 20}
+        },
+    }
+}
+
+
+class TestCoverageTable:
+    def test_package_of(self):
+        assert coverage_table.package_of("src/repro/engine/cache.py") == "repro.engine"
+        assert coverage_table.package_of("src/repro/cli.py") == "repro"
+        assert (
+            coverage_table.package_of("src/repro/corpus/sharding.py") == "repro.corpus"
+        )
+
+    def test_rows_aggregate_per_package(self):
+        rows = coverage_table.package_rows(COVERAGE_PAYLOAD)
+        by_package = {row["package"]: row for row in rows}
+        assert by_package["repro.engine"]["statements"] == 100
+        assert by_package["repro.engine"]["missing"] == 25
+        assert by_package["repro.engine"]["percent"] == 75.0
+        assert by_package["repro.corpus"]["percent"] == 90.0
+        assert by_package["TOTAL"]["statements"] == 400
+        assert by_package["TOTAL"]["missing"] == 55
+
+    def test_format_table_alignment(self):
+        table = coverage_table.format_table(
+            coverage_table.package_rows(COVERAGE_PAYLOAD)
+        )
+        lines = table.splitlines()
+        assert lines[0].split() == ["package", "stmts", "miss", "cover"]
+        assert lines[-1].startswith("TOTAL")
+        assert "86.2%" in lines[-1]  # 345/400
+
+    def test_main_prints_table(self, tmp_path, capsys):
+        report = tmp_path / "coverage.json"
+        report.write_text(json.dumps(COVERAGE_PAYLOAD))
+        assert coverage_table.main([str(report)]) == 0
+        output = capsys.readouterr().out
+        assert "repro.corpus" in output and "TOTAL" in output
+
+    def test_main_missing_report(self, tmp_path):
+        assert coverage_table.main([str(tmp_path / "nope.json")]) == 2
