@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Verify that intra-repo markdown links resolve to real files.
+
+Documentation rots when a refactor renames a file that README.md or docs/
+still point at.  This script scans every tracked ``*.md`` file for inline
+markdown links (``[text](target)``), resolves each *relative* target against
+the linking file, and fails when the target does not exist.  External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#section``) are
+skipped — the gate is about repository structure, not the internet.
+
+Standard library only; usable standalone::
+
+    python scripts/check_markdown_links.py          # scan the repo root
+    python scripts/check_markdown_links.py --root docs
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["find_markdown_files", "extract_links", "check_file", "broken_links", "main"]
+
+#: Inline markdown links: [text](target "optional title")
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+#: Directories never scanned for markdown files.
+_EXCLUDED_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules", ".venv"}
+
+#: Link schemes that are not intra-repo file references.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def find_markdown_files(root: Path) -> list[Path]:
+    """Every ``*.md`` file under ``root``, excluding tool/VCS directories."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in _EXCLUDED_DIRS for part in path.parts):
+            files.append(path)
+    return files
+
+
+def extract_links(text: str) -> list[str]:
+    """The link targets of every inline markdown link in ``text``.
+
+    >>> extract_links("see [the docs](docs/architecture.md) and [x](http://e)")
+    ['docs/architecture.md', 'http://e']
+    """
+    return [match.group(1) for match in _LINK_PATTERN.finditer(text)]
+
+
+def check_file(markdown_file: Path) -> tuple[int, list[str]]:
+    """``(links found, broken relative targets)`` of one markdown file."""
+    links = extract_links(markdown_file.read_text(encoding="utf-8"))
+    broken = []
+    for target in links:
+        if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (markdown_file.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    return len(links), broken
+
+
+def broken_links(markdown_file: Path) -> list[str]:
+    """Relative link targets of ``markdown_file`` that do not resolve."""
+    return check_file(markdown_file)[1]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns 0 when every intra-repo link resolves."""
+    parser = argparse.ArgumentParser(
+        description="Check that intra-repo markdown links resolve"
+    )
+    parser.add_argument("--root", default=".", help="directory to scan (default: .)")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+
+    files = find_markdown_files(root)
+    failures = 0
+    checked = 0
+    for markdown_file in files:
+        num_links, bad = check_file(markdown_file)
+        checked += num_links
+        for target in bad:
+            print(f"{markdown_file}: broken link -> {target}")
+            failures += 1
+    print(
+        f"checked {checked} links in {len(files)} markdown files: "
+        f"{failures} broken"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate over the library's public API surface.
+
+The public API is what ``repro.__all__`` exports.  This script imports the
+package, walks every exported symbol — and, for exported classes, every
+public method and property — and reports the fraction that carry a
+non-trivial docstring.  CI (the ``lint-and-types`` job) fails the build when
+coverage drops below the ``--min`` threshold, so an undocumented public
+symbol can never land silently.
+
+Standard library only; usable standalone::
+
+    PYTHONPATH=src python scripts/docstring_coverage.py --min 95
+    python scripts/docstring_coverage.py --list-missing
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["collect_symbols", "coverage_report", "main"]
+
+#: A docstring shorter than this (after stripping) counts as missing: a
+#: placeholder like "TODO" or "x" documents nothing.
+MIN_DOCSTRING_CHARS = 10
+
+
+def _documented(obj) -> bool:
+    doc = inspect.getdoc(obj)
+    return bool(doc) and len(doc.strip()) >= MIN_DOCSTRING_CHARS
+
+
+def _is_public_member(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def collect_symbols(package) -> tuple[list[tuple[str, bool]], list[str]]:
+    """Walk ``package.__all__``; return ``(symbols, skipped_data_names)``.
+
+    ``symbols`` is a list of ``(dotted name, documented?)`` rows covering
+    every exported class and callable plus the public methods and properties
+    defined by exported classes (inherited members are attributed to the
+    class that defines them and only counted for exported classes).  Plain
+    data exports (tuples, dicts, strings, ...) carry their *type's*
+    docstring, which proves nothing, so they are excluded from the
+    denominator and returned in ``skipped_data_names`` instead.
+    """
+    rows: list[tuple[str, bool]] = []
+    skipped: list[str] = []
+    seen_classes: set[type] = set()
+    for name in sorted(getattr(package, "__all__", [])):
+        obj = getattr(package, name)
+        if inspect.isclass(obj):
+            rows.append((name, _documented(obj)))
+            if obj in seen_classes:
+                continue
+            seen_classes.add(obj)
+            for member_name, member in vars(obj).items():
+                if not _is_public_member(member_name):
+                    continue
+                if isinstance(member, property):
+                    rows.append((f"{name}.{member_name}", _documented(member)))
+                elif inspect.isfunction(member) or isinstance(
+                    member, (classmethod, staticmethod)
+                ):
+                    func = member.__func__ if not inspect.isfunction(member) else member
+                    rows.append((f"{name}.{member_name}", _documented(func)))
+        elif callable(obj):
+            rows.append((name, _documented(obj)))
+        else:
+            skipped.append(name)
+    return rows, skipped
+
+
+def coverage_report(rows: Sequence[tuple[str, bool]]) -> dict:
+    """Aggregate symbol rows into ``{total, documented, percent, missing}``."""
+    total = len(rows)
+    documented = sum(1 for _, ok in rows if ok)
+    return {
+        "total": total,
+        "documented": documented,
+        "percent": round(100.0 * documented / total, 2) if total else 100.0,
+        "missing": sorted(name for name, ok in rows if not ok),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns 0 when coverage meets the threshold."""
+    parser = argparse.ArgumentParser(
+        description="Docstring coverage over the public API (repro.__all__)"
+    )
+    parser.add_argument("--min", type=float, default=95.0, dest="minimum",
+                        help="fail below this coverage percentage (default 95)")
+    parser.add_argument("--package", default="repro", help="package to audit")
+    parser.add_argument("--list-missing", action="store_true",
+                        help="print every undocumented symbol")
+    args = parser.parse_args(argv)
+
+    # Allow running from a source checkout without installing the package.
+    src = Path(__file__).resolve().parents[1] / "src"
+    if src.is_dir() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    try:
+        package = __import__(args.package)
+    except ImportError as error:
+        print(f"error: cannot import {args.package}: {error}", file=sys.stderr)
+        return 2
+
+    rows, skipped = collect_symbols(package)
+    report = coverage_report(rows)
+    print(
+        f"docstring coverage: {report['documented']}/{report['total']} public "
+        f"symbols ({report['percent']:.1f}%), {len(skipped)} data exports skipped"
+    )
+    if args.list_missing or report["percent"] < args.minimum:
+        for name in report["missing"]:
+            print(f"  missing: {name}")
+    if report["percent"] < args.minimum:
+        print(
+            f"error: coverage {report['percent']:.1f}% is below the "
+            f"{args.minimum:.1f}% gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -134,12 +134,15 @@ from repro.engine import (
     CompiledMappingSet,
     CompiledPlan,
     Dataspace,
+    DeltaReport,
     EngineSnapshot,
     ExplainReport,
+    MappingDelta,
     PreparedQuery,
     QueryBuilder,
     QueryPlan,
     ResultCache,
+    apply_mapping_delta,
     available_plans,
     compile_mapping_set,
     plan_for,
@@ -154,7 +157,7 @@ from repro.service import (
     workload_queries,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -177,6 +180,9 @@ __all__ = [
     # engine facade
     "Dataspace",
     "EngineSnapshot",
+    "MappingDelta",
+    "DeltaReport",
+    "apply_mapping_delta",
     "PreparedQuery",
     "QueryBuilder",
     "QueryPlan",

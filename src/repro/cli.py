@@ -13,6 +13,7 @@ The CLI exposes the engine's pipeline for quick, scriptable inspection::
     python -m repro batch D7 Q1 Q2 Q7 --workers 8 --repeat 3
     python -m repro corpus D7 Q2 Q7 --shards 4   # scatter-gather over shards
     python -m repro corpus D1,D2,D7 "//ContactName" --top-k 5
+    python -m repro delta D7 Q1 Q7 --touch 10    # incremental mapping delta
     python -m repro explain D7 Q7                # which plan would run, and why
 
 All dataset-bound commands are backed by one :class:`repro.engine.Dataspace`
@@ -130,6 +131,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bypass the sessions' result caches")
     corpus.add_argument("--json", action="store_true",
                         help="emit per-query scatter-gather reports as a JSON object")
+
+    delta = subparsers.add_parser(
+        "delta",
+        help="apply an incremental mapping delta and show surviving-cache statistics",
+    )
+    delta.add_argument("dataset")
+    delta.add_argument("queries", nargs="+",
+                       help="query ids (Q1..Q10) and/or twig pattern strings to warm, "
+                            "then re-run after the delta")
+    delta.add_argument("--num-mappings", type=int, default=100)
+    delta.add_argument("--touch", type=int, default=10,
+                       help="mappings touched by the synthetic delta (default 10)")
+    delta.add_argument("--mode", choices=("reweight", "structural"), default="reweight",
+                       help="reweight: mass-preserving probability rotation; "
+                            "structural: remove one correspondence per touched mapping")
+    delta.add_argument("--json", action="store_true",
+                       help="emit the delta report and per-query cache states as JSON")
 
     explain = subparsers.add_parser(
         "explain", help="show how a query would be evaluated (plan, inputs, timings)"
@@ -383,6 +401,70 @@ def _cmd_corpus(args, out) -> int:
     return 0
 
 
+def _build_synthetic_delta(session, touch: int, mode: str):
+    """A deterministic delta touching the ``touch`` least probable mappings.
+
+    ``reweight`` rotates the probabilities of the touched mappings among
+    themselves (mass-preserving by construction); ``structural`` removes each
+    touched mapping's lexicographically largest correspondence.
+    """
+    from repro.engine import MappingDelta
+
+    mapping_set = session.mapping_set
+    ranked = sorted(mapping_set, key=lambda m: (m.probability, m.mapping_id))
+    touched = sorted(m.mapping_id for m in ranked[: max(1, touch)])
+    if mode == "structural":
+        removals = []
+        for mapping_id in touched:
+            pairs = sorted(mapping_set[mapping_id].correspondences)
+            if pairs:
+                removals.append((mapping_id, pairs[-1]))
+        return MappingDelta.build(remove=removals)
+    rotated = {
+        mapping_id: mapping_set[touched[(index + 1) % len(touched)]].probability
+        for index, mapping_id in enumerate(touched)
+    }
+    return MappingDelta.build(reweight=rotated)
+
+
+def _cmd_delta(args, out) -> int:
+    session = Dataspace.from_dataset(args.dataset, h=args.num_mappings)
+    # Warm every query so the post-delta run shows what survived.
+    for query in args.queries:
+        session.execute(query)
+    delta = _build_synthetic_delta(session, args.touch, args.mode)
+    report = session.apply_delta(delta)
+    states = []
+    for query in args.queries:
+        explain = session.explain(query)
+        states.append({"query": query, "cache": explain.cache,
+                       "num_answers": explain.num_answers})
+    cache_stats = session.result_cache.stats()
+
+    if args.json:
+        payload = {
+            "dataset": args.dataset.upper(),
+            "num_mappings": args.num_mappings,
+            "mode": args.mode,
+            "delta": report.to_dict(),
+            "queries": states,
+            "result_cache": cache_stats.to_dict(),
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 0
+
+    out.write(report.format() + "\n")
+    surviving = sum(1 for state in states if state["cache"] in ("hit", "retained"))
+    out.write(f"queries:    {surviving}/{len(states)} served without re-evaluation "
+              f"after the delta\n")
+    for state in states:
+        out.write(f"  {state['query']:<40} cache={state['cache']:<9} "
+                  f"answers={state['num_answers']}\n")
+    out.write(f"cache:      retained={cache_stats.retained} hits={cache_stats.hits} "
+              f"misses={cache_stats.misses}\n")
+    return 0
+
+
 def _cmd_explain(args, out) -> int:
     session = Dataspace.from_dataset(args.dataset, h=args.num_mappings)
     report = session.explain(args.query, k=args.top_k, plan=_plan_name(args.algorithm))
@@ -403,6 +485,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "batch": _cmd_batch,
     "corpus": _cmd_corpus,
+    "delta": _cmd_delta,
     "explain": _cmd_explain,
 }
 

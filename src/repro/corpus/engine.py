@@ -55,6 +55,7 @@ from repro.corpus.sharding import DocumentPartition, partition_document
 from repro.engine.cache import CacheKey
 from repro.engine.compiled import CompiledMappingSet
 from repro.engine.dataspace import Dataspace, EngineSnapshot
+from repro.engine.delta import MappingDelta
 from repro.exceptions import CorpusError, QueryError
 from repro.mapping.mapping_set import iter_mapping_ids, mapping_mask
 from repro.query.ptq import _canonicalize
@@ -227,11 +228,13 @@ class ShardReport:
     """How one shard (or the spine pass) participated in a scatter-gather run.
 
     ``status`` is one of ``"evaluated"``, ``"cached"`` (partial served from
-    the result cache), ``"spine"`` (the per-session spine pass),
-    ``"skipped-bound"`` (session bound below the global top-k threshold),
-    ``"skipped-empty"`` (no selected mappings for the session) or
-    ``"skipped-local"`` (every rewrite touches an element absent from the
-    shard).
+    the result cache), ``"retained"`` (clean shard after a mapping delta:
+    the pre-delta partial provably survived and was promoted, see
+    :meth:`repro.engine.cache.ResultCache.retain`), ``"spine"`` (the
+    per-session spine pass), ``"skipped-bound"`` (session bound below the
+    global top-k threshold), ``"skipped-empty"`` (no selected mappings for
+    the session) or ``"skipped-local"`` (every rewrite touches an element
+    absent from the shard).
     """
 
     shard_id: int
@@ -300,7 +303,7 @@ class CorpusExecution:
     merged_answers: int
     duplicate_matches: int
     cache: str
-    generations: tuple[tuple[str, int, int], ...]
+    generations: tuple[tuple[str, int, int, int], ...]
     elapsed_ms: float
     shard_reports: tuple[ShardReport, ...]
     results: dict[str, PTQResult] = field(repr=False)
@@ -310,6 +313,16 @@ class CorpusExecution:
     def skipped_shards(self) -> int:
         """Total shards not evaluated (bound + empty + locally prunable)."""
         return self.skipped_bound + self.skipped_empty + self.skipped_local
+
+    @property
+    def retained_shards(self) -> int:
+        """Clean shards after a delta: partials promoted across the epoch."""
+        return sum(1 for report in self.shard_reports if report.status == "retained")
+
+    @property
+    def cached_shards(self) -> int:
+        """Shards served verbatim from the partial cache (same epoch)."""
+        return sum(1 for report in self.shard_reports if report.status == "cached")
 
     @property
     def result(self) -> PTQResult:
@@ -337,6 +350,8 @@ class CorpusExecution:
             "skipped_bound": self.skipped_bound,
             "skipped_empty": self.skipped_empty,
             "skipped_local": self.skipped_local,
+            "retained_shards": self.retained_shards,
+            "cached_shards": self.cached_shards,
             "spine_rewrites": self.spine_rewrites,
             "merged_answers": self.merged_answers,
             "duplicate_matches": self.duplicate_matches,
@@ -355,7 +370,8 @@ class CorpusExecution:
             + (f"  (top-k, k={self.k})" if self.k is not None else ""),
             f"fan-out:    {self.fan_out} evaluated, {self.skipped_shards} skipped "
             f"(bound={self.skipped_bound} empty={self.skipped_empty} "
-            f"local={self.skipped_local})",
+            f"local={self.skipped_local}), {self.retained_shards} retained clean "
+            f"across delta",
             f"merge:      {self.merged_answers} answers, "
             f"{self.duplicate_matches} duplicate matches deduped, "
             f"{self.spine_rewrites} spine rewrites",
@@ -383,6 +399,13 @@ class _Gather:
         self.embeddings: list["Embedding"] = prepared.embeddings
         self.selected: list["Mapping"] = []
         self.skipped = False  # skipped by probability bound
+
+    def relevant_mask(self) -> int:
+        """Bitmask of this query's relevant mappings (memoized upstream)."""
+        return mapping_mask(
+            mapping.mapping_id
+            for mapping in self.prepared.relevant_mappings(snapshot=self.state.snapshot)
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -430,7 +453,10 @@ class ShardedCorpus:
         # for one superseded generation), or a many-session corpus would
         # evict and re-partition on every gather.
         self._max_states = max(_MIN_STATES, 2 * len(self._sessions))
-        self._states: "OrderedDict[tuple[int, int, int], _SessionState]" = OrderedDict()
+        self._states: "OrderedDict[tuple[int, int, int, int], _SessionState]" = (
+            OrderedDict()
+        )
+        self._partitions_reused = 0
         self._pool: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------ #
@@ -493,14 +519,21 @@ class ShardedCorpus:
         """``True`` for a single-session (subtree-sharded) corpus."""
         return len(self._sessions) == 1
 
-    def generation_signature(self) -> tuple[tuple[str, int, int], ...]:
-        """Per-session ``(name, generation, document version)`` triples.
+    def generation_signature(self) -> tuple[tuple[str, int, int, int], ...]:
+        """Per-session ``(name, generation, document version, delta epoch)`` rows.
 
         Cheap (no snapshot is taken); used by the service layer to scope
-        single-flight keys to the corpus' current configuration.
+        single-flight keys to the corpus' current configuration — including
+        the fine-grained delta epoch, so a submit issued after an
+        ``apply_delta`` never joins a pre-delta flight.
         """
         return tuple(
-            (session.name, session.generation, session.document_version)
+            (
+                session.name,
+                session.generation,
+                session.document_version,
+                session.delta_epoch,
+            )
             for session in self._sessions
         )
 
@@ -509,6 +542,38 @@ class ShardedCorpus:
         for session in self._sessions:
             session.invalidate()
         return self
+
+    def apply_delta(self, delta: MappingDelta, *, dataset: Optional[str] = None):
+        """Apply a mapping delta to one underlying session.
+
+        ``dataset`` selects the session by name and may be omitted on a
+        single-session corpus.  The document partition is *reused* across
+        the delta (a delta never touches the document), and per-shard cached
+        partials whose rewrites the delta provably did not change keep
+        serving — ``explain()`` reports those shards as ``"retained"``.
+
+        Returns the session's :class:`~repro.engine.delta.DeltaReport`.
+
+        Raises
+        ------
+        CorpusError
+            When ``dataset`` is omitted on a multi-dataset corpus or names
+            no member session.
+        """
+        if dataset is None:
+            if not self.is_homogeneous:
+                raise CorpusError(
+                    "this corpus spans multiple datasets; pass dataset=... to "
+                    "apply_delta"
+                )
+            return self._sessions[0].apply_delta(delta)
+        for session in self._sessions:
+            if session.name == dataset:
+                return session.apply_delta(delta)
+        raise CorpusError(
+            f"no corpus session named {dataset!r}; datasets: "
+            f"{[session.name for session in self._sessions]}"
+        )
 
     def close(self) -> None:
         """Shut down the corpus' scatter pool (idempotent)."""
@@ -537,27 +602,47 @@ class ShardedCorpus:
             self._session_state(index).partition.describe()
             for index in range(len(self._sessions))
         ]
+        info["partitions_reused"] = self._partitions_reused
         return info
 
     # ------------------------------------------------------------------ #
     # Shard state
     # ------------------------------------------------------------------ #
     def _session_state(self, index: int) -> _SessionState:
-        """Shard state of session ``index`` for its *current* generation.
+        """Shard state of session ``index`` for its *current* mapping-set state.
 
         The session snapshot is captured atomically, so the partition and
         every shard's compiled artifact always describe one consistent
         generation — concurrent ``configure()`` calls can only flip the
-        corpus between complete states, never expose a mix.
+        corpus between complete states, never expose a mix.  After an
+        ``apply_delta`` (same document, new delta epoch) the previous
+        state's document partition is *reused* — a delta never touches the
+        document, so re-cutting it would be pure waste; only the shard
+        objects are re-pointed at the patched compiled artifact.
         """
         session = self._sessions[index]
         snapshot = session.snapshot(need_tree=False)
-        key = (index, snapshot.generation, snapshot.document_version)
+        key = (
+            index,
+            snapshot.generation,
+            snapshot.document_version,
+            snapshot.delta_epoch,
+        )
+        partition: Optional[DocumentPartition] = None
         with self._lock:
             state = self._states.get(key)
             if state is not None:
                 return state
-        partition = partition_document(snapshot.document, self._shards_per_session)
+            for previous in reversed(self._states.values()):
+                if (
+                    previous.session is session
+                    and previous.snapshot.document is snapshot.document
+                ):
+                    partition = previous.partition
+                    self._partitions_reused += 1
+                    break
+        if partition is None:
+            partition = partition_document(snapshot.document, self._shards_per_session)
         compiled = snapshot.mapping_set.compile()
         base = index * self._shards_per_session
         shards = tuple(
@@ -627,9 +712,19 @@ class ShardedCorpus:
             for index in range(len(self._sessions))
         ]
         signature = tuple(
-            (g.state.session.name, g.state.snapshot.generation, g.state.snapshot.document_version)
+            (
+                g.state.session.name,
+                g.state.snapshot.generation,
+                g.state.snapshot.document_version,
+                g.state.snapshot.delta_epoch,
+            )
             for g in gathers
         )
+        # Cache keys separate the coarse state (generation rows) from the
+        # fine-grained delta epoch, which lives in CacheKey.delta_epoch so
+        # the cache's retain-on-miss machinery can walk epochs backwards.
+        base_signature = tuple(row[:3] for row in signature)
+        epochs = tuple(row[3] for row in signature)
         query_text = gathers[0].prepared.text or str(query)
 
         # Warm path: a single-session corpus caches its merged result.
@@ -643,14 +738,28 @@ class ShardedCorpus:
                 plan=SCATTER_GATHER,
                 k=k,
                 tau=None,
-                generation=signature,
+                generation=base_signature,
                 document_version=None,
                 scope="corpus",
                 shards=self.num_shards,
+                delta_epoch=signature[0][3],
             )
-            cached = gathers[0].state.session.result_cache.get(merged_key)
+            result_cache = gathers[0].state.session.result_cache
+            cached = result_cache.get(merged_key)
             if cached is not None:
                 return self._from_cached(cached, gathers[0], k, signature, started)
+            # Retain-on-miss across a delta: merged results carry
+            # probabilities, so the guard is the full dirty-mapping mask
+            # against this query's relevant mappings plus its target set.
+            cached = result_cache.retain(
+                merged_key,
+                gathers[0].relevant_mask(),
+                gathers[0].prepared.required_target_mask(),
+            )
+            if cached is not None:
+                return self._from_cached(
+                    cached, gathers[0], k, signature, started, cache="retained"
+                )
             cache_state = "miss"
 
         self._select(gathers, k)
@@ -695,7 +804,9 @@ class ShardedCorpus:
             spine_plan = [rewrite for rewrite in plan if rewrite.spine_rooted]
             spine_rewrites += len(spine_plan)
             if spine_plan:
-                tasks.append(self._spine_task(g, spine_plan, k, signature, use_cache))
+                tasks.append(
+                    self._spine_task(g, spine_plan, k, base_signature, epochs, use_cache)
+                )
             for shard in state.shards:
                 usable = any(
                     not rewrite.spine_rooted
@@ -706,7 +817,9 @@ class ShardedCorpus:
                     skipped_local += 1
                     reports.append(self._static_report(shard, "skipped-local"))
                     continue
-                tasks.append(self._shard_task(g, shard, plan, k, signature, use_cache))
+                tasks.append(
+                    self._shard_task(g, shard, plan, k, base_signature, epochs, use_cache)
+                )
 
         run_parallel = parallel if parallel is not None else len(tasks) > 1
         if run_parallel and len(tasks) > 1:
@@ -861,18 +974,50 @@ class ShardedCorpus:
         scope: str,
         shard: Optional[int],
         k: Optional[int],
-        signature: tuple,
+        base_signature: tuple,
+        epochs: tuple,
     ) -> CacheKey:
+        """Cache key of one per-shard (or spine) partial.
+
+        A *full* (``k=None``) partial depends only on the owning session's
+        mapping-set state and document (selection is per-session relevant
+        mappings), so its key is scoped to that session's ``(name,
+        generation, document version)`` with the session's delta epoch in
+        ``delta_epoch`` — which is what lets it survive a delta applied to a
+        *different* session outright, and survive a delta to its own session
+        through the retain check.
+
+        A *top-k* partial additionally depends on the **global** candidate
+        selection — ``_select()`` pools and thresholds probabilities across
+        every session — so its key must carry the full cross-session
+        signature: a delta (or ``configure``) on any member session retires
+        it.  On a single-session corpus the signature is that session, so
+        epoch retention still applies; on a multi-session corpus the epoch
+        field is the tuple of member epochs, which the retain check
+        conservatively refuses to walk.
+        """
+        snapshot = gather.state.snapshot
+        if k is None:
+            generation: tuple = (
+                gather.state.session.name,
+                snapshot.generation,
+                snapshot.document_version,
+            )
+            epoch = snapshot.delta_epoch
+        else:
+            generation = base_signature
+            epoch = epochs[0] if len(epochs) == 1 else epochs
         return CacheKey(
             query=gather.prepared.cache_key,
             plan=SCATTER_GATHER,
             k=k,
             tau=None,
-            generation=signature,
+            generation=generation,
             document_version=None,
             scope=scope,
             shard=shard,
             shards=self.num_shards,
+            delta_epoch=epoch,
         )
 
     def _shard_task(
@@ -881,12 +1026,13 @@ class ShardedCorpus:
         shard: CorpusShard,
         plan: list[_Rewrite],
         k: Optional[int],
-        signature: tuple,
+        base_signature: tuple,
+        epochs: tuple,
         use_cache: bool,
     ) -> Callable[[], tuple[int, ShardReport, dict]]:
         cache = gather.state.session.result_cache if use_cache else None
         key = (
-            self._partial_key(gather, "shard", shard.shard_id, k, signature)
+            self._partial_key(gather, "shard", shard.shard_id, k, base_signature, epochs)
             if cache is not None
             else None
         )
@@ -894,13 +1040,27 @@ class ShardedCorpus:
         def run() -> tuple[int, ShardReport, dict]:
             started = time.perf_counter()
             if cache is not None and key is not None:
+                status = "cached"
                 cached = cache.get(key)
+                if cached is None:
+                    # Clean-shard skip after a delta: a partial stores match
+                    # sets (no probabilities), so for full evaluations only
+                    # *structural* dirt can invalidate it; a top-k partial
+                    # also depends on the probability-driven selection, so it
+                    # checks the full dirty mask.
+                    cached = cache.retain(
+                        key,
+                        gather.relevant_mask(),
+                        gather.prepared.required_target_mask(),
+                        probability_sensitive=k is not None,
+                    )
+                    status = "retained"
                 if cached is not None:
                     per_mapping, groups, pruned, deferred, matches = cached
                     report = ShardReport(
                         shard_id=shard.shard_id,
                         dataset=shard.dataset,
-                        status="cached",
+                        status=status,
                         num_nodes=len(shard.document),
                         num_subtrees=shard.document.num_subtrees,
                         groups=groups,
@@ -951,12 +1111,13 @@ class ShardedCorpus:
         gather: _Gather,
         spine_plan: list[_Rewrite],
         k: Optional[int],
-        signature: tuple,
+        base_signature: tuple,
+        epochs: tuple,
         use_cache: bool,
     ) -> Callable[[], tuple[int, ShardReport, dict]]:
         cache = gather.state.session.result_cache if use_cache else None
         key = (
-            self._partial_key(gather, "spine", None, k, signature)
+            self._partial_key(gather, "spine", None, k, base_signature, epochs)
             if cache is not None
             else None
         )
@@ -968,8 +1129,18 @@ class ShardedCorpus:
             if cache is not None and key is not None:
                 cached = cache.get(key)
                 if cached is not None:
-                    per_mapping, matches = cached
                     status = "cached"
+                else:
+                    cached = cache.retain(
+                        key,
+                        gather.relevant_mask(),
+                        gather.prepared.required_target_mask(),
+                        probability_sensitive=k is not None,
+                    )
+                    if cached is not None:
+                        status = "retained"
+                if cached is not None:
+                    per_mapping, matches = cached
                 else:
                     per_mapping, matches = _evaluate_rewrites(
                         document, gather.prepared.query.root, spine_plan
@@ -1002,6 +1173,7 @@ class ShardedCorpus:
         k: Optional[int],
         signature: tuple,
         started: float,
+        cache: str = "hit",
     ) -> CorpusExecution:
         name = gather.state.session.name
         answers = tuple(
@@ -1024,7 +1196,7 @@ class ShardedCorpus:
             spine_rewrites=0,
             merged_answers=len(result),
             duplicate_matches=0,
-            cache="hit",
+            cache=cache,
             generations=signature,
             elapsed_ms=(time.perf_counter() - started) * 1000.0,
             shard_reports=(),

@@ -27,6 +27,11 @@ remain available as thin wrappers over the plan layer.
 from repro.engine.cache import CacheKey, CacheStats, ResultCache
 from repro.engine.compiled import CompiledMappingSet, compile_mapping_set
 from repro.engine.dataspace import Dataspace, EngineSnapshot
+from repro.engine.delta import (
+    DeltaReport,
+    MappingDelta,
+    apply_mapping_delta,
+)
 from repro.engine.locking import ReadWriteLock
 from repro.engine.plans import (
     BasicPlan,
@@ -43,6 +48,9 @@ from repro.engine.prepared import PreparedQuery, QueryBuilder
 __all__ = [
     "Dataspace",
     "EngineSnapshot",
+    "MappingDelta",
+    "DeltaReport",
+    "apply_mapping_delta",
     "CacheKey",
     "CacheStats",
     "ResultCache",

@@ -23,6 +23,12 @@ from typing import Any, Hashable, NamedTuple, Optional
 
 __all__ = ["CacheKey", "CacheStats", "ResultCache"]
 
+#: Bound on remembered delta transitions; retention across more than this
+#: many epochs conservatively fails (the entry is simply recomputed).
+_MAX_DELTA_LOG = 64
+#: Bound on how many epochs one retain() call walks back.
+_MAX_RETAIN_SCAN = 16
+
 
 class CacheKey(NamedTuple):
     """Explicit, collision-proof result-cache key.
@@ -44,6 +50,12 @@ class CacheKey(NamedTuple):
       than ``int`` because corpus scopes store the *full* per-session
       generation signature there — a multi-session corpus result depends on
       every member's generation, not just one.
+    * ``delta_epoch`` is the fine-grained counter bumped by
+      :meth:`Dataspace.apply_delta <repro.engine.dataspace.Dataspace.apply_delta>`
+      *within* one generation.  It is what makes delta-aware retention
+      possible: on a miss at the current epoch, :meth:`ResultCache.retain`
+      looks for the same key at earlier epochs and promotes the entry when
+      the intervening deltas provably cannot have affected it.
 
     Implemented as a :class:`~typing.NamedTuple` rather than a dataclass:
     a key is built on every cache consultation, and tuple construction and
@@ -62,6 +74,7 @@ class CacheKey(NamedTuple):
     scope: str = "session"
     shard: Optional[int] = None
     shards: Optional[int] = None
+    delta_epoch: Hashable = None
 
 
 @dataclass(frozen=True)
@@ -70,7 +83,10 @@ class CacheStats:
 
     ``hits``/``misses`` count lookups, ``evictions`` counts LRU removals
     caused by capacity pressure, and ``size``/``capacity`` describe the
-    current occupancy.
+    current occupancy.  ``retained`` counts entries that survived a mapping
+    delta: served by :meth:`ResultCache.retain` after the plain lookup at
+    the new ``delta_epoch`` missed.  A retained serve is *not* also counted
+    as a hit, so ``hit_rate`` keeps its pre-delta meaning.
     """
 
     hits: int
@@ -78,6 +94,7 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    retained: int = 0
 
     @property
     def lookups(self) -> int:
@@ -96,6 +113,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "retained": self.retained,
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": round(self.hit_rate, 4),
@@ -123,6 +141,11 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._retained = 0
+        #: delta_epoch -> (probability-dirty mapping mask, dirty target
+        #: mask), recorded by the session on every applied delta; consulted
+        #: by :meth:`retain` to prove an older-epoch entry still valid.
+        self._deltas: "OrderedDict[int, tuple[int, int]]" = OrderedDict()
 
     @property
     def capacity(self) -> int:
@@ -178,10 +201,104 @@ class ResultCache:
                 self._evictions += 1
             return value
 
+    # ------------------------------------------------------------------ #
+    # Delta-aware retention
+    # ------------------------------------------------------------------ #
+    def record_delta(
+        self, delta_epoch: int, probability_mask: int, target_mask: int
+    ) -> None:
+        """Record the dirt of one applied mapping delta.
+
+        Called by the owning session (under its write lock) when
+        ``apply_delta`` commits epoch ``delta_epoch``.  ``probability_mask``
+        flags the mappings whose probability value changed and
+        ``target_mask`` the target elements whose correspondences changed —
+        together they bound every way the delta can influence a query result
+        (see :class:`repro.engine.delta.DeltaEffect`).  The log is bounded
+        at :data:`_MAX_DELTA_LOG` entries; a lookup that would need an
+        evicted-from-log transition simply fails to retain (conservative, so
+        correctness never depends on the bound).
+        """
+        with self._lock:
+            self._deltas[delta_epoch] = (probability_mask, target_mask)
+            while len(self._deltas) > _MAX_DELTA_LOG:
+                self._deltas.popitem(last=False)
+
+    def retain(
+        self,
+        key: "CacheKey",
+        mapping_mask: int,
+        target_mask: int,
+        *,
+        probability_sensitive: bool = True,
+    ) -> Optional[Any]:
+        """Retain-on-miss: promote a pre-delta entry that provably survived.
+
+        Called after :meth:`get` missed for ``key`` (whose ``delta_epoch``
+        is the current epoch).  Walks back through earlier epochs of the
+        *same* key, accumulating the recorded dirt of every intervening
+        delta, and stops as soon as the accumulated dirt intersects the
+        caller's masks — one bitwise AND per mask:
+
+        * ``mapping_mask`` — the mappings the cached entry depends on
+          (typically the query's relevant-mapping mask), checked against the
+          accumulated *probability* dirt: a reweighted relevant mapping may
+          have changed the answer's probabilities or its top-k selection;
+        * ``target_mask`` — the target elements the query requires, checked
+          against the accumulated *target* dirt: a structural edit can
+          influence a result only through the edited target elements
+          (coverage, relevance and rewrites at every other target are
+          untouched), so this single check covers all structural dirt.
+
+        ``probability_sensitive=False`` skips the mapping-mask check —
+        correct for values that do not encode probabilities or
+        probability-driven selections, such as full (``k=None``) per-shard
+        match partials, which a pure reweight delta cannot change.
+
+        A surviving entry is re-keyed to the current epoch (the old key is
+        removed) and returned; ``None`` means nothing could be proven and
+        the caller must evaluate.  Entries can never be retained across a
+        generation bump or a full ``invalidate()``: only ``delta_epoch``
+        varies in the probed keys, every other field (including
+        ``generation``) must match exactly.
+        """
+        epoch = getattr(key, "delta_epoch", None)
+        if self._capacity == 0 or not isinstance(epoch, int) or epoch <= 0:
+            return None
+        with self._lock:
+            accumulated_mappings = 0
+            accumulated_targets = 0
+            lowest = max(0, epoch - _MAX_RETAIN_SCAN)
+            for earlier in range(epoch - 1, lowest - 1, -1):
+                recorded = self._deltas.get(earlier + 1)
+                if recorded is None:
+                    # Unknown transition (log evicted or epoch from another
+                    # cache): nothing can be proven about it.
+                    return None
+                probability_dirt, dirty_targets = recorded
+                if probability_sensitive:
+                    accumulated_mappings |= probability_dirt
+                accumulated_targets |= dirty_targets
+                if (accumulated_mappings & mapping_mask) or (
+                    accumulated_targets & target_mask
+                ):
+                    # Dirty already; older entries carry at least this dirt.
+                    return None
+                old_key = key._replace(delta_epoch=earlier)
+                value = self._entries.get(old_key)
+                if value is not None:
+                    del self._entries[old_key]
+                    self._entries[key] = value
+                    self._entries.move_to_end(key)
+                    self._retained += 1
+                    return value
+            return None
+
     def clear(self) -> None:
-        """Drop every entry (statistics are kept)."""
+        """Drop every entry and the delta log (statistics are kept)."""
         with self._lock:
             self._entries.clear()
+            self._deltas.clear()
 
     def stats(self) -> CacheStats:
         """Consistent snapshot of the counters."""
@@ -192,6 +309,7 @@ class ResultCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self._capacity,
+                retained=self._retained,
             )
 
     def __repr__(self) -> str:

@@ -14,7 +14,14 @@ change                    invalidates
 ``matcher_config``        matching, mapping set, block tree (generation bump)
 ``h`` / ``method``        mapping set, block tree (generation bump)
 ``tau`` / block budgets   block tree only
+``apply_delta(...)``      nothing wholesale — delta-epoch bump only
 ========================  =============================================
+
+Mapping evolution does **not** go through invalidation at all:
+:meth:`Dataspace.apply_delta` patches the mapping set structurally, reuses
+the untouched columns of the compiled artifact, and bumps only the
+fine-grained ``delta_epoch`` counter — cached results whose inputs the delta
+provably did not touch keep serving (see :mod:`repro.engine.delta`).
 
 The *generation* counter is what prepared queries key their cached filter
 step on, so a reconfigured session transparently refreshes exactly the work
@@ -56,6 +63,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Tuple, Union
@@ -64,6 +72,7 @@ from repro.core.blocktree import BlockTree, BlockTreeConfig, build_block_tree
 from repro.document.document import XMLDocument
 from repro.document.generator import generate_document
 from repro.engine.cache import ResultCache
+from repro.engine.delta import DeltaReport, MappingDelta, apply_mapping_delta
 from repro.engine.locking import ReadWriteLock
 from repro.engine.plans import QueryPlan, plan_for
 from repro.engine.prepared import PlanSpec, PreparedQuery, QueryBuilder
@@ -110,6 +119,7 @@ class EngineSnapshot:
 
     generation: int
     document_version: int
+    delta_epoch: int
     tau: float
     mapping_set: MappingSet
     document: XMLDocument
@@ -196,6 +206,7 @@ class Dataspace:
         self._pinned_mapping_set = False
         self._generation = 0
         self._document_version = 0
+        self._delta_epoch = 0
         self._prepared: ResultCache = ResultCache(_PREPARED_CACHE_CAPACITY)
         # Caller-supplied twigs get a session-unique key from a monotonic
         # counter, remembered per live twig object: unlike a raw id(), a key
@@ -366,6 +377,17 @@ class Dataspace:
         with self._lock.read_locked():
             return self._document_version
 
+    @property
+    def delta_epoch(self) -> int:
+        """Fine-grained delta counter; bumped by :meth:`apply_delta`.
+
+        Monotonic for the session's lifetime (it does *not* reset when the
+        generation bumps), so a ``(generation, delta_epoch)`` pair uniquely
+        identifies one mapping-set state of the session.
+        """
+        with self._lock.read_locked():
+            return self._delta_epoch
+
     def configure(
         self,
         *,
@@ -463,6 +485,67 @@ class Dataspace:
             self._block_tree = None
             self._generation += 1
         return self
+
+    def apply_delta(self, delta: MappingDelta) -> DeltaReport:
+        """Evolve the mapping set incrementally instead of rebuilding it.
+
+        Applies a :class:`~repro.engine.delta.MappingDelta` — correspondence
+        adds/removes, mass-preserving probability reweights, top-h membership
+        replacements — as one atomic write: the patched
+        :class:`~repro.mapping.mapping_set.MappingSet` (structure-sharing,
+        with an incrementally recompiled
+        :class:`~repro.engine.compiled.CompiledMappingSet`) is swapped in
+        under the write lock and the session's ``delta_epoch`` is bumped.
+        The *generation* is **not** bumped: result-cache entries whose
+        relevant mappings and required target elements do not intersect the
+        delta's dirty masks keep serving across the epoch boundary (see
+        :meth:`~repro.engine.cache.ResultCache.retain`), and a sharded
+        corpus over this session reuses its document partition and skips
+        re-evaluating clean shards.
+
+        In-flight queries are unaffected — they evaluate against the
+        immutable snapshot they captured before the swap.  The block tree is
+        dropped and rebuilt lazily (only the explicit ``blocktree`` plan
+        needs it).
+
+        Returns a :class:`~repro.engine.delta.DeltaReport` describing the
+        touched mappings and the reuse achieved by the incremental
+        recompilation.
+
+        Raises
+        ------
+        MappingError
+            When the delta is invalid for the current set (see
+            :func:`~repro.engine.delta.apply_mapping_delta`).
+
+        >>> # ds.apply_delta(MappingDelta.build(reweight={0: 0.2, 1: 0.3}))
+        """
+        started = time.perf_counter()
+        with self._lock.write_locked():
+            mapping_set = self._build_mapping_set()
+            patched, effect = apply_mapping_delta(mapping_set, delta)
+            self._mapping_set = patched
+            self._block_tree = None
+            self._delta_epoch += 1
+            epoch = self._delta_epoch
+            generation = self._generation
+            self._result_cache.record_delta(
+                epoch, effect.probability_mask, effect.dirty_target_mask
+            )
+        return DeltaReport(
+            delta_epoch=epoch,
+            generation=generation,
+            num_mappings=len(patched),
+            touched_mappings=effect.dirty_mask.bit_count(),
+            structural_mappings=effect.structural_mask.bit_count(),
+            reweighted_mappings=len(delta.reweight),
+            replaced_mappings=len(delta.replace),
+            touched_targets=len(effect.dirty_targets),
+            posting_lists_touched=effect.posting_lists_touched,
+            posting_lists_total=effect.posting_lists_total,
+            compiled_incrementally=effect.compiled_incrementally,
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        )
 
     def _check_document(self, document: XMLDocument) -> None:
         if document.schema is not self.source_schema:
@@ -591,6 +674,7 @@ class Dataspace:
         return EngineSnapshot(
             generation=self._generation,
             document_version=self._document_version,
+            delta_epoch=self._delta_epoch,
             tau=self._tau,
             mapping_set=self._mapping_set,
             document=self._document,
@@ -651,7 +735,7 @@ class Dataspace:
         """
         snap = snapshot if snapshot is not None else self.snapshot(need_tree=False)
         signature = frozenset(frozenset(embedding.values()) for embedding in embeddings)
-        key = (snap.generation, signature)
+        key = (snap.generation, snap.delta_epoch, signature)
         relevant = self._filter_cache.get(key)
         if relevant is None:
             relevant = self._filter_cache.put(
@@ -875,6 +959,7 @@ class Dataspace:
                 "tau": self._tau,
                 "generation": self._generation,
                 "document_version": self._document_version,
+                "delta_epoch": self._delta_epoch,
                 "prepared_queries": len(self._prepared),
                 "matching_built": self._matching is not None,
                 "mapping_set_built": self._mapping_set is not None,

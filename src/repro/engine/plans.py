@@ -271,9 +271,10 @@ class ExplainReport:
     Produced by :meth:`repro.engine.prepared.PreparedQuery.explain`; rendered
     by the CLI's ``explain`` subcommand.  ``timings_ms`` holds the measured
     ``resolve``/``filter``/``evaluate`` stage times — a stage served from a
-    prepared-query cache reports (close to) zero.  ``cache`` records how the
-    session's result cache participated (``"hit"``, ``"miss"`` or
-    ``"bypass"``) and ``cache_stats`` snapshots its counters.
+    prepared-query cache reports (close to) zero.  ``cache`` records how the session's result cache
+    participated (``"hit"``, ``"miss"``, ``"retained"`` — a pre-delta entry
+    that survived the last mapping delta — or ``"bypass"``) and
+    ``cache_stats`` snapshots its counters.
     ``compiled_stats`` is populated when the plan ran on the compiled bitset
     core: distinct-rewrite counts for this query plus bitset statistics of the
     compiled artifact (see

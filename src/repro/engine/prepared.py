@@ -29,9 +29,10 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Hashable, Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.engine.cache import CacheKey
+from repro.engine.delta import embeddings_target_mask
 from repro.engine.plans import (
     ExplainReport,
     QueryPlan,
@@ -40,6 +41,7 @@ from repro.engine.plans import (
     select_top_k,
 )
 from repro.mapping.mapping import Mapping
+from repro.mapping.mapping_set import mapping_mask
 from repro.query.resolve import Embedding, resolve_query
 from repro.query.results import PTQResult
 from repro.query.twig import TwigQuery
@@ -78,7 +80,12 @@ class PreparedQuery:
         )
         self._memo_lock = threading.Lock()
         self._embeddings: Optional[list[Embedding]] = None
-        self._relevant_by_generation: "OrderedDict[int, list[Mapping]]" = OrderedDict()
+        self._target_mask: Optional[int] = None
+        # Keyed by (generation, delta_epoch): a delta can change which
+        # mappings are relevant, so the memo is per mapping-set *state*.
+        self._relevant_by_generation: "OrderedDict[tuple[int, int], list[Mapping]]" = (
+            OrderedDict()
+        )
         #: Number of times the resolve stage ran (never more than once).
         self.resolve_count = 0
         #: Number of times the filter stage was refreshed (once per mapping-set
@@ -120,35 +127,53 @@ class PreparedQuery:
     def relevant_mappings(
         self, snapshot: Optional["EngineSnapshot"] = None
     ) -> list[Mapping]:
-        """Relevant mappings, refreshed once per mapping-set generation.
+        """Relevant mappings, refreshed once per mapping-set state.
 
-        Delegates the actual filtering to
+        The memo key is ``(generation, delta_epoch)``: a full invalidation
+        *and* an applied delta both refresh the filter step.  Delegates the
+        actual filtering to
         :meth:`~repro.engine.dataspace.Dataspace.relevant_for`, which shares
         the work across queries requiring the same target elements.
         """
         ds = self._dataspace
         snap = snapshot if snapshot is not None else ds.snapshot(need_tree=False)
-        generation = snap.generation
+        state = (snap.generation, snap.delta_epoch)
         with self._memo_lock:
-            relevant = self._relevant_by_generation.get(generation)
+            relevant = self._relevant_by_generation.get(state)
         if relevant is not None:
             return relevant
         relevant = ds.relevant_for(self.embeddings, snap)
         with self._memo_lock:
-            if generation not in self._relevant_by_generation:
-                self._relevant_by_generation[generation] = relevant
+            if state not in self._relevant_by_generation:
+                self._relevant_by_generation[state] = relevant
                 self.filter_count += 1
                 while len(self._relevant_by_generation) > _MAX_GENERATION_MEMOS:
                     self._relevant_by_generation.popitem(last=False)
-            relevant = self._relevant_by_generation[generation]
+            relevant = self._relevant_by_generation[state]
         return relevant
+
+    def required_target_mask(self) -> int:
+        """Bitmask of every target element the query's embeddings require.
+
+        The query side of the delta retention check (see
+        :meth:`~repro.engine.cache.ResultCache.retain`); computed once per
+        prepared query from the resolved embeddings.
+        """
+        with self._memo_lock:
+            if self._target_mask is not None:
+                return self._target_mask
+        mask = embeddings_target_mask(self.embeddings)
+        with self._memo_lock:
+            if self._target_mask is None:
+                self._target_mask = mask
+            return self._target_mask
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def _result_key(
         self, plan: QueryPlan, k: Optional[int], snapshot: "EngineSnapshot"
-    ) -> Hashable:
+    ) -> CacheKey:
         """Result-cache key: query, plan, k, tau and snapshot identity.
 
         Built as an explicit :class:`~repro.engine.cache.CacheKey` with the
@@ -163,6 +188,7 @@ class PreparedQuery:
             tau=snapshot.tau,
             generation=snapshot.generation,
             document_version=snapshot.document_version,
+            delta_epoch=snapshot.delta_epoch,
         )
 
     def _snapshot_for(
@@ -203,10 +229,22 @@ class PreparedQuery:
         snap = self._snapshot_for(plan, snapshot)
         chosen, _ = ds.select_plan_for(plan, snap)
         cache = ds.result_cache if use_cache else None
-        key: Optional[Hashable] = None
+        key: Optional[CacheKey] = None
         if cache is not None:
             key = self._result_key(chosen, k, snap)
             cached = cache.get(key)
+            if cached is None:
+                # Retain-on-miss: after an applied delta, an entry written at
+                # an earlier delta_epoch survives when the delta provably did
+                # not touch this query's relevant mappings or required
+                # target elements (one bitwise AND each).
+                cached = cache.retain(
+                    key,
+                    mapping_mask(
+                        m.mapping_id for m in self.relevant_mappings(snap)
+                    ),
+                    self.required_target_mask(),
+                )
             if cached is not None:
                 return cached
         result = chosen.run(
@@ -255,6 +293,14 @@ class PreparedQuery:
         if cache is not None:
             result = cache.get(key)
             cache_state = "hit" if result is not None else "miss"
+            if result is None:
+                result = cache.retain(
+                    key,
+                    mapping_mask(m.mapping_id for m in relevant),
+                    self.required_target_mask(),
+                )
+                if result is not None:
+                    cache_state = "retained"
         if result is None:
             result = chosen.run(
                 self._query,

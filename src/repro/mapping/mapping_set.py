@@ -94,6 +94,24 @@ class MappingSet:
         self._compiled: "CompiledMappingSet | None" = None
         self._compiled_lock = threading.Lock()
 
+    @classmethod
+    def _patched(
+        cls, matching: SchemaMatching, mappings: Sequence[Mapping]
+    ) -> "MappingSet":
+        """Fast private constructor for delta application (no re-validation).
+
+        :func:`repro.engine.delta.apply_mapping_delta` validates exactly the
+        touched mappings (the untouched ones were validated when the
+        predecessor set was built), so re-running the full ``O(h x pairs)``
+        validation here would defeat the point of an incremental update.
+        """
+        self = cls.__new__(cls)
+        self.matching = matching
+        self._mappings = list(mappings)
+        self._compiled = None
+        self._compiled_lock = threading.Lock()
+        return self
+
     def _validate(self) -> None:
         for index, mapping in enumerate(self._mappings):
             if mapping.mapping_id != index:

@@ -163,13 +163,20 @@ class QueryService:
             )
 
     def _flight_scope(self) -> tuple:
-        """Configuration scope of single-flight keys (corpus- or session-wide)."""
+        """Configuration scope of single-flight keys (corpus- or session-wide).
+
+        Includes the fine-grained ``delta_epoch`` (directly for sessions, via
+        the corpus generation signature for corpora), so a submit issued
+        after an :meth:`apply_delta` committed never joins a pre-delta
+        flight.
+        """
         if self._corpus is not None:
             return ("corpus", self._corpus.num_shards, self._corpus.generation_signature())
         return (
             "session",
             self._dataspace.generation,
             self._dataspace.document_version,
+            self._dataspace.delta_epoch,
         )
 
     @property
@@ -199,6 +206,29 @@ class QueryService:
     def _check_open(self) -> None:
         if self._closed:
             raise DataspaceError("the query service has been closed")
+
+    # ------------------------------------------------------------------ #
+    # Writer side
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta):
+        """Apply a mapping delta to the served session, atomically.
+
+        Writer-side companion of the read paths: the update commits under
+        the session's existing write lock, so in-flight queries (which
+        evaluate against immutable snapshots) are unaffected, and every
+        request submitted afterwards sees the new ``delta_epoch`` — the
+        single-flight key includes it, so post-delta submits never join a
+        pre-delta flight.  Cached results the delta provably did not touch
+        keep serving (see :meth:`repro.engine.cache.ResultCache.retain`).
+
+        Returns the session's :class:`~repro.engine.delta.DeltaReport`.
+
+        >>> # with QueryService(ds) as service:
+        >>> #     service.apply_delta(MappingDelta.build(reweight={0: 0.2, 1: 0.3}))
+        """
+        if self._corpus is not None:
+            return self._corpus.apply_delta(delta)
+        return self._dataspace.apply_delta(delta)
 
     # ------------------------------------------------------------------ #
     # Execution paths

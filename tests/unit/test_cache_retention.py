@@ -1,0 +1,380 @@
+"""ResultCache delta-retention semantics (CacheKey.delta_epoch + retain()).
+
+Three behaviours are pinned here, straight from the issue's contract:
+
+* entries whose guard masks do **not** intersect a delta's dirty masks
+  survive the epoch boundary (promoted on the first post-delta miss);
+* entries whose guards **do** intersect die (the retain check refuses);
+* entries never cross a ``delta_epoch`` boundary after a full
+  ``invalidate()`` — a generation bump makes every older entry unreachable
+  no matter how clean the delta log looks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import CacheKey, Dataspace, MappingDelta, ResultCache
+
+
+def key_at(epoch, **overrides):
+    fields = dict(
+        query="Q7",
+        plan="compiled",
+        k=None,
+        tau=0.2,
+        generation=0,
+        document_version=0,
+        delta_epoch=epoch,
+    )
+    fields.update(overrides)
+    return CacheKey(**fields)
+
+
+class TestRetainPrimitive:
+    def test_non_intersecting_entry_survives(self):
+        cache = ResultCache(8)
+        cache.put(key_at(0), "value")
+        cache.record_delta(1, probability_mask=0b1000, target_mask=1 << 5)
+        # Entry depends on mappings {0,1} and targets {2}: disjoint from the dirt.
+        assert cache.retain(key_at(1), 0b0011, 1 << 2) == "value"
+        assert cache.stats().retained == 1
+
+    def test_promotion_rekeys_the_entry(self):
+        cache = ResultCache(8)
+        cache.put(key_at(0), "value")
+        cache.record_delta(1, 0b1000, 0)
+        assert cache.retain(key_at(1), 0b0011, 0) == "value"
+        assert cache.peek(key_at(0)) is None  # old key removed
+        assert cache.get(key_at(1)) == "value"  # plain hit from now on
+
+    def test_intersecting_probability_mask_dies(self):
+        cache = ResultCache(8)
+        cache.put(key_at(0), "value")
+        cache.record_delta(1, probability_mask=0b0010, target_mask=0)
+        assert cache.retain(key_at(1), 0b0011, 0) is None
+        assert cache.peek(key_at(0)) == "value"  # not promoted, still at old epoch
+
+    def test_intersecting_target_mask_dies(self):
+        cache = ResultCache(8)
+        cache.put(key_at(0), "value")
+        cache.record_delta(1, probability_mask=0, target_mask=1 << 4)
+        # Probability dirt is empty, but the delta edited a target element
+        # the query requires — relevance or rewrites could have changed.
+        assert cache.retain(key_at(1), 0b0011, (1 << 4) | (1 << 9)) is None
+
+    def test_probability_insensitive_skips_the_mapping_check(self):
+        cache = ResultCache(8)
+        cache.put(key_at(0, scope="shard", shard=0, shards=4), "partial")
+        # A pure reweight: probability-dirty, structurally clean.
+        cache.record_delta(1, probability_mask=0b0011, target_mask=0)
+        key = key_at(1, scope="shard", shard=0, shards=4)
+        assert cache.retain(key, 0b0011, 0) is None  # probability-sensitive: dies
+        cache.put(key_at(0, scope="shard", shard=1, shards=4), "partial-1")
+        assert (
+            cache.retain(
+                key_at(1, scope="shard", shard=1, shards=4),
+                0b0011,
+                0,
+                probability_sensitive=False,
+            )
+            == "partial-1"
+        )
+
+    def test_insensitive_still_dies_on_target_dirt(self):
+        cache = ResultCache(8)
+        cache.put(key_at(0, scope="shard", shard=0, shards=4), "partial")
+        cache.record_delta(1, probability_mask=0, target_mask=1 << 3)
+        assert (
+            cache.retain(
+                key_at(1, scope="shard", shard=0, shards=4),
+                0,
+                1 << 3,
+                probability_sensitive=False,
+            )
+            is None
+        )
+
+    def test_multi_epoch_walk_accumulates_dirt(self):
+        cache = ResultCache(8)
+        cache.put(key_at(0), "value")
+        cache.record_delta(1, 0b0100, 0)
+        cache.record_delta(2, 0b1000, 0)
+        cache.record_delta(3, 0b10000, 0)
+        # Three clean transitions: the epoch-0 entry survives to epoch 3.
+        assert cache.retain(key_at(3), 0b0011, 0) == "value"
+
+    def test_multi_epoch_walk_stops_on_dirty_transition(self):
+        cache = ResultCache(8)
+        cache.put(key_at(0), "value")
+        cache.record_delta(1, 0b0100, 0)
+        cache.record_delta(2, 0b0001, 0)  # touches mapping 0
+        cache.record_delta(3, 0b1000, 0)
+        assert cache.retain(key_at(3), 0b0011, 0) is None
+
+    def test_unknown_transition_is_conservative(self):
+        cache = ResultCache(8)
+        cache.put(key_at(0), "value")
+        # No record_delta call for epoch 1: nothing can be proven.
+        assert cache.retain(key_at(1), 0, 0) is None
+
+    def test_disabled_cache_never_retains(self):
+        cache = ResultCache(0)
+        cache.record_delta(1, 0, 0)
+        assert cache.retain(key_at(1), 0, 0) is None
+
+    def test_epoch_zero_or_non_int_never_retains(self):
+        cache = ResultCache(8)
+        cache.put(key_at(0), "value")
+        assert cache.retain(key_at(0), 0, 0) is None
+        assert cache.retain(key_at(None), 0, 0) is None
+
+    def test_clear_drops_the_delta_log(self):
+        cache = ResultCache(8)
+        cache.record_delta(1, 0, 0)
+        cache.put(key_at(0), "value")
+        cache.clear()
+        cache.put(key_at(0), "value")
+        assert cache.retain(key_at(1), 0, 0) is None
+
+
+class TestEngineRetention:
+    """End-to-end: cached results surviving (or dying on) real deltas.
+
+    The Figure 1 scenario gives asymmetric relevance:
+    ``ORDER/SUPPLIER_PARTY`` is relevant only to mapping 2 (the only mapping
+    with a ``BP -> T_SP`` correspondence), while ``//CONTACT_NAME`` is
+    relevant to all five mappings.
+    """
+
+    @pytest.fixture()
+    def session(self, figure_mappings, figure_document):
+        return Dataspace.from_mapping_set(figure_mappings, document=figure_document)
+
+    def swap(self, figure_mappings, a, b):
+        return MappingDelta.build(
+            reweight={
+                a: figure_mappings[b].probability,
+                b: figure_mappings[a].probability,
+            }
+        )
+
+    def test_entry_survives_non_intersecting_delta(self, session, figure_mappings):
+        warm = session.execute("ORDER/SUPPLIER_PARTY")
+        session.apply_delta(self.swap(figure_mappings, 0, 3))  # mapping 2 untouched
+        served = session.execute("ORDER/SUPPLIER_PARTY")
+        assert served is warm  # the very same cached object, across the epoch
+        assert session.result_cache.stats().retained == 1
+        assert session.explain("ORDER/SUPPLIER_PARTY").cache == "hit"
+
+    def test_entry_dies_on_intersecting_delta(self, session, figure_mappings):
+        warm = session.execute("ORDER/SUPPLIER_PARTY")
+        session.apply_delta(self.swap(figure_mappings, 0, 2))  # touches mapping 2
+        served = session.execute("ORDER/SUPPLIER_PARTY")
+        assert served is not warm
+        assert {a.probability for a in served} != {a.probability for a in warm}
+        assert session.result_cache.stats().retained == 0
+
+    def test_structural_delta_outside_query_targets_survives(
+        self, session, figure_mappings, figure_elements
+    ):
+        e = figure_elements
+        warm = session.execute("ORDER/SUPPLIER_PARTY")
+        # Retract a CONTACT_NAME correspondence of mapping 0: dirty targets
+        # {ICN}, dirty mappings {0} — both disjoint from this query.
+        session.apply_delta(
+            MappingDelta.build(remove=[(0, (e["BCN"], e["ICN"]))])
+        )
+        assert session.execute("ORDER/SUPPLIER_PARTY") is warm
+
+    def test_structural_delta_on_relevant_mapping_outside_targets_survives(
+        self, session, figure_mappings, figure_elements
+    ):
+        e = figure_elements
+        warm = session.execute("ORDER/SUPPLIER_PARTY")  # relevant = {mapping 2}
+        # Retract mapping 2's CONTACT_NAME pair: the mapping is relevant, but
+        # the edit touches only target ICN — coverage, rewrite and
+        # probability at this query's targets (ORDER, T_SP) are untouched,
+        # so the entry provably survives.
+        session.apply_delta(
+            MappingDelta.build(remove=[(2, (e["RCN"], e["ICN"]))])
+        )
+        assert session.execute("ORDER/SUPPLIER_PARTY") is warm
+        # And the retained answer is still what a cold evaluation computes.
+        cold = session.execute("ORDER/SUPPLIER_PARTY", use_cache=False)
+        assert {(a.mapping_id, a.matches, a.probability) for a in warm} == {
+            (a.mapping_id, a.matches, a.probability) for a in cold
+        }
+
+    def test_structural_delta_on_query_targets_dies(
+        self, session, figure_mappings, figure_elements
+    ):
+        e = figure_elements
+        warm = session.execute("//CONTACT_NAME")
+        session.apply_delta(
+            MappingDelta.build(remove=[(0, (e["BCN"], e["ICN"]))])
+        )
+        served = session.execute("//CONTACT_NAME")
+        assert served is not warm
+
+    def test_explain_reports_retained(self, session, figure_mappings):
+        session.execute("ORDER/SUPPLIER_PARTY")
+        session.apply_delta(self.swap(figure_mappings, 0, 3))
+        report = session.explain("ORDER/SUPPLIER_PARTY")
+        # explain() runs after execute() already promoted the entry in the
+        # line above?  No — this is the first post-delta lookup.
+        assert report.cache == "retained"
+        assert report.cache_stats["retained"] == 1
+
+    def test_never_crosses_full_invalidate(self, session, figure_mappings):
+        warm = session.execute("ORDER/SUPPLIER_PARTY")
+        session.invalidate()  # generation bump: every old entry unreachable
+        session.apply_delta(self.swap(figure_mappings, 0, 3))
+        served = session.execute("ORDER/SUPPLIER_PARTY")
+        assert served is not warm
+        assert session.result_cache.stats().retained == 0
+
+    def test_chained_deltas_accumulate(self, session, figure_mappings):
+        warm = session.execute("ORDER/SUPPLIER_PARTY")
+        session.apply_delta(self.swap(figure_mappings, 0, 3))
+        session.apply_delta(self.swap(figure_mappings, 1, 4))
+        assert session.execute("ORDER/SUPPLIER_PARTY") is warm  # both clean
+        session.apply_delta(
+            MappingDelta.build(
+                reweight={
+                    2: session.mapping_set[0].probability,
+                    0: session.mapping_set[2].probability,
+                }
+            )
+        )
+        assert session.execute("ORDER/SUPPLIER_PARTY") is not warm
+
+
+class TestMultiDatasetTopKInvalidation:
+    """Top-k partials depend on the *global* selection across sessions.
+
+    ``_select()`` pools and thresholds probabilities across every member
+    session, so a top-k partial of session B must be retired when session A
+    changes — even though B's own state never moved.  Regression test for a
+    staleness bug where per-session partial keys let a cached D3 partial
+    (computed under the old global selection) serve after a delta to D2.
+    """
+
+    def test_topk_cached_equals_uncached_after_other_session_delta(self):
+        from repro.corpus import ShardedCorpus
+
+        corpus = ShardedCorpus.from_datasets(["D2", "D3"], shards_per_dataset=2, h=12)
+        session_a = corpus.sessions[0]
+        all_ids = list(range(12))
+
+        def concentrate(session, ids):
+            # Move the subset's whole mass onto its first member: changes the
+            # probability *multiset*, so the global top-k split shifts.
+            mapping_set = session.mapping_set
+            mass = sum(mapping_set[i].probability for i in ids)
+            reweight = {ids[0]: mass}
+            reweight.update({i: 0.0 for i in ids[1:]})
+            return MappingDelta.build(reweight=reweight)
+
+        def flatten(session, ids):
+            mapping_set = session.mapping_set
+            mass = sum(mapping_set[i].probability for i in ids)
+            return MappingDelta.build(
+                reweight={i: mass / len(ids) for i in ids}
+            )
+
+        def answers(use_cache):
+            return tuple(
+                (a.dataset, a.mapping_id, a.probability, a.matches)
+                for a in corpus.top_k("//ContactName", 5, use_cache=use_cache)
+            )
+
+        # Warm the top-k partials under the initial global selection, then
+        # reshape session A's probability distribution so the number of
+        # slots each session gets in the global top-5 changes — session B's
+        # own state never moves, but its cached partials must still retire.
+        assert answers(True) == answers(False)
+        corpus.apply_delta(concentrate(session_a, all_ids), dataset="D2")
+        assert answers(True) == answers(False)
+        corpus.apply_delta(flatten(session_a, all_ids), dataset="D2")
+        assert answers(True) == answers(False)
+
+    def test_full_partials_stay_per_session_scoped(self):
+        from repro.corpus import ShardedCorpus
+
+        corpus = ShardedCorpus.from_datasets(["D2", "D3"], shards_per_dataset=2, h=8)
+        session_a, session_b = corpus.sessions
+        corpus.gather("//ContactName")  # warm k=None partials for both
+        hits_before = session_b.result_cache.stats().hits
+        # A delta to session A must not retire session B's full partials:
+        # k=None selection is per-session, so B's keys are untouched.
+        mapping_set = session_a.mapping_set
+        corpus.apply_delta(
+            MappingDelta.build(
+                reweight={
+                    0: mapping_set[7].probability,
+                    7: mapping_set[0].probability,
+                }
+            ),
+            dataset="D2",
+        )
+        execution = corpus.gather("//ContactName")
+        b_reports = [
+            r for r in execution.shard_reports if r.dataset == "D3" and r.shard_id >= 0
+        ]
+        assert any(r.status == "cached" for r in b_reports)
+        assert session_b.result_cache.stats().hits > hits_before
+        # And the merged outcome still matches a cache-free evaluation.
+        fresh = corpus.gather("//ContactName", use_cache=False)
+        for name in ("D2", "D3"):
+            assert {
+                (a.mapping_id, a.matches, a.probability)
+                for a in execution.results[name]
+            } == {
+                (a.mapping_id, a.matches, a.probability) for a in fresh.results[name]
+            }
+
+
+class TestCorpusRetention:
+    def test_clean_shards_retained_after_delta(self, figure_mappings, figure_document):
+        session = Dataspace.from_mapping_set(figure_mappings, document=figure_document)
+        corpus = session.shard(2)
+        corpus.execute("ORDER/SUPPLIER_PARTY")  # warm merged result + partials
+        delta = MappingDelta.build(
+            reweight={
+                0: figure_mappings[3].probability,
+                3: figure_mappings[0].probability,
+            }
+        )
+        corpus.apply_delta(delta)
+        execution = corpus.explain("ORDER/SUPPLIER_PARTY")
+        # The merged result survived the delta outright.
+        assert execution.cache == "retained"
+
+    def test_dirty_merged_result_reevaluates_but_partials_retain(
+        self, figure_mappings, figure_document
+    ):
+        session = Dataspace.from_mapping_set(figure_mappings, document=figure_document)
+        corpus = session.shard(2)
+        before = corpus.explain("//CONTACT_NAME")  # all mappings relevant
+        delta = MappingDelta.build(
+            reweight={
+                0: figure_mappings[3].probability,
+                3: figure_mappings[0].probability,
+            }
+        )
+        corpus.apply_delta(delta)
+        execution = corpus.explain("//CONTACT_NAME")
+        # A reweight invalidates the merged (probability-carrying) result...
+        assert execution.cache == "miss"
+        # ...but the per-shard match partials are structurally clean: every
+        # shard that evaluated before is served as "retained" now.
+        evaluated_before = sum(
+            1 for r in before.shard_reports if r.status in ("evaluated", "spine")
+        )
+        assert execution.retained_shards == evaluated_before
+        assert execution.fan_out == len(execution.shard_reports)
+        unsharded = session.execute("//CONTACT_NAME", use_cache=False)
+        assert {(a.mapping_id, a.matches, a.probability) for a in execution.result} == {
+            (a.mapping_id, a.matches, a.probability) for a in unsharded
+        }

@@ -263,3 +263,44 @@ class TestCorpusCommand:
         code, output = run_cli("corpus", "D1", "Order/[", "--num-mappings", "8")
         assert code == 2
         assert "error:" in output
+
+
+class TestDeltaCommand:
+    def test_delta_reweight_reports_survivors(self):
+        code, output = run_cli(
+            "delta", "D1", "//ContactName", "--num-mappings", "12", "--touch", "3",
+        )
+        assert code == 0
+        assert "epoch 1" in output
+        assert "served without re-evaluation" in output
+        assert "retained=" in output
+
+    def test_delta_json_payload(self):
+        code, output = run_cli(
+            "delta", "D1", "//ContactName", "//Name",
+            "--num-mappings", "12", "--touch", "2", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["dataset"] == "D1"
+        assert payload["delta"]["delta_epoch"] == 1
+        assert payload["delta"]["touched_mappings"] == 2
+        assert len(payload["queries"]) == 2
+        for state in payload["queries"]:
+            assert state["cache"] in ("hit", "retained", "miss")
+        assert "retained" in payload["result_cache"]
+
+    def test_delta_structural_mode(self):
+        code, output = run_cli(
+            "delta", "D1", "//ContactName",
+            "--num-mappings", "12", "--touch", "2", "--mode", "structural", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["delta"]["structural_mappings"] == 2
+        assert payload["delta"]["posting_lists_touched"] >= 1
+
+    def test_delta_unknown_dataset(self):
+        code, output = run_cli("delta", "D99", "//Name")
+        assert code == 2
+        assert "error:" in output

@@ -153,3 +153,113 @@ class TestCoverageTable:
 
     def test_main_missing_report(self, tmp_path):
         assert coverage_table.main([str(tmp_path / "nope.json")]) == 2
+
+
+docstring_coverage = load_script("docstring_coverage")
+check_markdown_links = load_script("check_markdown_links")
+
+
+class _DocumentedClass:
+    """A class with a real docstring, long enough to count."""
+
+    def documented(self):
+        """This method is documented well enough to pass the gate."""
+
+    def undocumented(self):
+        pass
+
+    @property
+    def documented_property(self):
+        """A documented property of the documented class."""
+        return 1
+
+
+def _documented_function():
+    """A documented module-level function for the coverage walker."""
+
+
+class _FakePackage:
+    __all__ = ["Documented", "documented_function", "DATA_CONSTANT"]
+    Documented = _DocumentedClass
+    documented_function = staticmethod(_documented_function)
+    DATA_CONSTANT = ("plain", "data")
+
+
+class TestDocstringCoverage:
+    def test_collect_symbols_walks_classes_and_skips_data(self):
+        rows, skipped = docstring_coverage.collect_symbols(_FakePackage)
+        names = dict(rows)
+        assert names["Documented"] is True
+        assert names["Documented.documented"] is True
+        assert names["Documented.undocumented"] is False
+        assert names["Documented.documented_property"] is True
+        assert names["documented_function"] is True
+        assert skipped == ["DATA_CONSTANT"]
+
+    def test_coverage_report_percent_and_missing(self):
+        report = docstring_coverage.coverage_report(
+            [("a", True), ("b", True), ("c", False), ("d", True)]
+        )
+        assert report["total"] == 4
+        assert report["documented"] == 3
+        assert report["percent"] == 75.0
+        assert report["missing"] == ["c"]
+
+    def test_trivial_docstrings_count_as_missing(self):
+        class Stub:
+            """x"""
+
+        assert not docstring_coverage._documented(Stub)
+
+    def test_main_passes_on_the_real_public_api(self, capsys):
+        # The repo's own gate: the public API must stay >= 95% documented.
+        assert docstring_coverage.main(["--min", "95"]) == 0
+        assert "docstring coverage" in capsys.readouterr().out
+
+    def test_main_fails_below_threshold(self, capsys):
+        code = docstring_coverage.main(["--min", "100.1"])
+        assert code == 1
+        assert "below" in capsys.readouterr().err
+
+    def test_main_unknown_package(self):
+        assert docstring_coverage.main(["--package", "no_such_pkg_xyz"]) == 2
+
+
+class TestMarkdownLinkCheck:
+    def test_extract_links(self):
+        text = "See [docs](docs/a.md), [site](https://x.y) and [top](#anchor)."
+        assert check_markdown_links.extract_links(text) == [
+            "docs/a.md", "https://x.y", "#anchor",
+        ]
+
+    def test_broken_links_resolved_relative_to_file(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "real.md").write_text("# real")
+        readme = tmp_path / "README.md"
+        readme.write_text(
+            "[ok](docs/real.md) [anchored](docs/real.md#sec) "
+            "[gone](docs/missing.md) [web](https://example.com) [self](#top)"
+        )
+        assert check_markdown_links.broken_links(readme) == ["docs/missing.md"]
+
+    def test_find_markdown_files_excludes_git(self, tmp_path):
+        (tmp_path / ".git").mkdir()
+        (tmp_path / ".git" / "x.md").write_text("hidden")
+        (tmp_path / "a.md").write_text("visible")
+        found = check_markdown_links.find_markdown_files(tmp_path)
+        assert [p.name for p in found] == ["a.md"]
+
+    def test_main_reports_broken_and_fails(self, tmp_path, capsys):
+        (tmp_path / "a.md").write_text("[dead](nope.md)")
+        assert check_markdown_links.main(["--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "broken link -> nope.md" in out
+
+    def test_main_passes_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "a.md").write_text("[ok](b.md)")
+        (tmp_path / "b.md").write_text("# b")
+        assert check_markdown_links.main(["--root", str(tmp_path)]) == 0
+        assert "0 broken" in capsys.readouterr().out
+
+    def test_main_missing_root(self, tmp_path):
+        assert check_markdown_links.main(["--root", str(tmp_path / "no")]) == 2
