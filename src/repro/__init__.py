@@ -50,6 +50,7 @@ from repro.exceptions import (
     RewriteError,
     SchemaError,
     SchemaParseError,
+    StoreError,
     TwigParseError,
 )
 from repro.schema import (
@@ -156,8 +157,15 @@ from repro.service import (
     replay_workload,
     workload_queries,
 )
+from repro.store import (
+    ArtifactStore,
+    BlockStore,
+    MemoryBlockStore,
+    OverlayBlockStore,
+    SqliteBlockStore,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -177,6 +185,13 @@ __all__ = [
     "DatasetError",
     "DataspaceError",
     "CorpusError",
+    "StoreError",
+    # persistent artifact store
+    "ArtifactStore",
+    "BlockStore",
+    "MemoryBlockStore",
+    "SqliteBlockStore",
+    "OverlayBlockStore",
     # engine facade
     "Dataspace",
     "EngineSnapshot",

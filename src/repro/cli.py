@@ -160,6 +160,22 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="PLAN", help=plan_help)
     explain.add_argument("--json", action="store_true",
                          help="emit the report as a JSON object")
+
+    store = subparsers.add_parser(
+        "store", help="manage a persistent artifact store (sqlite block store)"
+    )
+    store.add_argument("action", choices=("persist", "stats", "verify", "gc"),
+                       help="persist: build a dataset session and write its artifacts; "
+                            "stats: block/ref occupancy and counters; "
+                            "verify: checksum-walk every ref'd manifest; "
+                            "gc: delete blocks unreachable from any ref")
+    store.add_argument("--path", required=True,
+                       help="filesystem path of the sqlite block store")
+    store.add_argument("--dataset", default="D7",
+                       help="dataset to persist (persist action, default D7)")
+    store.add_argument("--num-mappings", type=int, default=100)
+    store.add_argument("--json", action="store_true",
+                       help="emit the report as a JSON object")
     return parser
 
 
@@ -475,6 +491,60 @@ def _cmd_explain(args, out) -> int:
     return 0
 
 
+def _cmd_store(args, out) -> int:
+    from repro.store import ArtifactStore, SqliteBlockStore
+
+    with SqliteBlockStore(args.path) as blocks:
+        store = ArtifactStore(blocks)
+        if args.action == "persist":
+            session = Dataspace.from_dataset(
+                args.dataset, h=args.num_mappings, store=store
+            )
+            report = session.persist()
+            payload = {
+                "ref": report["ref"],
+                "manifest": report["manifest"],
+                "artifacts": report["artifacts"],
+                "elapsed_ms": round(report["elapsed_ms"], 1),
+                "provenance": session.artifact_provenance(),
+            }
+            if args.json:
+                out.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            else:
+                out.write(f"persisted {args.dataset} under {report['ref']}\n")
+                out.write(f"  manifest:  {report['manifest'][:16]}...\n")
+                out.write(f"  artifacts: {report['artifacts']}  "
+                          f"results: {report['results']}  "
+                          f"({report['elapsed_ms']:.1f} ms)\n")
+        elif args.action == "stats":
+            stats = store.stats()
+            if args.json:
+                out.write(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+            else:
+                out.write(f"blocks:  {stats['blocks']} ({stats['total_bytes']} bytes)\n")
+                out.write(f"refs:    {stats['refs']}\n")
+                for name in sorted(blocks.refs()):
+                    out.write(f"  {name}\n")
+        elif args.action == "verify":
+            report = store.verify()
+            if args.json:
+                out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+            else:
+                for name, status in sorted(report["refs"].items()):
+                    out.write(f"  {name}: {status}\n")
+                out.write(f"checked {report['blocks_checked']} blocks, "
+                          f"{report['errors']} errors\n")
+            return 2 if report["errors"] else 0
+        else:  # gc
+            report = store.gc()
+            if args.json:
+                out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+            else:
+                out.write(f"removed {report['removed']} unreachable blocks "
+                          f"({report['live']} live)\n")
+    return 0
+
+
 _COMMANDS = {
     "schemas": _cmd_schemas,
     "show-schema": _cmd_show_schema,
@@ -487,6 +557,7 @@ _COMMANDS = {
     "corpus": _cmd_corpus,
     "delta": _cmd_delta,
     "explain": _cmd_explain,
+    "store": _cmd_store,
 }
 
 

@@ -457,6 +457,7 @@ class ShardedCorpus:
             OrderedDict()
         )
         self._partitions_reused = 0
+        self._partitions_restored = 0
         self._pool: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------ #
@@ -488,10 +489,19 @@ class ShardedCorpus:
         seed: Optional[int] = None,
         cache_size: int = 128,
         max_workers: Optional[int] = None,
+        store=None,
     ) -> "ShardedCorpus":
-        """Open a corpus over several Table II datasets (one session each)."""
+        """Open a corpus over several Table II datasets (one session each).
+
+        ``store`` passes a persistent artifact store through to every member
+        session (each persists under its own dataset-qualified ref), so a
+        populated store reopens the whole corpus without re-running any
+        matcher and with each session's remembered partition layout intact.
+        """
         sessions = [
-            Dataspace.from_dataset(dataset_id, h=h, seed=seed, cache_size=cache_size)
+            Dataspace.from_dataset(
+                dataset_id, h=h, seed=seed, cache_size=cache_size, store=store
+            )
             for dataset_id in dataset_ids
         ]
         return cls(sessions, shards_per_session=shards_per_dataset, max_workers=max_workers)
@@ -603,6 +613,7 @@ class ShardedCorpus:
             for index in range(len(self._sessions))
         ]
         info["partitions_reused"] = self._partitions_reused
+        info["partitions_restored"] = self._partitions_restored
         return info
 
     # ------------------------------------------------------------------ #
@@ -642,7 +653,15 @@ class ShardedCorpus:
                     self._partitions_reused += 1
                     break
         if partition is None:
+            # A session layout remembered from an earlier cut — possibly
+            # reopened from a persistent store — beats re-cutting.
+            partition = session.restore_partition(snapshot, self._shards_per_session)
+            if partition is not None:
+                with self._lock:
+                    self._partitions_restored += 1
+        if partition is None:
             partition = partition_document(snapshot.document, self._shards_per_session)
+            session.remember_partition(partition)
         compiled = snapshot.mapping_set.compile()
         base = index * self._shards_per_session
         shards = tuple(

@@ -182,6 +182,15 @@ class ResultCache:
         with self._lock:
             return self._entries.get(key)
 
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """Consistent snapshot of all entries, least recently used first.
+
+        Used by the persistence layer to capture result-cache warmth without
+        touching recency or the hit/miss counters.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
     def put(self, key: Hashable, value: Any) -> Any:
         """Insert ``value`` under ``key``, evicting the LRU entry when full.
 

@@ -71,12 +71,12 @@ from typing import TYPE_CHECKING, Iterable, Optional, Tuple, Union
 from repro.core.blocktree import BlockTree, BlockTreeConfig, build_block_tree
 from repro.document.document import XMLDocument
 from repro.document.generator import generate_document
-from repro.engine.cache import ResultCache
+from repro.engine.cache import CacheKey, ResultCache
 from repro.engine.delta import DeltaReport, MappingDelta, apply_mapping_delta
 from repro.engine.locking import ReadWriteLock
 from repro.engine.plans import QueryPlan, plan_for
 from repro.engine.prepared import PlanSpec, PreparedQuery, QueryBuilder
-from repro.exceptions import DataspaceError
+from repro.exceptions import DataspaceError, StoreError
 from repro.mapping.generator import GenerationMethod, generate_top_h_mappings
 from repro.mapping.mapping import Mapping
 from repro.mapping.mapping_set import MappingSet
@@ -85,10 +85,11 @@ from repro.matching.matching import SchemaMatching
 from repro.query.parser import parse_twig
 from repro.query.ptq import filter_mappings
 from repro.query.resolve import Embedding
-from repro.query.results import PTQResult
+from repro.query.results import PTQAnswer, PTQResult
 from repro.query.twig import TwigQuery
 from repro.schema.schema import Schema
-from repro.workloads.datasets import build_mapping_set, load_dataset, load_source_document
+from repro.store.artifacts import ArtifactStore, SessionBundle, partition_from_layout, partition_layout
+from repro.workloads.datasets import DATASET_SPECS, build_mapping_set, load_dataset, load_source_document
 from repro.workloads.queries import QUERY_ALIASES, QUERY_STRINGS, load_query
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -221,6 +222,17 @@ class Dataspace:
         self._result_cache = ResultCache(cache_size)
         # cache_size=0 disables *all* caching, including filter sharing.
         self._filter_cache = ResultCache(0 if cache_size == 0 else 64)
+        self._cache_size = cache_size
+        # Persistence state: the attached artifact store (None until a store
+        # is attached via from_dataset(store=...) / from_store / persist),
+        # the ref the session persists under, per-artifact provenance
+        # ("built" with build time vs "loaded" with deserialization time),
+        # and remembered shard-partition layouts keyed by shard count.
+        self._store: Optional[ArtifactStore] = None
+        self._store_ref: Optional[str] = None
+        self._provenance: dict[str, dict] = {}
+        self._layout_lock = threading.Lock()
+        self._partition_layouts: dict[int, tuple[int, dict]] = {}
 
     # ------------------------------------------------------------------ #
     # Alternative constructors
@@ -238,6 +250,8 @@ class Dataspace:
         document: Optional[XMLDocument] = None,
         seed: Optional[int] = None,
         cache_size: int = 128,
+        store=None,
+        matching: Optional[SchemaMatching] = None,
     ) -> "Dataspace":
         """Open a session on one of the paper's Table II datasets (``"D1"``…``"D10"``).
 
@@ -245,24 +259,222 @@ class Dataspace:
         set, source document), accept query ids (``"Q1"``…``"Q10"``) and
         expand the paper's label abbreviations (``UP``, ``BPID``, …) when
         parsing query strings.
+
+        ``store`` attaches a persistent artifact store (a
+        :class:`~repro.store.BlockStore` or
+        :class:`~repro.store.ArtifactStore`): when it holds a session
+        persisted under the same ``(dataset, h, method, seed)``
+        configuration, the matching, mapping set, compiled columns and
+        document are *loaded* instead of derived — skipping the matcher run
+        entirely — and any corruption or configuration mismatch degrades to
+        the normal cold build.  On a miss the store stays attached, so a
+        later :meth:`persist` (and every :meth:`apply_delta` write-through)
+        targets it.  ``matching`` supplies a pre-computed schema matching,
+        short-circuiting the eager dataset load the same way.
         """
-        dataset = load_dataset(dataset_id, seed=seed)
+        key = dataset_id.strip().upper()
+        if store is not None and document is None and key in DATASET_SPECS:
+            session = cls._from_dataset_store(
+                store,
+                key,
+                h=h,
+                method=method,
+                tau=tau,
+                max_blocks=max_blocks,
+                max_failures=max_failures,
+                seed=seed,
+                cache_size=cache_size,
+            )
+            if session is not None:
+                return session
+        if matching is not None:
+            session = cls(
+                matching.source,
+                matching.target,
+                h=h,
+                method=method,
+                tau=tau,
+                max_blocks=max_blocks,
+                max_failures=max_failures,
+                document=document,
+                seed=seed,
+                name=key,
+                cache_size=cache_size,
+            )
+            session._dataset_id = key
+            session._matching = matching
+        else:
+            started = time.perf_counter()
+            dataset = load_dataset(dataset_id, seed=seed)
+            elapsed = (time.perf_counter() - started) * 1000.0
+            session = cls(
+                dataset.source_schema,
+                dataset.target_schema,
+                h=h,
+                method=method,
+                tau=tau,
+                max_blocks=max_blocks,
+                max_failures=max_failures,
+                document=document,
+                seed=seed,
+                name=dataset.dataset_id,
+                cache_size=cache_size,
+            )
+            session._dataset_id = dataset.dataset_id
+            session._matching = dataset.matching
+            session._provenance["matching"] = {"source": "built", "ms": round(elapsed, 3)}
+        if store is not None:
+            session._store = ArtifactStore.wrap(store)
+            session._store_ref = cls._dataset_ref(key, h=h, method=method, seed=seed)
+        return session
+
+    @staticmethod
+    def _dataset_ref(
+        dataset_id: str, *, h: int, method: Union[str, GenerationMethod], seed: Optional[int]
+    ) -> str:
+        """The store ref a dataset session persists under (config-qualified)."""
+        normalized = GenerationMethod(method).value
+        return f"dataspace/{dataset_id}?h={h}&method={normalized}&seed={seed}"
+
+    @classmethod
+    def _from_dataset_store(
+        cls,
+        store,
+        dataset_id: str,
+        *,
+        h: int,
+        method: Union[str, GenerationMethod],
+        tau: float,
+        max_blocks: int,
+        max_failures: int,
+        seed: Optional[int],
+        cache_size: int,
+    ) -> Optional["Dataspace"]:
+        """Try reopening a dataset session from ``store``; ``None`` on any miss.
+
+        Every failure mode — absent ref, configuration mismatch (stale
+        signature), checksum failure, truncated or malformed payload — is
+        absorbed here and counted as a store miss, so the caller falls back
+        to the cold build and no store problem ever escapes to the query
+        path.
+        """
+        ref = cls._dataset_ref(dataset_id, h=h, method=method, seed=seed)
+        try:
+            artifact_store = ArtifactStore.wrap(store)
+            bundle = artifact_store.load_session(
+                ref,
+                expect={
+                    "dataset_id": dataset_id,
+                    "h": h,
+                    "method": GenerationMethod(method).value,
+                    "seed": seed,
+                },
+            )
+        except Exception:
+            return None
+        if bundle is None:
+            return None
         session = cls(
-            dataset.source_schema,
-            dataset.target_schema,
+            bundle.source_schema,
+            bundle.target_schema,
             h=h,
             method=method,
             tau=tau,
             max_blocks=max_blocks,
             max_failures=max_failures,
-            document=document,
+            document=bundle.document,
             seed=seed,
-            name=dataset.dataset_id,
+            name=dataset_id,
             cache_size=cache_size,
         )
-        session._dataset_id = dataset.dataset_id
-        session._matching = dataset.matching
+        session._dataset_id = dataset_id
+        session._adopt_bundle(artifact_store, bundle)
         return session
+
+    @classmethod
+    def from_store(cls, store, ref: str) -> "Dataspace":
+        """Reopen a session persisted under ``ref`` — whatever its pedigree.
+
+        Unlike the ``store=`` fast path of :meth:`from_dataset` (which falls
+        back to a cold build), this constructor has nothing to fall back to,
+        so a missing ref or corrupt artifact raises :class:`StoreError`.
+        The persisted configuration (``h``, ``method``, ``tau``, block-tree
+        budgets, pinned-artifact flags) is restored verbatim.
+        """
+        artifact_store = ArtifactStore.wrap(store)
+        bundle = artifact_store.load_session(ref)
+        if bundle is None:
+            raise StoreError(f"no session persisted under ref {ref!r}")
+        config = bundle.config
+        session = cls(
+            bundle.source_schema,
+            bundle.target_schema,
+            h=int(config.get("h", 100)),
+            method=config.get("method", GenerationMethod.PARTITION),
+            tau=float(config.get("tau", 0.2)),
+            max_blocks=int(config.get("max_blocks", 500)),
+            max_failures=int(config.get("max_failures", 500)),
+            document=bundle.document,
+            seed=config.get("seed"),
+            name=config.get("name"),
+            cache_size=int(config.get("cache_size", 128)),
+        )
+        session._dataset_id = config.get("dataset_id")
+        session._pinned_matching = bool(config.get("pinned_matching"))
+        session._pinned_mapping_set = bool(config.get("pinned_mapping_set"))
+        session._adopt_bundle(artifact_store, bundle)
+        return session
+
+    def _adopt_bundle(self, store: ArtifactStore, bundle: SessionBundle) -> None:
+        """Install a loaded :class:`~repro.store.SessionBundle` into this session."""
+        signature = bundle.signature
+        self._matching = bundle.matching
+        self._mapping_set = bundle.mapping_set
+        self._generation = int(signature.get("generation", 0))
+        self._document_version = int(signature.get("document_version", 0))
+        self._delta_epoch = int(signature.get("delta_epoch", 0))
+        self._provenance = {
+            name: {"source": "loaded", "ms": round(ms, 3)}
+            for name, ms in bundle.load_ms.items()
+        }
+        self._store = store
+        self._store_ref = bundle.ref
+        for num_shards, layout in bundle.partitions.items():
+            self._partition_layouts[num_shards] = (self._document_version, layout)
+        self._restore_results(bundle.results)
+
+    def _restore_results(self, rows: list[dict]) -> None:
+        """Repopulate the result cache from persisted entries (best effort)."""
+        for row in rows:
+            try:
+                key_fields = row["key"]
+                twig = self._as_twig(key_fields["query"])
+                answers = [
+                    PTQAnswer(
+                        mapping_id=mapping_id,
+                        probability=probability,
+                        matches=frozenset(
+                            tuple((q, n) for q, n in match) for match in matches
+                        ),
+                    )
+                    for mapping_id, probability, matches in row["answers"]
+                ]
+                key = CacheKey(
+                    query=twig.text,
+                    plan=key_fields["plan"],
+                    k=key_fields["k"],
+                    tau=key_fields["tau"],
+                    generation=self._generation,
+                    document_version=self._document_version,
+                    delta_epoch=self._delta_epoch,
+                )
+                self._result_cache.put(
+                    key, PTQResult(twig, answers, document=self._document)
+                )
+            except Exception:
+                # One malformed entry never poisons the reopen: the result
+                # is simply recomputed on first use.
+                continue
 
     @classmethod
     def from_matching(
@@ -532,6 +744,14 @@ class Dataspace:
             self._result_cache.record_delta(
                 epoch, effect.probability_mask, effect.dirty_target_mask
             )
+        if self._store is not None and self._document is not None:
+            # Write the patched artifacts through to the attached store so a
+            # restart reopens at this exact epoch.  Best effort by design: a
+            # store failure must never fail the delta itself.
+            try:
+                self.persist()
+            except Exception:
+                pass
         return DeltaReport(
             delta_epoch=epoch,
             generation=generation,
@@ -569,8 +789,16 @@ class Dataspace:
     # the _build_* helpers, which assume the write lock is held and call each
     # other directly — never back through the locking properties.
 
+    def _record_built(self, artifact: str, started: float) -> None:
+        """Record cold-derivation provenance for one artifact (see explain())."""
+        self._provenance[artifact] = {
+            "source": "built",
+            "ms": round((time.perf_counter() - started) * 1000.0, 3),
+        }
+
     def _build_matching(self) -> SchemaMatching:
         if self._matching is None:
+            started = time.perf_counter()
             if self._matcher_config is None and self._dataset_id is not None:
                 self._matching = load_dataset(self._dataset_id, seed=self._seed).matching
             else:
@@ -579,10 +807,12 @@ class Dataspace:
                 self._matching = matcher.match(
                     self.source_schema, self.target_schema, name=self.name
                 )
+            self._record_built("matching", started)
         return self._matching
 
     def _build_mapping_set(self) -> MappingSet:
         if self._mapping_set is None:
+            started = time.perf_counter()
             if self._dataset_id is not None and self._matcher_config is None:
                 # Share the workload layer's cache with benchmarks and tests.
                 self._mapping_set = build_mapping_set(
@@ -592,18 +822,22 @@ class Dataspace:
                 self._mapping_set = generate_top_h_mappings(
                     self._build_matching(), self._h, method=self._method
                 )
+            self._record_built("mapping_set", started)
         return self._mapping_set
 
     def _build_block_tree(self) -> BlockTree:
         if self._block_tree is None:
+            started = time.perf_counter()
             config = BlockTreeConfig(
                 tau=self._tau, max_blocks=self._max_blocks, max_failures=self._max_failures
             )
             self._block_tree = build_block_tree(self._build_mapping_set(), config)
+            self._record_built("block_tree", started)
         return self._block_tree
 
     def _build_document(self) -> XMLDocument:
         if self._document is None:
+            started = time.perf_counter()
             if self._dataset_id is not None:
                 self._document = load_source_document(
                     self._dataset_id, seed=self._seed, target_nodes=self._document_nodes
@@ -612,6 +846,7 @@ class Dataspace:
                 self._document = generate_document(
                     self.source_schema, target_nodes=self._document_nodes, seed=self._seed
                 )
+            self._record_built("document", started)
         return self._document
 
     @property
@@ -660,7 +895,13 @@ class Dataspace:
         snapshot's ``mapping_set.compile()`` always matches that snapshot's
         generation.
         """
-        return self.mapping_set.compile()
+        mapping_set = self.mapping_set
+        if not mapping_set.is_compiled:
+            started = time.perf_counter()
+            compiled = mapping_set.compile()
+            self._record_built("compiled", started)
+            return compiled
+        return mapping_set.compile()
 
     # ------------------------------------------------------------------ #
     # Snapshots and shared caches
@@ -710,17 +951,189 @@ class Dataspace:
         return self._result_cache
 
     def cache_stats(self) -> dict:
-        """Hit/miss statistics of the result and filter caches."""
-        return {
+        """Hit/miss statistics of the result and filter caches.
+
+        When a persistent artifact store is attached, its counters (hits,
+        misses, writes, block occupancy) appear under ``"store"``; the key
+        is absent on store-less sessions, so existing consumers see exactly
+        the shape they always did.
+        """
+        stats = {
             "result_cache": self._result_cache.stats().to_dict(),
             "filter_cache": self._filter_cache.stats().to_dict(),
         }
+        if self._store is not None:
+            stats["store"] = self._store.stats()
+        return stats
+
+    def artifact_provenance(self) -> dict:
+        """Per-artifact provenance: ``loaded`` (store hit) vs ``built`` (cold).
+
+        Each entry is ``{"source": "loaded" | "built", "ms": float}`` where
+        ``ms`` is the deserialization time for loaded artifacts and the
+        derivation time for built ones.  Only artifacts whose construction
+        this session observed are reported (a compiled view produced outside
+        the session property appears as ``built`` without a time).
+        """
+        with self._lock.read_locked():
+            provenance = {name: dict(info) for name, info in self._provenance.items()}
+            if (
+                self._mapping_set is not None
+                and self._mapping_set.is_compiled
+                and "compiled" not in provenance
+            ):
+                provenance["compiled"] = {"source": "built"}
+        return provenance
 
     def clear_caches(self) -> "Dataspace":
         """Drop all cached results and shared filter prefixes."""
         self._result_cache.clear()
         self._filter_cache.clear()
         return self
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    @property
+    def store(self) -> Optional[ArtifactStore]:
+        """The attached persistent artifact store, or ``None``."""
+        return self._store
+
+    def _store_config(self) -> dict:
+        """The configuration persisted alongside the artifacts.
+
+        Compared on reopen: a reopen requesting a different configuration
+        treats the stored session as a stale signature and rebuilds cold.
+        """
+        return {
+            "name": self.name,
+            "dataset_id": self._dataset_id,
+            "h": self._h,
+            "method": self._method,
+            "tau": self._tau,
+            "max_blocks": self._max_blocks,
+            "max_failures": self._max_failures,
+            "seed": self._seed,
+            "cache_size": self._cache_size,
+            "pinned_matching": self._pinned_matching,
+            "pinned_mapping_set": self._pinned_mapping_set,
+        }
+
+    def _default_store_ref(self) -> str:
+        if self._dataset_id is not None:
+            return self._dataset_ref(
+                self._dataset_id, h=self._h, method=self._method, seed=self._seed
+            )
+        return f"dataspace/{self.name}?h={self._h}&method={self._method}&seed={self._seed}"
+
+    def _result_entries(self, snap: EngineSnapshot) -> list[tuple]:
+        """Result-cache entries belonging to the snapshot's exact signature.
+
+        Only plain session-scoped entries of named queries qualify: shard
+        and corpus partials are cheap to re-derive, and identity-keyed twig
+        entries (``<twig:N>``) cannot be re-associated after a reopen.
+        """
+        entries = []
+        for key, value in self._result_cache.items():
+            if not isinstance(key, CacheKey) or not isinstance(value, PTQResult):
+                continue
+            if key.scope != "session" or key.query.startswith("<twig:"):
+                continue
+            if (
+                key.generation != snap.generation
+                or key.document_version != snap.document_version
+                or key.delta_epoch != snap.delta_epoch
+            ):
+                continue
+            entries.append((key, value))
+        return entries
+
+    def persist(self, store=None, *, ref: Optional[str] = None) -> dict:
+        """Write every session artifact through to a persistent store.
+
+        Persists the schemas, matching, mapping set, compiled bitset
+        columns, source document, remembered shard-partition layouts and the
+        current result-cache warmth as content-addressed blocks under one
+        manifest, keyed by the session's ``(generation, delta_epoch,
+        document_version)`` signature.  Unchanged artifacts dedupe to their
+        existing blocks, so repeated persists are cheap.
+
+        ``store`` (a :class:`~repro.store.BlockStore` or
+        :class:`~repro.store.ArtifactStore`) defaults to the attached store;
+        the first successful persist attaches the store for the
+        :meth:`apply_delta` write-through.  Returns the save report
+        (``ref``, manifest key, artifact counts, elapsed time).
+
+        Raises
+        ------
+        DataspaceError
+            When no store is given and none is attached.
+        """
+        artifact_store = ArtifactStore.wrap(store) if store is not None else self._store
+        if artifact_store is None:
+            raise DataspaceError(
+                "no artifact store: pass one to persist(store) or open the "
+                "session with store=..."
+            )
+        snap = self.snapshot(need_tree=False)
+        compiled = snap.mapping_set.compile()
+        with self._layout_lock:
+            partitions = {
+                num_shards: layout
+                for num_shards, (version, layout) in self._partition_layouts.items()
+                if version == snap.document_version
+            }
+        report = artifact_store.save_session(
+            ref=ref or self._store_ref or self._default_store_ref(),
+            config=self._store_config(),
+            signature={
+                "generation": snap.generation,
+                "delta_epoch": snap.delta_epoch,
+                "document_version": snap.document_version,
+            },
+            source_schema=self.source_schema,
+            target_schema=self.target_schema,
+            matching=snap.mapping_set.matching,
+            mapping_set=snap.mapping_set,
+            document=snap.document,
+            compiled=compiled,
+            partitions=partitions,
+            results=self._result_entries(snap),
+        )
+        self._store = artifact_store
+        self._store_ref = report["ref"]
+        return report
+
+    def restore_partition(self, snapshot: EngineSnapshot, num_shards: int):
+        """Rebuild a remembered shard-partition layout for ``snapshot``, or ``None``.
+
+        Consulted by :class:`~repro.corpus.ShardedCorpus` before cutting a
+        fresh partition; layouts come from an earlier
+        :meth:`remember_partition` in this process or from a reopened store.
+        A layout recorded against a different document version — or one that
+        no longer applies — is discarded and ``None`` returned.
+        """
+        with self._layout_lock:
+            entry = self._partition_layouts.get(num_shards)
+        if entry is None:
+            return None
+        version, layout = entry
+        if version != snapshot.document_version:
+            return None
+        try:
+            return partition_from_layout(snapshot.document, layout)
+        except Exception:
+            with self._layout_lock:
+                self._partition_layouts.pop(num_shards, None)
+            return None
+
+    def remember_partition(self, partition) -> None:
+        """Remember a freshly cut partition's layout for reuse and persistence."""
+        layout = partition_layout(partition)
+        with self._lock.read_locked():
+            version = self._document_version
+        with self._layout_lock:
+            self._partition_layouts[partition.num_shards] = (version, layout)
 
     def relevant_for(
         self, embeddings: list[Embedding], snapshot: Optional[EngineSnapshot] = None

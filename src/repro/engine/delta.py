@@ -186,6 +186,37 @@ class MappingDelta:
         """``True`` when the delta contains no edits at all."""
         return not (self.add or self.remove or self.reweight or self.replace)
 
+    def to_payload(self) -> dict:
+        """JSON-serialisable form of the delta (see :meth:`from_payload`).
+
+        Edits are sorted so equal deltas always serialize to equal canonical
+        bytes — the property the persistent store's content addressing
+        relies on when an overlay-staged delta is compared against a
+        directly applied one.
+        """
+        return {
+            "add": sorted([mid, [s, t]] for mid, (s, t) in self.add),
+            "remove": sorted([mid, [s, t]] for mid, (s, t) in self.remove),
+            "reweight": sorted([mid, p] for mid, p in self.reweight),
+            "replace": sorted(
+                [mid, sorted([s, t] for s, t in pairs), score]
+                for mid, pairs, score in self.replace
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MappingDelta":
+        """Rebuild a delta from :meth:`to_payload` output."""
+        return cls.build(
+            add=[(mid, (s, t)) for mid, (s, t) in payload.get("add", ())],
+            remove=[(mid, (s, t)) for mid, (s, t) in payload.get("remove", ())],
+            reweight=[(mid, p) for mid, p in payload.get("reweight", ())],
+            replace=[
+                (mid, [(s, t) for s, t in pairs], score)
+                for mid, pairs, score in payload.get("replace", ())
+            ],
+        )
+
     def touched_ids(self) -> frozenset[int]:
         """Ids of every mapping the delta touches in any way."""
         return frozenset(

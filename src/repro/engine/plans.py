@@ -279,6 +279,9 @@ class ExplainReport:
     core: distinct-rewrite counts for this query plus bitset statistics of the
     compiled artifact (see
     :meth:`repro.engine.compiled.CompiledMappingSet.rewrite_stats`).
+    ``artifacts`` records per-artifact provenance — ``loaded`` (restored from
+    a persistent store, with the deserialization time) versus ``built`` (cold
+    derivation) — mirroring the cache-participation reporting.
     """
 
     query: str
@@ -298,6 +301,7 @@ class ExplainReport:
     cache: Optional[str] = None
     cache_stats: Optional[dict] = None
     compiled_stats: Optional[dict] = None
+    artifacts: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable view of the report."""
@@ -319,6 +323,7 @@ class ExplainReport:
             "cache": self.cache,
             "cache_stats": self.cache_stats,
             "compiled_stats": self.compiled_stats,
+            "artifacts": self.artifacts,
         }
 
     def format(self) -> str:
@@ -360,5 +365,14 @@ class ExplainReport:
                     f" hit_rate={stats.get('hit_rate', 0.0)})"
                 )
             lines.append(f"cache:      {self.cache}{detail}")
+        if self.artifacts:
+            parts = []
+            for name, info in sorted(self.artifacts.items()):
+                source = info.get("source", "?")
+                ms = info.get("ms")
+                parts.append(
+                    f"{name}={source}" + (f"({ms:.1f} ms)" if ms is not None else "")
+                )
+            lines.append(f"artifacts:  {'  '.join(parts)}")
         lines.append(f"answers:    {self.num_answers} ({self.num_non_empty} non-empty)")
         return "\n".join(lines)

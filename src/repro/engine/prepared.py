@@ -343,6 +343,7 @@ class PreparedQuery:
             cache=cache_state,
             cache_stats=ds.result_cache.stats().to_dict() if use_cache else None,
             compiled_stats=compiled_stats,
+            artifacts=ds.artifact_provenance() or None,
         )
 
     def __repr__(self) -> str:

@@ -25,6 +25,7 @@ __all__ = [
     "DatasetError",
     "DataspaceError",
     "CorpusError",
+    "StoreError",
 ]
 
 
@@ -86,3 +87,13 @@ class DataspaceError(ReproError):
 
 class CorpusError(ReproError):
     """Raised when a sharded corpus (:class:`repro.corpus.ShardedCorpus`) is misused."""
+
+
+class StoreError(ReproError):
+    """Raised by the persistent artifact store (:mod:`repro.store`).
+
+    Covers checksum mismatches on content-addressed blocks, missing blocks
+    referenced by a manifest, and malformed artifact payloads.  The engine
+    integration treats any :class:`StoreError` during a load as a cache miss
+    and falls back to a cold rebuild — a corrupt store never breaks the
+    query path."""

@@ -1,0 +1,468 @@
+"""Content-addressed block stores: the bottom layer of the persistence stack.
+
+A *block* is an immutable byte string addressed by the SHA-256 hex digest of
+its content.  Because the key is derived from the bytes, blocks are
+deduplicated for free, writes are idempotent (two writers racing on the same
+content store the same block), and every read can be verified: a block whose
+bytes no longer hash to its key is corrupt and :class:`StoreError` is raised
+instead of returning silently wrong data.
+
+Three stores implement the same :class:`BlockStore` interface:
+
+* :class:`MemoryBlockStore` — plain dicts; the unit-test substrate and the
+  upper (staging) layer of an overlay;
+* :class:`SqliteBlockStore` — one sqlite file with a ``blocks`` and a
+  ``refs`` table; safe for concurrent writers because content-addressed
+  inserts are idempotent (``INSERT OR REPLACE`` of identical bytes);
+* :class:`OverlayBlockStore` — reads fall through *upper → lower*, writes go
+  to the upper layer only, so staged state (e.g. an uncommitted mapping
+  delta) can be queried without touching the base store; :meth:`commit`
+  flushes the staged blocks and refs down.
+
+Besides blocks, every store keeps a small mutable *ref* namespace (name →
+block key), the garbage-collection roots: a block is live when it is
+reachable from a ref'd manifest (see :mod:`repro.store.artifacts`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+import threading
+from typing import Iterator, Optional
+
+from repro.exceptions import StoreError
+
+__all__ = [
+    "block_key",
+    "BlockStore",
+    "MemoryBlockStore",
+    "SqliteBlockStore",
+    "OverlayBlockStore",
+]
+
+
+def block_key(data: bytes) -> str:
+    """The content address of ``data``: its SHA-256 hex digest."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class BlockStore:
+    """Abstract content-addressed block store (see module docstring).
+
+    Subclasses implement the raw primitives (``_read`` / ``_write`` ...);
+    the shared :meth:`get_block` wrapper verifies the checksum of every read,
+    so no caller can observe silently corrupted bytes.
+    """
+
+    # ------------------------------------------------------------------ #
+    # Blocks
+    # ------------------------------------------------------------------ #
+    def get_block(self, key: str) -> Optional[bytes]:
+        """Return the verified bytes of block ``key``, or ``None`` when absent.
+
+        Raises
+        ------
+        StoreError
+            When the stored bytes do not hash back to ``key`` (truncation,
+            bit rot, or a tampered file).
+        """
+        data = self._read(key)
+        if data is None:
+            return None
+        if block_key(data) != key:
+            raise StoreError(
+                f"block {key[:12]}... failed checksum verification "
+                f"({len(data)} bytes stored)"
+            )
+        return data
+
+    def put_block(self, data: bytes) -> str:
+        """Store ``data`` under its content address and return the key.
+
+        Idempotent: storing the same bytes twice is a no-op returning the
+        same key, which is what makes concurrent writers safe.
+        """
+        key = block_key(data)
+        self._write(key, data)
+        return key
+
+    def has_block(self, key: str) -> bool:
+        """``True`` when a block with this key is present (content unverified)."""
+        return self._read(key) is not None
+
+    def delete_block(self, key: str) -> bool:
+        """Remove block ``key``; return whether it existed."""
+        return self._delete(key)
+
+    def iter_keys(self) -> Iterator[str]:
+        """Iterate over all stored block keys (order unspecified)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def total_bytes(self) -> int:
+        """Total payload bytes across all blocks."""
+        total = 0
+        for key in self.iter_keys():
+            data = self._read(key)
+            if data is not None:
+                total += len(data)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Refs (gc roots)
+    # ------------------------------------------------------------------ #
+    def set_ref(self, name: str, key: str) -> None:
+        """Point ref ``name`` at block ``key`` (creating or overwriting)."""
+        raise NotImplementedError
+
+    def get_ref(self, name: str) -> Optional[str]:
+        """Return the block key ref ``name`` points at, or ``None``."""
+        raise NotImplementedError
+
+    def delete_ref(self, name: str) -> bool:
+        """Remove ref ``name``; return whether it existed."""
+        raise NotImplementedError
+
+    def refs(self) -> dict[str, str]:
+        """Snapshot of the whole ref namespace (name → block key)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Raw primitives
+    # ------------------------------------------------------------------ #
+    def _read(self, key: str) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def _write(self, key: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _delete(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent; default no-op)."""
+
+    def __enter__(self) -> "BlockStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class MemoryBlockStore(BlockStore):
+    """In-memory block store: dicts behind a lock.
+
+    The unit-test substrate, and the canonical *upper* layer of an
+    :class:`OverlayBlockStore` (staged blocks live here until committed).
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, bytes] = {}
+        self._refs: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def _read(self, key: str) -> Optional[bytes]:
+        with self._lock:
+            return self._blocks.get(key)
+
+    def _write(self, key: str, data: bytes) -> None:
+        with self._lock:
+            self._blocks[key] = data
+
+    def _delete(self, key: str) -> bool:
+        with self._lock:
+            return self._blocks.pop(key, None) is not None
+
+    def iter_keys(self) -> Iterator[str]:
+        """Iterate over a snapshot of the stored block keys."""
+        with self._lock:
+            return iter(list(self._blocks))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+    def set_ref(self, name: str, key: str) -> None:
+        """Point ref ``name`` at ``key``."""
+        with self._lock:
+            self._refs[name] = key
+
+    def get_ref(self, name: str) -> Optional[str]:
+        """Return the target of ref ``name``, or ``None``."""
+        with self._lock:
+            return self._refs.get(name)
+
+    def delete_ref(self, name: str) -> bool:
+        """Remove ref ``name``; return whether it existed."""
+        with self._lock:
+            return self._refs.pop(name, None) is not None
+
+    def refs(self) -> dict[str, str]:
+        """Snapshot of the ref namespace."""
+        with self._lock:
+            return dict(self._refs)
+
+    def clear(self) -> None:
+        """Drop every block and ref (testing convenience)."""
+        with self._lock:
+            self._blocks.clear()
+            self._refs.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"MemoryBlockStore(blocks={len(self._blocks)}, refs={len(self._refs)})"
+
+
+class SqliteBlockStore(BlockStore):
+    """Block store persisted in one sqlite file.
+
+    Layout: ``blocks(key TEXT PRIMARY KEY, data BLOB)`` and
+    ``refs(name TEXT PRIMARY KEY, key TEXT)``.  WAL journaling plus a busy
+    timeout make concurrent writers from multiple connections safe; because
+    blocks are content-addressed, two writers racing on the same content
+    perform byte-identical idempotent inserts, so there is no lost-update
+    hazard to begin with.
+
+    Parameters
+    ----------
+    path:
+        Filesystem path of the sqlite database (created when missing).
+        ``":memory:"`` works for tests.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        try:
+            self._conn = sqlite3.connect(
+                self.path, check_same_thread=False, timeout=30.0
+            )
+            with self._lock:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS blocks ("
+                    "key TEXT PRIMARY KEY, data BLOB NOT NULL)"
+                )
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS refs ("
+                    "name TEXT PRIMARY KEY, key TEXT NOT NULL)"
+                )
+                self._conn.commit()
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot open sqlite block store at {self.path!r}: {error}")
+
+    def _read(self, key: str) -> Optional[bytes]:
+        try:
+            with self._lock:
+                row = self._conn.execute(
+                    "SELECT data FROM blocks WHERE key = ?", (key,)
+                ).fetchone()
+        except sqlite3.Error as error:
+            raise StoreError(f"sqlite read failed for block {key[:12]}...: {error}")
+        return bytes(row[0]) if row is not None else None
+
+    def _write(self, key: str, data: bytes) -> None:
+        try:
+            with self._lock:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO blocks (key, data) VALUES (?, ?)",
+                    (key, sqlite3.Binary(data)),
+                )
+                self._conn.commit()
+        except sqlite3.Error as error:
+            raise StoreError(f"sqlite write failed for block {key[:12]}...: {error}")
+
+    def _delete(self, key: str) -> bool:
+        try:
+            with self._lock:
+                cursor = self._conn.execute("DELETE FROM blocks WHERE key = ?", (key,))
+                self._conn.commit()
+        except sqlite3.Error as error:
+            raise StoreError(f"sqlite delete failed for block {key[:12]}...: {error}")
+        return cursor.rowcount > 0
+
+    def iter_keys(self) -> Iterator[str]:
+        """Iterate over a snapshot of all block keys in the database."""
+        try:
+            with self._lock:
+                rows = self._conn.execute("SELECT key FROM blocks").fetchall()
+        except sqlite3.Error as error:
+            raise StoreError(f"sqlite key scan failed: {error}")
+        return (row[0] for row in rows)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM blocks").fetchone()[0]
+
+    def total_bytes(self) -> int:
+        """Total payload bytes across all blocks (one SQL aggregate)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COALESCE(SUM(LENGTH(data)), 0) FROM blocks"
+            ).fetchone()
+        return int(row[0])
+
+    def set_ref(self, name: str, key: str) -> None:
+        """Point ref ``name`` at ``key`` (upsert)."""
+        try:
+            with self._lock:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO refs (name, key) VALUES (?, ?)", (name, key)
+                )
+                self._conn.commit()
+        except sqlite3.Error as error:
+            raise StoreError(f"sqlite ref write failed for {name!r}: {error}")
+
+    def get_ref(self, name: str) -> Optional[str]:
+        """Return the target of ref ``name``, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT key FROM refs WHERE name = ?", (name,)
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    def delete_ref(self, name: str) -> bool:
+        """Remove ref ``name``; return whether it existed."""
+        with self._lock:
+            cursor = self._conn.execute("DELETE FROM refs WHERE name = ?", (name,))
+            self._conn.commit()
+        return cursor.rowcount > 0
+
+    def refs(self) -> dict[str, str]:
+        """Snapshot of the ref namespace."""
+        with self._lock:
+            rows = self._conn.execute("SELECT name, key FROM refs").fetchall()
+        return {name: key for name, key in rows}
+
+    def close(self) -> None:
+        """Close the underlying sqlite connection (idempotent)."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __repr__(self) -> str:
+        return f"SqliteBlockStore(path={self.path!r})"
+
+
+class OverlayBlockStore(BlockStore):
+    """Two-layer store: reads fall through upper → lower, writes stay upper.
+
+    The overlay is how staged state is queried without committing: a session
+    attached to ``OverlayBlockStore(MemoryBlockStore(), base)`` persists its
+    artifacts into the *upper* layer, so the base store stays byte-identical
+    until :meth:`commit` flushes the staged blocks and refs down.  Because
+    blocks are content-addressed, committing staged state is equivalent to
+    having written it to the base directly — identical bytes produce
+    identical keys, so the post-commit base is indistinguishable from one
+    that never staged.
+
+    Parameters
+    ----------
+    upper:
+        The staging layer; receives every write.  Defaults to a fresh
+        :class:`MemoryBlockStore`.
+    lower:
+        The base store; never written (until :meth:`commit`).
+    """
+
+    def __init__(self, upper: Optional[BlockStore] = None, lower: Optional[BlockStore] = None) -> None:
+        if lower is None:
+            raise StoreError("an overlay needs a lower (base) store")
+        self.upper = upper if upper is not None else MemoryBlockStore()
+        self.lower = lower
+
+    def _read(self, key: str) -> Optional[bytes]:
+        data = self.upper._read(key)
+        if data is not None:
+            return data
+        return self.lower._read(key)
+
+    def _write(self, key: str, data: bytes) -> None:
+        self.upper._write(key, data)
+
+    def _delete(self, key: str) -> bool:
+        # Deletes affect the staging layer only; the base is immutable here.
+        return self.upper._delete(key)
+
+    def iter_keys(self) -> Iterator[str]:
+        """Iterate over the union of upper- and lower-layer keys."""
+        seen = set()
+        for key in self.upper.iter_keys():
+            seen.add(key)
+            yield key
+        for key in self.lower.iter_keys():
+            if key not in seen:
+                yield key
+
+    def set_ref(self, name: str, key: str) -> None:
+        """Stage ref ``name`` in the upper layer (the base is untouched)."""
+        self.upper.set_ref(name, key)
+
+    def get_ref(self, name: str) -> Optional[str]:
+        """Resolve ref ``name``: staged value first, then the base's."""
+        staged = self.upper.get_ref(name)
+        if staged is not None:
+            return staged
+        return self.lower.get_ref(name)
+
+    def delete_ref(self, name: str) -> bool:
+        """Remove a *staged* ref; base refs are untouched."""
+        return self.upper.delete_ref(name)
+
+    def refs(self) -> dict[str, str]:
+        """Merged ref namespace (staged entries shadow base entries)."""
+        merged = self.lower.refs()
+        merged.update(self.upper.refs())
+        return merged
+
+    def staged_blocks(self) -> int:
+        """Number of blocks currently staged in the upper layer."""
+        return len(self.upper)
+
+    def commit(self) -> int:
+        """Flush every staged block and ref into the base store.
+
+        Returns the number of blocks written down.  The upper layer is
+        cleared afterwards, so the overlay keeps working transparently on
+        the now-committed base state.
+        """
+        written = 0
+        for key in list(self.upper.iter_keys()):
+            data = self.upper.get_block(key)
+            if data is not None:
+                self.lower.put_block(data)
+                written += 1
+        for name, key in self.upper.refs().items():
+            self.lower.set_ref(name, key)
+        if isinstance(self.upper, MemoryBlockStore):
+            self.upper.clear()
+        else:  # pragma: no cover - non-memory upper layers are unusual
+            for key in list(self.upper.iter_keys()):
+                self.upper.delete_block(key)
+            for name in list(self.upper.refs()):
+                self.upper.delete_ref(name)
+        return written
+
+    def discard(self) -> int:
+        """Drop every staged block and ref without committing; return the count."""
+        staged = len(self.upper)
+        if isinstance(self.upper, MemoryBlockStore):
+            self.upper.clear()
+        else:  # pragma: no cover - non-memory upper layers are unusual
+            for key in list(self.upper.iter_keys()):
+                self.upper.delete_block(key)
+            for name in list(self.upper.refs()):
+                self.upper.delete_ref(name)
+        return staged
+
+    def close(self) -> None:
+        """Close both layers."""
+        self.upper.close()
+        self.lower.close()
+
+    def __repr__(self) -> str:
+        return f"OverlayBlockStore(upper={self.upper!r}, lower={self.lower!r})"

@@ -48,9 +48,15 @@ def open_dataspace(dataset_id: str, **kwargs):
     """Open an engine session (:class:`repro.engine.Dataspace`) on a dataset.
 
     Convenience wrapper around :meth:`repro.engine.Dataspace.from_dataset`;
-    keyword arguments (``h``, ``tau``, ``method``, ``seed``, ...) are passed
-    through.  Imported lazily because the engine sits above the workload
-    layer.
+    keyword arguments (``h``, ``tau``, ``method``, ``seed``, ``store``,
+    ``matching``, ...) are passed through.  Imported lazily because the
+    engine sits above the workload layer.
+
+    When pre-built artifacts are supplied the normalised workload caches are
+    *not* re-derived: passing ``matching=`` (or a ``store`` holding the
+    session) short-circuits the eager dataset load — and with it the matcher
+    run — entirely; the session only falls back to the workload caches for
+    artifacts it was given neither directly nor via the store.
     """
     from repro.engine import Dataspace
 
@@ -64,8 +70,10 @@ def open_corpus(dataset_ids, *, shards: int = 2, **kwargs):
     into ``shards`` shards (results byte-identical to the unsharded engine);
     a sequence of ids opens one session per dataset and gives each dataset
     ``shards`` subtree shards, with global top-k answered scatter-gather
-    across all of them.  Keyword arguments (``h``, ``seed``,
-    ``cache_size``, ``max_workers``) pass through.
+    across all of them.  Keyword arguments (``h``, ``seed``, ``cache_size``,
+    ``max_workers``, ``store``) pass through; a populated ``store`` reopens
+    every member session from persisted artifacts, including remembered
+    shard-partition layouts.
     """
     from repro.corpus import ShardedCorpus
 

@@ -304,3 +304,77 @@ class TestDeltaCommand:
         code, output = run_cli("delta", "D99", "//Name")
         assert code == 2
         assert "error:" in output
+
+
+class TestStoreCommand:
+    def test_persist_then_stats_verify_gc(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        code, output = run_cli(
+            "store", "persist", "--path", path, "--dataset", "D1",
+            "--num-mappings", "4", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["ref"].startswith("dataspace/D1")
+        assert payload["artifacts"] >= 5
+        assert payload["provenance"]["matching"]["source"] == "built"
+
+        code, output = run_cli("store", "stats", "--path", path, "--json")
+        assert code == 0
+        stats = json.loads(output)
+        assert stats["blocks"] >= 5
+        assert stats["refs"] == 1
+
+        code, output = run_cli("store", "verify", "--path", path)
+        assert code == 0
+        assert "0 errors" in output
+
+        code, output = run_cli("store", "gc", "--path", path)
+        assert code == 0
+        assert "removed 0 unreachable blocks" in output
+
+    def test_second_persist_reopens_from_store(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        code, _ = run_cli(
+            "store", "persist", "--path", path, "--dataset", "D1",
+            "--num-mappings", "4", "--json",
+        )
+        assert code == 0
+        code, output = run_cli(
+            "store", "persist", "--path", path, "--dataset", "D1",
+            "--num-mappings", "4", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["provenance"]["matching"]["source"] == "loaded"
+
+    def test_gc_sweeps_unreferenced_blocks(self, tmp_path):
+        from repro.store import SqliteBlockStore
+
+        path = str(tmp_path / "store.db")
+        code, _ = run_cli(
+            "store", "persist", "--path", path, "--dataset", "D1",
+            "--num-mappings", "4",
+        )
+        assert code == 0
+        with SqliteBlockStore(path) as blocks:
+            blocks.put_block(b"orphaned scratch block")
+        code, output = run_cli("store", "gc", "--path", path, "--json")
+        assert code == 0
+        assert json.loads(output)["removed"] == 1
+
+    def test_verify_flags_corruption(self, tmp_path):
+        from repro.store import SqliteBlockStore
+
+        path = str(tmp_path / "store.db")
+        code, _ = run_cli(
+            "store", "persist", "--path", path, "--dataset", "D1",
+            "--num-mappings", "4",
+        )
+        assert code == 0
+        with SqliteBlockStore(path) as blocks:
+            victim = next(iter(blocks.iter_keys()))
+            blocks._write(victim, b"rot")
+        code, output = run_cli("store", "verify", "--path", path)
+        assert code == 2
+        assert "error" in output
