@@ -1,0 +1,132 @@
+"""Kernel-backend speedup gate: numpy vs pure-Python kernels on D9/D10.
+
+ISSUE 7 moved the compiled core's hot loops behind the :class:`Kernels`
+interface and added a numpy backend (``uint64`` word matrices, contiguous
+``float64`` probability column).  This gate times the *kernel-dominated
+columnar sweep* — rewrite-group refinement with per-group probability mass,
+probability gather/accumulation over every target's coverage mask, and the
+batched popcount statistics — on the two largest golden datasets (D9/D10,
+``|M| = 619``, ten ``uint64`` words per mask), once per backend, and
+requires the numpy backend to be at least ``MIN_SPEEDUP`` (5x) faster.
+
+Design notes for CI (this file runs in the workflow's benchmark job, which
+installs numpy; on a numpy-less interpreter the module skips):
+
+* **ratio-only assertion** — both backends run the identical sweep in the
+  same process on the same compiled artifact (the neutral columns are
+  shared by construction), so machine speed cancels out and the gate is
+  stable across hosts;
+* **byte-identity first** — before anything is timed, the sweep's full
+  result (group masks, ``float.hex()`` probability masses, gathered
+  probability lists, popcounts) is asserted equal across backends, so the
+  gate can never pass on a backend that is fast but wrong;
+* **warm measurements** — mapping-set generation, compilation and each
+  backend's column binding happen before the timed windows, so neither side
+  pays one-time construction;
+* **best-of timing** — each backend's sweep is timed a few times and the
+  best run kept, suppressing scheduler noise without long benchmark loops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.kernels import available_backends
+from repro.workloads.datasets import build_mapping_set
+
+from _workloads import best_of
+
+pytestmark = pytest.mark.skipif(
+    "numpy" not in available_backends(), reason="numpy not importable"
+)
+
+#: Required speedup of the numpy kernels over the pure-Python kernels.
+MIN_SPEEDUP = 5.0
+#: The two largest golden datasets (Table II): 619 mappings → 10 words.
+DATASET_IDS = ("D9", "D10")
+NUM_MAPPINGS = 619
+#: Timed rounds per backend (best-of).
+ROUNDS = 3
+#: Rewrite-group refinements per sweep (consecutive target triples).
+NUM_REFINEMENTS = 10
+
+
+def kernel_sweep(compiled, targets, required_lists):
+    """One pass over the backend-differentiated kernel operations.
+
+    Returns a canonical result list (masks as ints, floats via ``hex()``)
+    so the identical sweep on another backend must produce an equal value —
+    the byte-identity contract the differential suite pins, asserted here
+    again right next to the timing.
+    """
+    result = []
+    for required in required_lists:
+        groups = compiled.rewrite_groups(required)
+        result.append(
+            tuple(
+                (group_mask, compiled.probability_of_mask(group_mask).hex())
+                for group_mask, _ in groups
+            )
+        )
+    for target_id in targets:
+        mask = compiled.covered_mask(target_id)
+        result.append(compiled.probability_of_mask(mask).hex())
+        result.append(compiled.probability_of_mask(mask & (mask >> 1)).hex())
+        result.append(tuple(compiled.probabilities_of(mask)))
+    result.append(tuple(compiled.kernels.popcounts(compiled._pair_masks.values())))
+    result.append(compiled.max_probability().hex())
+    return result
+
+
+@pytest.mark.parametrize("dataset_id", DATASET_IDS)
+def test_numpy_kernel_speedup(dataset_id, benchmark, experiment_report):
+    mapping_set = build_mapping_set(dataset_id, num_mappings=NUM_MAPPINGS)
+    python = mapping_set.compile("python")
+    numpy = mapping_set.compile("numpy")
+    assert python._pair_masks is numpy._pair_masks, "variants must share columns"
+
+    targets = sorted(python._covered_masks)
+    required_lists = [
+        targets[i : i + 3] for i in range(0, 3 * NUM_REFINEMENTS, 3)
+    ]
+
+    # Warm both backends outside the timed windows (binds the columnar
+    # state) and pin byte-identity before any timing happens.
+    python_result = kernel_sweep(python, targets, required_lists)
+    numpy_result = kernel_sweep(numpy, targets, required_lists)
+    assert numpy_result == python_result, (
+        f"{dataset_id}: kernel sweep diverges across backends — the gate "
+        "refuses to time a backend that is fast but wrong"
+    )
+
+    def run_python():
+        return kernel_sweep(python, targets, required_lists)
+
+    def run_numpy():
+        return kernel_sweep(numpy, targets, required_lists)
+
+    python_time, _ = best_of(ROUNDS, run_python)
+    numpy_time, _ = best_of(ROUNDS, run_numpy)
+    speedup = python_time / numpy_time if numpy_time > 0 else float("inf")
+    # Record the numpy sweep in the pytest-benchmark JSON so the CI
+    # perf-trajectory artifact carries an absolute series for this gate too.
+    benchmark.pedantic(run_numpy, rounds=ROUNDS, iterations=1)
+
+    report = experiment_report(
+        "kernel_backends",
+        f"numpy vs pure-Python kernels (D9/D10, |M|={NUM_MAPPINGS}, 10 words)",
+    )
+    report.add_row(
+        f"{dataset_id} python", f"{python_time * 1000:8.1f} ms per kernel sweep"
+    )
+    report.add_row(
+        f"{dataset_id} numpy", f"{numpy_time * 1000:8.1f} ms per kernel sweep"
+    )
+    report.add_row(
+        f"{dataset_id} speedup", f"{speedup:.1f}x (required >= {MIN_SPEEDUP:.0f}x)"
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"{dataset_id}: numpy kernels are only {speedup:.2f}x the pure-Python "
+        f"kernels ({numpy_time * 1000:.1f} ms vs {python_time * 1000:.1f} ms)"
+    )

@@ -135,9 +135,7 @@ class _SessionState:
         # rewrite plan, the spine pass and every shard of this session.
         self.compiled = compiled
         #: Static probability upper bound for bound-based shard skipping.
-        self.max_probability = max(
-            mapping.probability for mapping in snapshot.mapping_set
-        )
+        self.max_probability = compiled.max_probability()
 
 
 class _Rewrite:
@@ -662,7 +660,7 @@ class ShardedCorpus:
         if partition is None:
             partition = partition_document(snapshot.document, self._shards_per_session)
             session.remember_partition(partition)
-        compiled = snapshot.mapping_set.compile()
+        compiled = snapshot.mapping_set.compile(session.kernels)
         base = index * self._shards_per_session
         shards = tuple(
             CorpusShard(base + local_id, session.name, shard_document, compiled)

@@ -64,6 +64,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import warnings
 import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Tuple, Union
@@ -73,6 +74,7 @@ from repro.document.document import XMLDocument
 from repro.document.generator import generate_document
 from repro.engine.cache import CacheKey, ResultCache
 from repro.engine.delta import DeltaReport, MappingDelta, apply_mapping_delta
+from repro.engine.kernels import Kernels, resolve_kernels
 from repro.engine.locking import ReadWriteLock
 from repro.engine.plans import QueryPlan, plan_for
 from repro.engine.prepared import PlanSpec, PreparedQuery, QueryBuilder
@@ -162,6 +164,13 @@ class Dataspace:
         Session name; defaults to ``"<source>-><target>"``.
     cache_size:
         Capacity of the session's result cache (``0`` disables caching).
+    kernels:
+        Kernel backend the compiled bitset core runs on: a
+        :class:`~repro.engine.kernels.Kernels` instance, a backend name
+        (``"python"`` / ``"numpy"``), or ``None`` for the process default
+        (the ``REPRO_KERNELS`` environment variable, else ``numpy`` when
+        importable, else ``python``).  The backend never changes answers —
+        only how the hot loops execute.
     """
 
     def __init__(
@@ -180,6 +189,7 @@ class Dataspace:
         seed: Optional[int] = None,
         name: Optional[str] = None,
         cache_size: int = 128,
+        kernels: Union[str, Kernels, None] = None,
     ) -> None:
         if h < 1:
             raise DataspaceError(f"h must be at least 1, got {h}")
@@ -195,6 +205,7 @@ class Dataspace:
         self._max_blocks = max_blocks
         self._max_failures = max_failures
         self._seed = seed
+        self._kernels = resolve_kernels(kernels)
         self._dataset_id: Optional[str] = None
         if document is not None:
             self._check_document(document)
@@ -233,6 +244,10 @@ class Dataspace:
         self._provenance: dict[str, dict] = {}
         self._layout_lock = threading.Lock()
         self._partition_layouts: dict[int, tuple[int, dict]] = {}
+        # Delta write-through failures (see apply_delta): persistence stays
+        # best-effort, but every failure is counted and the first one warns.
+        self._persist_failures = 0
+        self._persist_failure_warned = False
 
     # ------------------------------------------------------------------ #
     # Alternative constructors
@@ -252,6 +267,7 @@ class Dataspace:
         cache_size: int = 128,
         store=None,
         matching: Optional[SchemaMatching] = None,
+        kernels: Union[str, Kernels, None] = None,
     ) -> "Dataspace":
         """Open a session on one of the paper's Table II datasets (``"D1"``…``"D10"``).
 
@@ -284,6 +300,7 @@ class Dataspace:
                 max_failures=max_failures,
                 seed=seed,
                 cache_size=cache_size,
+                kernels=kernels,
             )
             if session is not None:
                 return session
@@ -300,6 +317,7 @@ class Dataspace:
                 seed=seed,
                 name=key,
                 cache_size=cache_size,
+                kernels=kernels,
             )
             session._dataset_id = key
             session._matching = matching
@@ -319,6 +337,7 @@ class Dataspace:
                 seed=seed,
                 name=dataset.dataset_id,
                 cache_size=cache_size,
+                kernels=kernels,
             )
             session._dataset_id = dataset.dataset_id
             session._matching = dataset.matching
@@ -349,14 +368,18 @@ class Dataspace:
         max_failures: int,
         seed: Optional[int],
         cache_size: int,
+        kernels: Union[str, Kernels, None] = None,
     ) -> Optional["Dataspace"]:
-        """Try reopening a dataset session from ``store``; ``None`` on any miss.
+        """Try reopening a dataset session from ``store``; ``None`` on a miss.
 
-        Every failure mode — absent ref, configuration mismatch (stale
-        signature), checksum failure, truncated or malformed payload — is
-        absorbed here and counted as a store miss, so the caller falls back
-        to the cold build and no store problem ever escapes to the query
-        path.
+        An absent ref or a configuration mismatch (stale signature) is a
+        silent miss — that is the normal cold-start path.  A *corrupted*
+        store — checksum failure, truncated or malformed payload, i.e. any
+        :class:`StoreError` raised mid-load — also degrades to the cold
+        build, but emits a :class:`RuntimeWarning` naming the ref and the
+        failure so operators can see their persisted artifacts are being
+        ignored rather than served.  Any other exception type is a bug, not
+        a store miss, and propagates.
         """
         ref = cls._dataset_ref(dataset_id, h=h, method=method, seed=seed)
         try:
@@ -370,7 +393,13 @@ class Dataspace:
                     "seed": seed,
                 },
             )
-        except Exception:
+        except StoreError as exc:
+            warnings.warn(
+                f"artifact store failed loading session {ref!r} "
+                f"({exc}); falling back to a cold build",
+                RuntimeWarning,
+                stacklevel=3,
+            )
             return None
         if bundle is None:
             return None
@@ -386,20 +415,26 @@ class Dataspace:
             seed=seed,
             name=dataset_id,
             cache_size=cache_size,
+            kernels=kernels,
         )
         session._dataset_id = dataset_id
         session._adopt_bundle(artifact_store, bundle)
         return session
 
     @classmethod
-    def from_store(cls, store, ref: str) -> "Dataspace":
+    def from_store(
+        cls, store, ref: str, *, kernels: Union[str, Kernels, None] = None
+    ) -> "Dataspace":
         """Reopen a session persisted under ``ref`` — whatever its pedigree.
 
         Unlike the ``store=`` fast path of :meth:`from_dataset` (which falls
         back to a cold build), this constructor has nothing to fall back to,
         so a missing ref or corrupt artifact raises :class:`StoreError`.
         The persisted configuration (``h``, ``method``, ``tau``, block-tree
-        budgets, pinned-artifact flags) is restored verbatim.
+        budgets, pinned-artifact flags) is restored verbatim.  ``kernels``
+        selects the reopened session's kernel backend; stored columns are
+        backend-neutral, so a session persisted under one backend reopens
+        under any other with byte-identical answers.
         """
         artifact_store = ArtifactStore.wrap(store)
         bundle = artifact_store.load_session(ref)
@@ -418,6 +453,7 @@ class Dataspace:
             seed=config.get("seed"),
             name=config.get("name"),
             cache_size=int(config.get("cache_size", 128)),
+            kernels=kernels,
         )
         session._dataset_id = config.get("dataset_id")
         session._pinned_matching = bool(config.get("pinned_matching"))
@@ -491,6 +527,7 @@ class Dataspace:
         seed: Optional[int] = None,
         name: Optional[str] = None,
         cache_size: int = 128,
+        kernels: Union[str, Kernels, None] = None,
     ) -> "Dataspace":
         """Open a session over a pre-computed schema matching.
 
@@ -511,6 +548,7 @@ class Dataspace:
             seed=seed,
             name=name or matching.name,
             cache_size=cache_size,
+            kernels=kernels,
         )
         session._matching = matching
         session._pinned_matching = True
@@ -528,6 +566,7 @@ class Dataspace:
         document_nodes: Optional[int] = None,
         name: Optional[str] = None,
         cache_size: int = 128,
+        kernels: Union[str, Kernels, None] = None,
     ) -> "Dataspace":
         """Open a session over a pre-computed mapping set.
 
@@ -544,6 +583,7 @@ class Dataspace:
             document_nodes=document_nodes,
             name=name,
             cache_size=cache_size,
+            kernels=kernels,
         )
         session._mapping_set = mapping_set
         session._pinned_mapping_set = True
@@ -571,6 +611,16 @@ class Dataspace:
     def matcher_config(self) -> Optional[MatcherConfig]:
         """Matcher override, or ``None`` for the session default."""
         return self._matcher_config
+
+    @property
+    def kernels(self) -> Kernels:
+        """The kernel backend the session's compiled core runs on.
+
+        Fixed at construction (``Dataspace(kernels=...)``); the default is
+        resolved once per process from ``REPRO_KERNELS`` / numpy
+        availability — see :func:`repro.engine.kernels.resolve_kernels`.
+        """
+        return self._kernels
 
     @property
     def dataset_id(self) -> Optional[str]:
@@ -744,14 +794,29 @@ class Dataspace:
             self._result_cache.record_delta(
                 epoch, effect.probability_mask, effect.dirty_target_mask
             )
+        persist_failed = False
+        persist_error: Optional[str] = None
         if self._store is not None and self._document is not None:
             # Write the patched artifacts through to the attached store so a
-            # restart reopens at this exact epoch.  Best effort by design: a
-            # store failure must never fail the delta itself.
+            # restart reopens at this exact epoch.  Best effort by design —
+            # a store failure must never fail the delta itself — but never
+            # silent: the failure is recorded on the report, counted in the
+            # session's stats, and the first occurrence warns.
             try:
                 self.persist()
-            except Exception:
-                pass
+            except Exception as exc:
+                persist_failed = True
+                persist_error = f"{type(exc).__name__}: {exc}"
+                self._persist_failures += 1
+                if not self._persist_failure_warned:
+                    self._persist_failure_warned = True
+                    warnings.warn(
+                        f"delta write-through to store ref {self._store_ref!r} "
+                        f"failed ({persist_error}); the in-memory session is "
+                        "current but the store is stale",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
         return DeltaReport(
             delta_epoch=epoch,
             generation=generation,
@@ -765,6 +830,8 @@ class Dataspace:
             posting_lists_total=effect.posting_lists_total,
             compiled_incrementally=effect.compiled_incrementally,
             elapsed_ms=(time.perf_counter() - started) * 1000.0,
+            persist_failed=persist_failed,
+            persist_error=persist_error,
         )
 
     def _check_document(self, document: XMLDocument) -> None:
@@ -898,10 +965,10 @@ class Dataspace:
         mapping_set = self.mapping_set
         if not mapping_set.is_compiled:
             started = time.perf_counter()
-            compiled = mapping_set.compile()
+            compiled = mapping_set.compile(self._kernels)
             self._record_built("compiled", started)
             return compiled
-        return mapping_set.compile()
+        return mapping_set.compile(self._kernels)
 
     # ------------------------------------------------------------------ #
     # Snapshots and shared caches
@@ -954,16 +1021,20 @@ class Dataspace:
         """Hit/miss statistics of the result and filter caches.
 
         When a persistent artifact store is attached, its counters (hits,
-        misses, writes, block occupancy) appear under ``"store"``; the key
-        is absent on store-less sessions, so existing consumers see exactly
-        the shape they always did.
+        misses, writes, block occupancy) appear under ``"store"``, together
+        with ``persist_failures`` — the number of :meth:`apply_delta`
+        write-throughs that failed; the key is absent on store-less
+        sessions, so existing consumers see exactly the shape they always
+        did.
         """
         stats = {
             "result_cache": self._result_cache.stats().to_dict(),
             "filter_cache": self._filter_cache.stats().to_dict(),
         }
         if self._store is not None:
-            stats["store"] = self._store.stats()
+            store_stats = dict(self._store.stats())
+            store_stats["persist_failures"] = self._persist_failures
+            stats["store"] = store_stats
         return stats
 
     def artifact_provenance(self) -> dict:
@@ -1076,7 +1147,7 @@ class Dataspace:
                 "session with store=..."
             )
         snap = self.snapshot(need_tree=False)
-        compiled = snap.mapping_set.compile()
+        compiled = snap.mapping_set.compile(self._kernels)
         with self._layout_lock:
             partitions = {
                 num_shards: layout

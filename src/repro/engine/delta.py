@@ -270,6 +270,11 @@ class DeltaReport:
 
     Carries the new ``delta_epoch``, the touched/reused column counts of the
     incremental recompilation, and the wall-clock cost of the whole apply.
+    When the session has an attached store, ``persist_failed`` /
+    ``persist_error`` report whether the best-effort write-through of the
+    patched artifacts succeeded — the delta itself is applied either way,
+    but a failed write-through means a restart would reopen at the previous
+    epoch.
 
     >>> # report = ds.apply_delta(delta); report.delta_epoch, report.touched_mappings
     """
@@ -286,6 +291,8 @@ class DeltaReport:
     posting_lists_total: int
     compiled_incrementally: bool
     elapsed_ms: float
+    persist_failed: bool = False
+    persist_error: Optional[str] = None
 
     @property
     def posting_lists_reused(self) -> int:
@@ -308,6 +315,8 @@ class DeltaReport:
             "posting_lists_reused": self.posting_lists_reused,
             "compiled_incrementally": self.compiled_incrementally,
             "elapsed_ms": round(self.elapsed_ms, 3),
+            "persist_failed": self.persist_failed,
+            "persist_error": self.persist_error,
         }
 
     def format(self) -> str:
@@ -326,6 +335,11 @@ class DeltaReport:
                 f"{self.touched_targets} target columns rebuilt",
                 f"elapsed:    {self.elapsed_ms:.2f} ms",
             ]
+            + (
+                [f"persist:    FAILED ({self.persist_error})"]
+                if self.persist_failed
+                else []
+            )
         )
 
 

@@ -1,0 +1,107 @@
+"""Kernel backends for the compiled core (see :mod:`repro.engine.kernels.base`).
+
+Two implementations ship:
+
+* :class:`PythonKernels` — arbitrary-width Python-int bitmask loops; always
+  available and byte-identical to the engine's original evaluation code;
+* :class:`NumpyKernels` — ``uint64`` word matrices with vectorised popcount
+  and contiguous ``float64`` probability columns; requires numpy.
+
+Selection (:func:`resolve_kernels`) is automatic-with-overrides:
+
+1. an explicit :class:`~repro.engine.kernels.base.Kernels` instance or name
+   (``Dataspace(kernels=...)``, ``MappingSet.compile(kernels=...)``) wins;
+2. else the ``REPRO_KERNELS`` environment variable (``"python"``,
+   ``"numpy"`` or ``"auto"``) decides;
+3. else ``"auto"``: numpy when importable, the Python backend otherwise.
+
+Asking for ``"numpy"`` explicitly when numpy is not importable raises
+:class:`~repro.exceptions.KernelError` — a forced backend must never
+silently degrade; ``"auto"`` is the spelling that may.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.engine.kernels.base import Kernels
+from repro.engine.kernels.python_backend import PythonKernels
+from repro.exceptions import KernelError
+
+__all__ = [
+    "Kernels",
+    "PythonKernels",
+    "resolve_kernels",
+    "available_backends",
+    "default_backend_name",
+]
+
+#: Environment variable consulted when no explicit backend is passed.
+KERNELS_ENV_VAR = "REPRO_KERNELS"
+
+_PYTHON = PythonKernels()
+#: Lazily constructed NumpyKernels singleton; ``False`` = probed and absent.
+_numpy_backend: Union[Kernels, None, bool] = None
+
+
+def _load_numpy_backend() -> Optional[Kernels]:
+    """Build (once) the numpy backend, or ``None`` when numpy is missing."""
+    global _numpy_backend
+    if _numpy_backend is None:
+        try:
+            from repro.engine.kernels.numpy_backend import NumpyKernels
+        except ImportError:
+            _numpy_backend = False
+        else:
+            _numpy_backend = NumpyKernels()
+    return _numpy_backend if isinstance(_numpy_backend, Kernels) else None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the kernel backends importable in this process."""
+    names = [_PYTHON.name]
+    if _load_numpy_backend() is not None:
+        names.append("numpy")
+    return tuple(names)
+
+
+def default_backend_name() -> str:
+    """The backend ``resolve_kernels(None)`` would pick right now."""
+    return resolve_kernels(None).name
+
+
+def resolve_kernels(spec: Union[Kernels, str, None] = None) -> Kernels:
+    """Resolve a backend spec into a :class:`Kernels` singleton.
+
+    ``spec`` may be a backend instance (returned as-is), a name
+    (``"python"`` / ``"numpy"`` / ``"auto"``, case-insensitive) or ``None``
+    (consult ``REPRO_KERNELS``, default ``"auto"``).
+
+    Raises
+    ------
+    KernelError
+        On an unknown backend name, or when ``"numpy"`` is requested
+        explicitly (argument or environment) but numpy is not importable.
+    """
+    if isinstance(spec, Kernels):
+        return spec
+    if spec is None:
+        spec = os.environ.get(KERNELS_ENV_VAR, "").strip() or "auto"
+    name = str(spec).strip().lower()
+    if name == "auto":
+        return _load_numpy_backend() or _PYTHON
+    if name == _PYTHON.name:
+        return _PYTHON
+    if name == "numpy":
+        backend = _load_numpy_backend()
+        if backend is None:
+            raise KernelError(
+                "the numpy kernel backend was requested explicitly "
+                f"(kernels={name!r} or {KERNELS_ENV_VAR}={name!r}) but numpy is "
+                "not importable; install numpy or select 'python'/'auto'"
+            )
+        return backend
+    raise KernelError(
+        f"unknown kernel backend {spec!r}; known backends: python, numpy, auto"
+    )

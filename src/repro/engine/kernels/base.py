@@ -1,0 +1,141 @@
+"""The :class:`Kernels` protocol: the compiled core's numeric substrate.
+
+:class:`~repro.engine.compiled.CompiledMappingSet` keeps its columns —
+posting lists, coverage masks, source partitions, the probability column —
+in a *backend-neutral* form (Python-int bitmasks and float tuples): that is
+what the delta patcher edits and what the persistent store serialises, so a
+session persisted under one backend always reopens under the other.  What a
+backend owns is the *hot loops over* those columns: coverage-mask
+intersection, the union-of-coverage filter step, partition refinement by
+rewrite vector, and probability accumulation over the float column.
+
+A :class:`Kernels` implementation therefore has two halves:
+
+* :meth:`Kernels.bind` lowers a compiled artifact into whatever columnar
+  state the backend evaluates on (the pure-Python backend binds the artifact
+  itself; the numpy backend packs the masks into ``uint64`` word matrices
+  and the probabilities into one contiguous ``float64`` array);
+* the operation methods take that bound state plus Python-int masks at the
+  boundary and return Python ints / floats — every caller above the kernel
+  (block tree, corpus scatter-gather, cache retention) keeps consuming
+  plain ints, and results are byte-identical across backends by contract
+  (pinned by the differential suite and the golden snapshots).
+
+Scalar single-mask algebra (AND/OR/popcount of one Python int) is
+intentionally *not* overridden per backend: for the mask widths the engine
+sees, CPython's big-int ops beat a per-call array conversion, so both
+backends share the int implementations and vectorisation is reserved for
+the batched operations where it actually pays.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.compiled import CompiledMappingSet, RewriteGroup
+
+__all__ = ["Kernels"]
+
+
+class Kernels(ABC):
+    """One backend for the compiled core's bitset / probability hot loops.
+
+    Implementations are stateless singletons (see
+    :func:`repro.engine.kernels.resolve_kernels`); all per-artifact state
+    lives in the object returned by :meth:`bind`, which the compiled
+    artifact caches and passes back into every operation.
+    """
+
+    #: Registry name of the backend (``"python"`` / ``"numpy"``).
+    name: str = "abstract"
+    #: Whether the backend's batched loops run outside the GIL (vectorised
+    #: C kernels); surfaced by ``explain()`` and the service stats.
+    releases_gil: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Column binding
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def bind(self, compiled: "CompiledMappingSet") -> Any:
+        """Lower ``compiled``'s neutral columns into backend evaluation state."""
+
+    # ------------------------------------------------------------------ #
+    # Scalar mask algebra (shared: Python ints are the boundary currency)
+    # ------------------------------------------------------------------ #
+    def mask_and(self, a: int, b: int) -> int:
+        """Intersection of two mapping-id bitmasks."""
+        return a & b
+
+    def mask_or(self, a: int, b: int) -> int:
+        """Union of two mapping-id bitmasks."""
+        return a | b
+
+    def popcount(self, mask: int) -> int:
+        """Number of mappings encoded in ``mask``."""
+        return mask.bit_count()
+
+    def popcounts(self, masks: Iterable[int]) -> list[int]:
+        """Popcount of every mask (statistics paths)."""
+        return [mask.bit_count() for mask in masks]
+
+    def intersect_masks(self, masks: Iterable[int], identity: int) -> int:
+        """AND-fold a sequence of posting-list / coverage masks.
+
+        ``identity`` is the starting mask (usually ``all_mask``); the fold
+        short-circuits at zero.
+        """
+        result = identity
+        for mask in masks:
+            result &= mask
+            if not result:
+                break
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Batched columnar operations (the backend-differentiated hot loops)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def coverage_mask(self, state: Any, target_ids: Sequence[int]) -> int:
+        """Mappings covering *every* given target element (AND of coverage rows)."""
+
+    @abstractmethod
+    def union_coverage(self, state: Any, target_sets: Sequence[Sequence[int]]) -> int:
+        """Union over ``target_sets`` of their coverage intersections.
+
+        This is the ``filter_mappings`` step over pre-resolved embeddings:
+        one coverage AND per target set, OR-ed across sets.
+        """
+
+    @abstractmethod
+    def refine_groups(
+        self, state: Any, required: Sequence[int], candidates: int
+    ) -> list["RewriteGroup"]:
+        """Partition ``candidates`` by rewrite of the ``required`` targets.
+
+        ``required`` must be sorted ascending; groups are emitted in the
+        deterministic order the pure-Python refinement produces (groups in
+        discovery order, sources ascending within each refinement step), so
+        both backends return identical lists.
+        """
+
+    @abstractmethod
+    def gather_probabilities(self, state: Any, mask: int) -> list[float]:
+        """Probability-column entries of ``mask``'s members, ascending id."""
+
+    @abstractmethod
+    def probability_mass(self, state: Any, mask: int) -> float:
+        """Sum of the probability column over ``mask``'s members.
+
+        Both backends accumulate in ascending mapping-id order with plain
+        sequential IEEE-754 addition, so the float result is bit-identical
+        across backends.
+        """
+
+    @abstractmethod
+    def max_probability(self, state: Any) -> float:
+        """Largest entry of the probability column (top-k session bounds)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

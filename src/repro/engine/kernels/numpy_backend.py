@@ -1,0 +1,236 @@
+"""The numpy kernel backend: ``uint64`` word matrices, vectorised hot loops.
+
+Importing this module requires numpy; :func:`repro.engine.kernels.resolve_kernels`
+guards the import and falls back to the pure-Python backend when numpy is
+absent, so the engine never hard-depends on it.
+
+:meth:`NumpyKernels.bind` packs the compiled artifact's neutral columns into
+columnar arrays once per artifact:
+
+* every coverage mask becomes a row of a ``(targets, words)`` ``uint64``
+  matrix (``words = ceil(num_mappings / 64)``, little-endian word order, so
+  a row and the Python int it came from describe the same bit string);
+* every target element's source partition becomes a ``(sources, words)``
+  matrix with the sources in ascending order — the same order the Python
+  refinement walks;
+* the probability column becomes one contiguous ``float64`` array.
+
+The batched loops then run as whole-matrix ufunc calls — coverage tests are
+``bitwise_and.reduce`` over rows, partition refinement intersects *all
+groups against all sources of a target in one broadcast AND*, and
+probability accumulation gathers from the float column and accumulates with
+``cumsum`` — C loops that release the GIL while they run.  Popcounts use
+``np.bitwise_count`` where the installed numpy has it (>= 2.0) and an 8-bit
+lookup table built with ``np.unpackbits`` otherwise.
+
+Byte-identity with the Python backend is by construction, not luck: masks
+convert to and from word rows losslessly, refinement emits groups in the
+identical deterministic order, and ``cumsum`` accumulates float64 values
+sequentially left-to-right — the same IEEE-754 addition chain as the Python
+``for`` loop — so even the float results match bit for bit (the
+differential suite asserts exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.engine.kernels.base import Kernels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.compiled import CompiledMappingSet, RewriteGroup
+
+__all__ = ["NumpyKernels"]
+
+#: ``uint64`` in explicit little-endian word order: word ``w`` of a row holds
+#: bits ``64*w .. 64*w+63`` of the mask, matching ``int.to_bytes(..., "little")``.
+_WORD = np.dtype("<u8")
+
+#: Popcount of every byte value — the classic 8-bit LUT, built with
+#: ``unpackbits`` so the fallback needs nothing beyond numpy itself.
+_POPCOUNT8 = np.unpackbits(
+    np.arange(256, dtype=np.uint8).reshape(256, 1), axis=1
+).sum(axis=1, dtype=np.int64)
+
+#: ``np.bitwise_count`` arrived in numpy 2.0; older installs use the LUT.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+class _NumpyState:
+    """Columnar evaluation state bound to one compiled artifact."""
+
+    __slots__ = (
+        "num_mappings",
+        "words",
+        "nbytes",
+        "all_words",
+        "covered_index",
+        "covered_rows",
+        "partitions",
+        "probabilities",
+    )
+
+    def __init__(self, compiled: "CompiledMappingSet") -> None:
+        n = compiled.num_mappings
+        self.num_mappings = n
+        self.words = max(1, (n + 63) // 64)
+        self.nbytes = self.words * 8
+        self.all_words = self._to_words(compiled.all_mask)
+        covered = compiled._covered_masks
+        self.covered_index = {
+            target_id: row for row, target_id in enumerate(covered)
+        }
+        if covered:
+            self.covered_rows = np.frombuffer(
+                b"".join(mask.to_bytes(self.nbytes, "little") for mask in covered.values()),
+                dtype=_WORD,
+            ).reshape(len(covered), self.words)
+        else:
+            self.covered_rows = np.zeros((0, self.words), dtype=_WORD)
+        # Partition rows keep the neutral column's ascending-source order, so
+        # refinement emits sub-groups in exactly the Python backend's order.
+        self.partitions: dict[int, tuple[tuple[int, ...], np.ndarray]] = {}
+        for target_id, pairs in compiled._target_sources.items():
+            sources = tuple(source_id for source_id, _ in pairs)
+            rows = np.frombuffer(
+                b"".join(mask.to_bytes(self.nbytes, "little") for _, mask in pairs),
+                dtype=_WORD,
+            ).reshape(len(pairs), self.words)
+            self.partitions[target_id] = (sources, rows)
+        self.probabilities = np.asarray(compiled.probabilities, dtype=np.float64)
+
+    def _to_words(self, mask: int) -> np.ndarray:
+        """Lower a Python-int mask into one little-endian ``uint64`` row."""
+        return np.frombuffer(mask.to_bytes(self.nbytes, "little"), dtype=_WORD)
+
+    def _to_mask(self, row: np.ndarray) -> int:
+        """Lift a word row back into the boundary's Python-int form."""
+        return int.from_bytes(np.ascontiguousarray(row, dtype=_WORD).tobytes(), "little")
+
+    def _member_indices(self, mask: int) -> np.ndarray:
+        """Ascending mapping ids of ``mask``'s set bits, as an index array."""
+        bits = np.unpackbits(
+            np.frombuffer(mask.to_bytes(self.nbytes, "little"), dtype=np.uint8),
+            bitorder="little",
+        )
+        return np.flatnonzero(bits[: self.num_mappings])
+
+
+class NumpyKernels(Kernels):
+    """Vectorised ``uint64``/``float64`` kernels (see module docstring)."""
+
+    name = "numpy"
+    releases_gil = True
+
+    def bind(self, compiled: "CompiledMappingSet") -> _NumpyState:
+        """Pack the artifact's neutral columns into columnar arrays."""
+        return _NumpyState(compiled)
+
+    def popcounts(self, masks) -> list[int]:
+        """Vectorised popcount of many masks at once (statistics paths)."""
+        masks = list(masks)
+        if not masks:
+            return []
+        nbytes = max(1, (max(mask.bit_length() for mask in masks) + 7) // 8)
+        table = np.frombuffer(
+            b"".join(mask.to_bytes(nbytes, "little") for mask in masks), dtype=np.uint8
+        ).reshape(len(masks), nbytes)
+        if _HAS_BITWISE_COUNT:
+            counts = np.bitwise_count(table).sum(axis=1, dtype=np.int64)
+        else:  # pragma: no cover - exercised only on numpy < 2.0
+            counts = _POPCOUNT8[table].sum(axis=1)
+        return counts.tolist()
+
+    def coverage_mask(self, state: _NumpyState, target_ids: Sequence[int]) -> int:
+        """AND the coverage rows of ``target_ids`` in one reduce."""
+        index = state.covered_index
+        rows = []
+        for target_id in target_ids:
+            row = index.get(target_id)
+            if row is None:
+                return 0
+            rows.append(row)
+        if not rows:
+            return state._to_mask(state.all_words)
+        return state._to_mask(
+            np.bitwise_and.reduce(state.covered_rows[rows], axis=0)
+        )
+
+    def union_coverage(
+        self, state: _NumpyState, target_sets: Sequence[Sequence[int]]
+    ) -> int:
+        """Per-set coverage reduces OR-ed into one accumulator row."""
+        accumulator = np.zeros(state.words, dtype=_WORD)
+        index = state.covered_index
+        for target_ids in target_sets:
+            rows = []
+            covered = True
+            for target_id in target_ids:
+                row = index.get(target_id)
+                if row is None:
+                    covered = False
+                    break
+                rows.append(row)
+            if not covered:
+                continue
+            if rows:
+                accumulator |= np.bitwise_and.reduce(state.covered_rows[rows], axis=0)
+            else:
+                accumulator |= state.all_words
+        return state._to_mask(accumulator)
+
+    def refine_groups(
+        self, state: _NumpyState, required: Sequence[int], candidates: int
+    ) -> list["RewriteGroup"]:
+        """Refine all current groups against a target's whole partition at once.
+
+        Per required target, one broadcast AND intersects every live group
+        row with every source row — ``(groups, sources, words)`` in a single
+        ufunc call — and the non-empty cells become the next generation of
+        groups, in (group discovery, ascending source) order.
+        """
+        if not candidates:
+            return []
+        groups: list[tuple[np.ndarray, dict[int, int]]] = [
+            (np.asarray(state._to_words(candidates)), {})
+        ]
+        for target_id in required:
+            partition = state.partitions.get(target_id)
+            if partition is None:
+                return []
+            sources, rows = partition
+            stacked = np.stack([group_row for group_row, _ in groups])
+            intersections = stacked[:, None, :] & rows[None, :, :]
+            alive = intersections.any(axis=2)
+            refined: list[tuple[np.ndarray, dict[int, int]]] = []
+            for group_index, (_, assignment) in enumerate(groups):
+                for source_index in np.flatnonzero(alive[group_index]):
+                    extended = dict(assignment)
+                    extended[target_id] = sources[source_index]
+                    refined.append((intersections[group_index, source_index], extended))
+            groups = refined
+            if not groups:
+                return []
+        return [(state._to_mask(row), assignment) for row, assignment in groups]
+
+    def gather_probabilities(self, state: _NumpyState, mask: int) -> list[float]:
+        """Gather the float column at the mask's member indices."""
+        return state.probabilities[state._member_indices(mask)].tolist()
+
+    def probability_mass(self, state: _NumpyState, mask: int) -> float:
+        """Sequential (``cumsum``) accumulation over the gathered members.
+
+        ``cumsum`` adds left to right in C — the identical IEEE-754 chain
+        the Python backend's ``for`` loop performs — so the result is
+        bit-identical, not merely close.
+        """
+        selected = state.probabilities[state._member_indices(mask)]
+        if selected.size == 0:
+            return 0.0
+        return float(selected.cumsum()[-1])
+
+    def max_probability(self, state: _NumpyState) -> float:
+        """Largest probability-column entry."""
+        return float(state.probabilities.max())

@@ -1,0 +1,94 @@
+"""The pure-Python kernel backend: big-int bitmask loops, always available.
+
+This backend *is* the compiled core's original evaluation code, verbatim:
+coverage tests AND Python ints out of the artifact's dicts, refinement walks
+the source partitions in sorted order, and probability accumulation is a
+sequential loop over the float tuple.  It binds the compiled artifact itself
+as its state (the neutral columns already are its evaluation format), so it
+costs nothing beyond what the engine always paid — and it defines the
+byte-exact reference behaviour the numpy backend is pinned against.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.engine.kernels.base import Kernels
+from repro.mapping.mapping_set import iter_mapping_ids
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.compiled import CompiledMappingSet, RewriteGroup
+
+__all__ = ["PythonKernels"]
+
+
+class PythonKernels(Kernels):
+    """Arbitrary-width Python-int bitmask kernels (the reference backend)."""
+
+    name = "python"
+    releases_gil = False
+
+    def bind(self, compiled: "CompiledMappingSet") -> "CompiledMappingSet":
+        """The neutral int-dict columns are this backend's native state."""
+        return compiled
+
+    def coverage_mask(
+        self, state: "CompiledMappingSet", target_ids: Sequence[int]
+    ) -> int:
+        """AND the coverage masks of ``target_ids``, short-circuiting at zero."""
+        covered = state._covered_masks
+        mask = state.all_mask
+        for target_id in target_ids:
+            mask &= covered.get(target_id, 0)
+            if not mask:
+                break
+        return mask
+
+    def union_coverage(
+        self, state: "CompiledMappingSet", target_sets: Sequence[Sequence[int]]
+    ) -> int:
+        """OR the per-set coverage intersections, short-circuiting when saturated."""
+        mask = 0
+        all_mask = state.all_mask
+        for target_ids in target_sets:
+            mask |= self.coverage_mask(state, target_ids)
+            if mask == all_mask:
+                break
+        return mask
+
+    def refine_groups(
+        self, state: "CompiledMappingSet", required: Sequence[int], candidates: int
+    ) -> list["RewriteGroup"]:
+        """One-target-at-a-time refinement over the sorted source partitions."""
+        if not candidates:
+            return []
+        target_sources = state._target_sources
+        groups: list["RewriteGroup"] = [(candidates, {})]
+        for target_id in required:
+            refined: list["RewriteGroup"] = []
+            for group_mask, assignment in groups:
+                for source_id, source_mask in target_sources.get(target_id, ()):
+                    shared = group_mask & source_mask
+                    if shared:
+                        extended = dict(assignment)
+                        extended[target_id] = source_id
+                        refined.append((shared, extended))
+            groups = refined
+        return groups
+
+    def gather_probabilities(self, state: "CompiledMappingSet", mask: int) -> list[float]:
+        """Index the probability tuple by the mask's set bits, ascending."""
+        probabilities = state.probabilities
+        return [probabilities[mapping_id] for mapping_id in iter_mapping_ids(mask)]
+
+    def probability_mass(self, state: "CompiledMappingSet", mask: int) -> float:
+        """Sequential left-to-right sum over the mask's members."""
+        probabilities = state.probabilities
+        total = 0.0
+        for mapping_id in iter_mapping_ids(mask):
+            total += probabilities[mapping_id]
+        return total
+
+    def max_probability(self, state: "CompiledMappingSet") -> float:
+        """Largest probability-column entry."""
+        return max(state.probabilities)

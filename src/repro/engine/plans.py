@@ -98,6 +98,7 @@ class QueryPlan:
         relevant: Optional[Iterable[Mapping]] = None,
         mappings: Optional[Iterable[Mapping]] = None,
         k: Optional[int] = None,
+        kernels=None,
     ) -> PTQResult:
         """Full pipeline: resolve and filter (unless pre-computed), then evaluate.
 
@@ -119,6 +120,10 @@ class QueryPlan:
             and is re-filtered, mirroring the seed free functions.
         k:
             Optional top-k restriction (Definition 5).
+        kernels:
+            Kernel-backend selection for plans with :attr:`uses_compiled`
+            (see :func:`repro.engine.kernels.resolve_kernels`); ignored by
+            the object-graph plans.  Answers never depend on the backend.
         """
         if k is not None and k <= 0:
             raise QueryError(f"k must be positive, got {k}")
@@ -136,7 +141,9 @@ class QueryPlan:
             selected = filter_mappings(mapping_set, embeddings)
         if k is not None:
             selected = select_top_k(selected, k)
-        return self.evaluate(query, mapping_set, document, embeddings, selected, block_tree)
+        return self.evaluate(
+            query, mapping_set, document, embeddings, selected, block_tree, kernels
+        )
 
     def evaluate(
         self,
@@ -146,6 +153,7 @@ class QueryPlan:
         embeddings: list[Embedding],
         mappings: Sequence[Mapping],
         block_tree: Optional[BlockTree],
+        kernels=None,
     ) -> PTQResult:
         """Evaluate over pre-resolved embeddings and pre-filtered mappings."""
         raise NotImplementedError
@@ -157,7 +165,9 @@ class BasicPlan(QueryPlan):
     name = "basic"
     uses_block_tree = False
 
-    def evaluate(self, query, mapping_set, document, embeddings, mappings, block_tree):
+    def evaluate(
+        self, query, mapping_set, document, embeddings, mappings, block_tree, kernels=None
+    ):
         """Delegate to :func:`repro.query.ptq.evaluate_resolved_basic`."""
         return evaluate_resolved_basic(query, mapping_set, document, embeddings, mappings)
 
@@ -168,7 +178,9 @@ class BlockTreePlan(QueryPlan):
     name = "blocktree"
     uses_block_tree = True
 
-    def evaluate(self, query, mapping_set, document, embeddings, mappings, block_tree):
+    def evaluate(
+        self, query, mapping_set, document, embeddings, mappings, block_tree, kernels=None
+    ):
         """Delegate to :func:`repro.query.ptq.evaluate_resolved_blocktree`."""
         if block_tree is None:
             raise QueryError("the blocktree plan requires a block tree")
@@ -190,9 +202,13 @@ class CompiledPlan(QueryPlan):
     uses_block_tree = False
     uses_compiled = True
 
-    def evaluate(self, query, mapping_set, document, embeddings, mappings, block_tree):
+    def evaluate(
+        self, query, mapping_set, document, embeddings, mappings, block_tree, kernels=None
+    ):
         """Delegate to :func:`repro.query.ptq.evaluate_resolved_compiled`."""
-        return evaluate_resolved_compiled(query, mapping_set, document, embeddings, mappings)
+        return evaluate_resolved_compiled(
+            query, mapping_set, document, embeddings, mappings, kernels
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -353,7 +369,8 @@ class ExplainReport:
                 f"{stats.get('num_rewrite_groups', 0)} groups "
                 f"(saved {stats.get('evaluations_saved', 0)} evaluations; "
                 f"{stats.get('num_posting_lists', 0)} posting lists, "
-                f"{stats.get('bitset_bytes', 0)} B bitsets)"
+                f"{stats.get('bitset_bytes', 0)} B bitsets; "
+                f"{stats.get('kernel_backend', 'python')} kernels)"
             )
         lines.append(f"timings:    {timings}")
         if self.cache is not None:

@@ -255,6 +255,7 @@ class PreparedQuery:
             embeddings=self.embeddings,
             relevant=self.relevant_mappings(snap),
             k=k,
+            kernels=ds.kernels,
         )
         if cache is not None:
             result = cache.put(key, result)
@@ -310,6 +311,7 @@ class PreparedQuery:
                 embeddings=embeddings,
                 relevant=relevant,
                 k=k,
+                kernels=ds.kernels,
             )
             if cache is not None:
                 result = cache.put(key, result)
@@ -324,7 +326,9 @@ class PreparedQuery:
         compiled_stats = None
         if chosen.uses_compiled:
             selected = relevant if k is None else select_top_k(relevant, k)
-            compiled_stats = snap.mapping_set.compile().rewrite_stats(embeddings, selected)
+            compiled_stats = snap.mapping_set.compile(ds.kernels).rewrite_stats(
+                embeddings, selected
+            )
         return ExplainReport(
             query=self.text,
             plan=chosen.name,

@@ -26,6 +26,7 @@ __all__ = [
     "DataspaceError",
     "CorpusError",
     "StoreError",
+    "KernelError",
 ]
 
 
@@ -95,5 +96,11 @@ class StoreError(ReproError):
     Covers checksum mismatches on content-addressed blocks, missing blocks
     referenced by a manifest, and malformed artifact payloads.  The engine
     integration treats any :class:`StoreError` during a load as a cache miss
-    and falls back to a cold rebuild — a corrupt store never breaks the
-    query path."""
+    and falls back to a cold rebuild (with a warning naming the ref) — a
+    corrupt store never breaks the query path.  Any *other* exception type
+    escaping a load is re-raised: it signals a programming error, not store
+    rot."""
+
+
+class KernelError(ReproError):
+    """Raised for unknown or unavailable kernel backends (:mod:`repro.engine.kernels`)."""

@@ -90,8 +90,11 @@ class MappingSet:
         # Compiled bitset view (repro.engine.compiled), built lazily on first
         # use and memoized for the set's lifetime: a MappingSet is immutable,
         # so the engine's generation machinery (which swaps whole sets on
-        # invalidation) also governs the compiled artifact.
+        # invalidation) also governs the compiled artifact.  Kernel-backend
+        # variants of the artifact (same neutral columns, different backend)
+        # are memoized alongside it by backend name.
         self._compiled: "CompiledMappingSet | None" = None
+        self._compiled_variants: dict[str, "CompiledMappingSet"] = {}
         self._compiled_lock = threading.Lock()
 
     @classmethod
@@ -109,6 +112,7 @@ class MappingSet:
         self.matching = matching
         self._mappings = list(mappings)
         self._compiled = None
+        self._compiled_variants = {}
         self._compiled_lock = threading.Lock()
         return self
 
@@ -151,21 +155,41 @@ class MappingSet:
     # ------------------------------------------------------------------ #
     # Compiled bitset view
     # ------------------------------------------------------------------ #
-    def compile(self) -> "CompiledMappingSet":
+    def compile(self, kernels=None) -> "CompiledMappingSet":
         """Lower the set into the compiled bitset representation (memoized).
 
         The first call builds a :class:`~repro.engine.compiled.CompiledMappingSet`
         — per-correspondence posting lists, per-target source partitions and a
         probability column, all encoded as Python-int bitmasks — and caches it
         on the set; later calls (from any thread) return the same object.
+
+        ``kernels`` selects the kernel backend the artifact's hot loops run
+        on (a :class:`~repro.engine.kernels.Kernels` instance, a backend
+        name, or ``None`` for the process default — see
+        :func:`repro.engine.kernels.resolve_kernels`).  Requesting a backend
+        other than the memoized artifact's returns a memoized *variant*
+        sharing the same neutral columns, so mixed-backend sessions over one
+        set never recompile.
         """
         if self._compiled is None:
             from repro.engine.compiled import CompiledMappingSet
 
             with self._compiled_lock:
                 if self._compiled is None:
-                    self._compiled = CompiledMappingSet(self)
-        return self._compiled
+                    self._compiled = CompiledMappingSet(self, kernels)
+        if kernels is None:
+            return self._compiled
+        from repro.engine.kernels import resolve_kernels
+
+        resolved = resolve_kernels(kernels)
+        if resolved is self._compiled.kernels:
+            return self._compiled
+        with self._compiled_lock:
+            variant = self._compiled_variants.get(resolved.name)
+            if variant is None or variant.kernels is not resolved:
+                variant = self._compiled.with_kernels(resolved)
+                self._compiled_variants[resolved.name] = variant
+            return variant
 
     @property
     def is_compiled(self) -> bool:

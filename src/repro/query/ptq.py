@@ -399,6 +399,7 @@ def evaluate_resolved_compiled(
     document: XMLDocument,
     embeddings: list[Embedding],
     mappings: Sequence[Mapping],
+    kernels=None,
 ) -> PTQResult:
     """Compiled-core evaluation loop over pre-resolved embeddings.
 
@@ -414,9 +415,12 @@ def evaluate_resolved_compiled(
     produces results identical to :func:`evaluate_resolved_basic`.
 
     The contract on ``embeddings`` and ``mappings`` matches
-    :func:`evaluate_resolved_basic`.
+    :func:`evaluate_resolved_basic`.  ``kernels`` selects the kernel backend
+    the compiled bitset loops run on (see
+    :func:`repro.engine.kernels.resolve_kernels`); answers are byte-identical
+    across backends.
     """
-    compiled = mapping_set.compile()
+    compiled = mapping_set.compile(kernels)
     selected_mask = compiled.mask_for(mappings)
     query_nodes = list(query.root.iter_subtree())
     per_mapping: dict[int, frozenset[CanonicalMatch]] = {}

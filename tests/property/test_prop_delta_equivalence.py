@@ -22,12 +22,17 @@ from __future__ import annotations
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from _scenarios import query_scenarios
 from repro.engine import Dataspace, MappingDelta, apply_mapping_delta
+from repro.engine.kernels import available_backends
 from repro.mapping.mapping_set import MappingSet
+
+#: Kernel backends importable in this process (see test_prop_plan_equivalence).
+BACKENDS = available_backends()
 
 
 def answer_set(result):
@@ -98,27 +103,32 @@ def reference_session(delta_session: Dataspace, scenario) -> Dataspace:
 
 
 class TestDeltaEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @settings(max_examples=30, deadline=None)
-    @given(query_scenarios(), st.integers(0, 100_000))
-    def test_patched_compiled_equals_fresh_compile(self, scenario, seed):
+    @given(scenario=query_scenarios(), seed=st.integers(0, 100_000))
+    def test_patched_compiled_equals_fresh_compile(self, backend, scenario, seed):
         mapping_set, _, _, _ = scenario
-        mapping_set.compile()
+        mapping_set.compile(backend)
         delta = random_delta(mapping_set, seed)
         patched, _ = apply_mapping_delta(mapping_set, delta)
         fresh = MappingSet(
             patched.matching, patched.mappings, normalize=False
-        ).compile()
-        compiled = patched.compile()
+        ).compile(backend)
+        compiled = patched.compile(backend)
+        assert compiled.kernels.name == fresh.kernels.name == backend
         assert compiled.probabilities == fresh.probabilities
         assert compiled._pair_masks == fresh._pair_masks
         assert compiled._covered_masks == fresh._covered_masks
         assert compiled._target_sources == fresh._target_sources
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @settings(max_examples=25, deadline=None)
-    @given(query_scenarios(), st.integers(0, 100_000))
-    def test_all_plans_identical_after_delta(self, scenario, seed):
+    @given(scenario=query_scenarios(), seed=st.integers(0, 100_000))
+    def test_all_plans_identical_after_delta(self, backend, scenario, seed):
         mapping_set, document, query, tau = scenario
-        session = Dataspace.from_mapping_set(mapping_set, document=document, tau=tau)
+        session = Dataspace.from_mapping_set(
+            mapping_set, document=document, tau=tau, kernels=backend
+        )
         session.apply_delta(random_delta(mapping_set, seed))
         reference = reference_session(session, scenario)
         expected = answer_set(reference.execute(query, use_cache=False))

@@ -305,7 +305,8 @@ class TestCorruptionFallsBackToRebuild:
             manifest_key = blocks.get_ref(ref)
             payload = blocks.get_block(manifest_key)
             blocks._write(manifest_key, payload[:10])
-        session, store = self.reopen(path)
+        with pytest.warns(RuntimeWarning, match="cold build"):
+            session, store = self.reopen(path)
         assert session.artifact_provenance()["matching"]["source"] == "built"
         assert store.stats()["misses"] == 1
         assert answer_set(session.execute(self.D1_QUERY, use_cache=False)) == baseline
@@ -317,10 +318,50 @@ class TestCorruptionFallsBackToRebuild:
             # Corrupt every block: whatever load_session touches first trips.
             for key in list(blocks.iter_keys()):
                 blocks._write(key, b"x" + blocks._read(key))
-        session, store = self.reopen(path)
+        with pytest.warns(RuntimeWarning, match="cold build"):
+            session, store = self.reopen(path)
         assert session.artifact_provenance()["matching"]["source"] == "built"
         assert answer_set(session.execute(self.D1_QUERY, use_cache=False)) == baseline
         store.blocks.close()
+
+    def test_corrupted_store_warns_naming_the_ref(self, tmp_path):
+        """A corrupt store must not degrade *silently*: the fallback warns.
+
+        Regression test for the bare ``except Exception: return None`` that
+        used to swallow every store failure on reopen — corruption looked
+        exactly like an empty store.
+        """
+        path, ref, baseline = self.populated(tmp_path)
+        with SqliteBlockStore(path) as blocks:
+            manifest_key = blocks.get_ref(ref)
+            blocks._write(manifest_key, b"garbage that fails the checksum")
+        with SqliteBlockStore(path) as blocks:
+            with pytest.warns(RuntimeWarning, match="cold build") as caught:
+                session = Dataspace.from_dataset(
+                    "D1", h=self.H, store=ArtifactStore(blocks)
+                )
+            assert any(ref in str(w.message) for w in caught)
+            assert session.artifact_provenance()["matching"]["source"] == "built"
+            assert answer_set(session.execute(self.D1_QUERY, use_cache=False)) == baseline
+
+    def test_plain_miss_does_not_warn(self, tmp_path, recwarn):
+        """An absent ref is the normal cold-start path — no warning."""
+        with SqliteBlockStore(str(tmp_path / "empty.db")) as blocks:
+            session = Dataspace.from_dataset(
+                "D1", h=self.H, store=ArtifactStore(blocks)
+            )
+            assert session.artifact_provenance()["matching"]["source"] == "built"
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
+
+    def test_non_store_errors_propagate_from_reopen(self):
+        """Only :class:`StoreError` is a store miss; anything else is a bug."""
+
+        class ExplodingStore(MemoryBlockStore):
+            def get_ref(self, name):
+                raise ZeroDivisionError("not a store failure")
+
+        with pytest.raises(ZeroDivisionError):
+            Dataspace.from_dataset("D1", h=self.H, store=ExplodingStore())
 
     def test_stale_signature_degrades_to_clean_rebuild(self, tmp_path):
         path, _, _ = self.populated(tmp_path)
@@ -355,3 +396,109 @@ class TestCorruptionFallsBackToRebuild:
         assert store.verify()["errors"] == 0
         assert answer_set(session.execute(self.D1_QUERY, use_cache=False)) == baseline
         store.blocks.close()
+
+
+class FailOnWriteStore(MemoryBlockStore):
+    """A block store that starts failing writes when ``fail`` is flipped."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fail = False
+
+    def _write(self, key: str, data: bytes) -> None:
+        if self.fail:
+            raise StoreError("disk full")
+        super()._write(key, data)
+
+    def set_ref(self, name: str, key: str) -> None:
+        if self.fail:
+            raise StoreError("disk full")
+        super().set_ref(name, key)
+
+
+class TestDeltaWriteThroughFailureReporting:
+    """The apply_delta write-through stays best-effort but never silent.
+
+    Regression tests for the bare ``except Exception: pass`` around the
+    delta write-through: a failed persist used to be indistinguishable from
+    a successful one, leaving the store silently stale.
+    """
+
+    def delta(self, session):
+        from repro.engine import MappingDelta
+
+        mapping_set = session.mapping_set
+        return MappingDelta.build(
+            reweight={
+                0: mapping_set[1].probability,
+                1: mapping_set[0].probability,
+            }
+        )
+
+    def attached_session(self, figure_mappings, figure_document):
+        store = FailOnWriteStore()
+        session = Dataspace.from_mapping_set(figure_mappings, document=figure_document)
+        session.persist(store)
+        return session, store
+
+    def test_successful_write_through_reports_clean(
+        self, figure_mappings, figure_document, recwarn
+    ):
+        session, store = self.attached_session(figure_mappings, figure_document)
+        report = session.apply_delta(self.delta(session))
+        assert not report.persist_failed
+        assert report.persist_error is None
+        assert session.cache_stats()["store"]["persist_failures"] == 0
+        assert report.to_dict()["persist_failed"] is False
+        assert "persist" not in report.format()
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
+
+    def test_failed_write_through_is_recorded_and_warns_once(
+        self, figure_mappings, figure_document
+    ):
+        session, store = self.attached_session(figure_mappings, figure_document)
+        store.fail = True
+        with pytest.warns(RuntimeWarning, match="write-through"):
+            report = session.apply_delta(self.delta(session))
+        assert report.persist_failed
+        assert "disk full" in report.persist_error
+        assert report.to_dict()["persist_error"] == report.persist_error
+        assert "FAILED" in report.format()
+        assert session.cache_stats()["store"]["persist_failures"] == 1
+
+        # The delta itself was applied: the in-memory session moved on.
+        assert session.delta_epoch == report.delta_epoch
+
+        # Later failures are counted but do not warn again.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            second = session.apply_delta(self.delta(session))
+        assert second.persist_failed
+        assert session.cache_stats()["store"]["persist_failures"] == 2
+
+    def test_failure_counter_flows_into_service_stats(
+        self, figure_mappings, figure_document
+    ):
+        from repro.service import QueryService
+
+        session, store = self.attached_session(figure_mappings, figure_document)
+        store.fail = True
+        with pytest.warns(RuntimeWarning):
+            session.apply_delta(self.delta(session))
+        with QueryService(session, max_workers=1) as service:
+            assert service.stats()["store"]["persist_failures"] == 1
+
+    def test_recovery_resumes_clean_reports(self, figure_mappings, figure_document):
+        session, store = self.attached_session(figure_mappings, figure_document)
+        store.fail = True
+        with pytest.warns(RuntimeWarning):
+            failed = session.apply_delta(self.delta(session))
+        assert failed.persist_failed
+        store.fail = False
+        recovered = session.apply_delta(self.delta(session))
+        assert not recovered.persist_failed
+        assert recovered.persist_error is None
+        # The counter keeps its history; only new failures increment it.
+        assert session.cache_stats()["store"]["persist_failures"] == 1
