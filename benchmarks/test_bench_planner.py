@@ -1,0 +1,191 @@
+"""Cost-based planner gates: never slower than the fixed default, and faster
+where the fixed default is wrong.
+
+Two ratio-only gates for the adaptive planner
+(:mod:`repro.engine.planner`), both asserting relative speeds measured in one
+process so machine speed cancels out:
+
+* **never-slower** — on the paper's D7/D9/D10 workloads the cost-routed
+  ``execute()`` must stay within ``NO_REGRESSION_TOLERANCE`` of a forced
+  ``compiled`` run.  The cost model is conservative by design (a cold query
+  runs the fixed default; a challenger must beat a *measured* default by the
+  decision margin), so routing overhead is the only thing this can lose —
+  a few dictionary lookups per query.
+
+* **adaptive speedup** — on the skewed catalogue workload (the scatter
+  benchmark's high-fanout document, where the scatter-gather route beats the
+  in-process compiled plan super-linearly), one ``calibrate()`` pass must
+  teach the planner to route ``execute()`` at least ``MIN_ADAPTIVE_SPEEDUP``
+  faster than the fixed plan — with byte-identical answers, asserted before
+  timing.
+
+Both measured ratios land in ``extra_info`` and therefore in the CI
+``BENCH_<run>.json`` trajectory artifact.
+"""
+
+from __future__ import annotations
+
+from repro.engine import Dataspace
+
+from _workloads import best_of
+from test_bench_corpus_scatter import (
+    NUM_SHARDS,
+    QUERIES as CATALOGUE_QUERIES,
+    build_workload as build_catalogue,
+)
+
+#: The cost-routed path may not be slower than the fixed default by more than
+#: this factor on the paper workloads (covers timer noise, nothing else).
+NO_REGRESSION_TOLERANCE = 1.1
+#: Required speedup of the cost-routed path on the skewed catalogue workload.
+MIN_ADAPTIVE_SPEEDUP = 1.5
+#: Paper datasets the never-slower gate replays.
+DATASETS = ("D7", "D9", "D10")
+#: Mapping-set size for the paper datasets (cheap to build for all three).
+PLANNER_H = 25
+#: Timed rounds per side (best-of).  The no-regression sweeps are
+#: sub-millisecond, so the best-of needs enough rounds to shake scheduler
+#: noise out of both sides of the ratio.
+ROUNDS = 9
+#: Executions of each query inside one timed no-regression sweep — a longer
+#: timed window shrinks the relative timer noise the ratio tolerance absorbs.
+SWEEP_REPEATS = 3
+
+
+def _dataset_queries(dataset_id: str) -> list[str]:
+    from repro.service import workload_queries
+
+    return workload_queries(dataset_id, limit=4)
+
+
+def test_planner_never_slower_than_fixed(benchmark, experiment_report):
+    report = experiment_report(
+        "planner_no_regression",
+        f"Cost-routed execute vs forced compiled plan "
+        f"({', '.join(DATASETS)}, |M|={PLANNER_H}, best of {ROUNDS})",
+    )
+    ratios: dict[str, float] = {}
+    sessions: dict[str, Dataspace] = {}
+    for dataset_id in DATASETS:
+        session = Dataspace.from_dataset(dataset_id, h=PLANNER_H)
+        sessions[dataset_id] = session
+        queries = _dataset_queries(dataset_id)
+        session.snapshot(need_tree=False)
+        session.compiled
+
+        def fixed_sweep():
+            for _ in range(SWEEP_REPEATS):
+                for query in queries:
+                    session.execute(query, plan="compiled", use_cache=False)
+
+        def routed_sweep():
+            for _ in range(SWEEP_REPEATS):
+                for query in queries:
+                    session.execute(query, use_cache=False)
+
+        # The fixed sweep warms resolve/filter memos; the first routed sweep
+        # then feeds the planner its first measurements — exactly the
+        # serving-traffic sequence the conservative model is designed for.
+        fixed_time, _ = best_of(ROUNDS, fixed_sweep)
+        routed_time, _ = best_of(ROUNDS, routed_sweep)
+        ratio = routed_time / fixed_time if fixed_time > 0 else 1.0
+        ratios[dataset_id] = ratio
+        report.add_row(
+            dataset_id,
+            f"fixed {fixed_time * 1000:7.2f} ms  routed {routed_time * 1000:7.2f} ms  "
+            f"ratio {ratio:.2f} (allowed <= {NO_REGRESSION_TOLERANCE:.2f})",
+        )
+
+    worst_dataset = max(ratios, key=ratios.get)
+
+    def run_all_routed():
+        for dataset_id, session in sessions.items():
+            for query in _dataset_queries(dataset_id):
+                session.execute(query, use_cache=False)
+
+    benchmark.pedantic(run_all_routed, rounds=3, iterations=1)
+    benchmark.extra_info["ratios"] = ratios
+    benchmark.extra_info["worst_ratio"] = ratios[worst_dataset]
+
+    assert ratios[worst_dataset] <= NO_REGRESSION_TOLERANCE, (
+        f"cost-routed execution on {worst_dataset} is "
+        f"{ratios[worst_dataset]:.2f}x the fixed compiled plan "
+        f"(allowed <= {NO_REGRESSION_TOLERANCE:.2f}x)"
+    )
+
+
+def test_planner_adaptive_speedup(benchmark, experiment_report):
+    session = build_catalogue()
+    queries = CATALOGUE_QUERIES
+
+    # Byte-identity before timing: the cost-routed answers must serialize
+    # exactly like the forced default's, whatever strategy the model picks.
+    fixed_answers = {
+        query: sorted(
+            (a.mapping_id, a.matches, a.probability.hex())
+            for a in session.execute(query, plan="compiled", use_cache=False)
+        )
+        for query in queries
+    }
+
+    def fixed_sweep():
+        for query in queries:
+            session.execute(query, plan="compiled", use_cache=False)
+
+    fixed_time, _ = best_of(ROUNDS, fixed_sweep)
+
+    # One calibration pass measures every strategy, including scatter-gather
+    # at the catalogue's shard count — the skewed workload where the fixed
+    # in-process default is the wrong choice.
+    calibrations = {query: session.calibrate(query, shard_counts=(NUM_SHARDS,)) for query in queries}
+    decisions = {
+        query: session.plan_decision(session.prepare(query), allow_scatter=True)
+        for query in queries
+    }
+
+    for query in queries:
+        routed = sorted(
+            (a.mapping_id, a.matches, a.probability.hex())
+            for a in session.execute(query, use_cache=False)
+        )
+        assert routed == fixed_answers[query], (
+            f"cost-routed answers diverge for {query} "
+            f"(chose {decisions[query].plan_name})"
+        )
+
+    def routed_sweep():
+        for query in queries:
+            session.execute(query, use_cache=False)
+
+    routed_time, _ = best_of(ROUNDS, routed_sweep)
+    speedup = fixed_time / routed_time if routed_time > 0 else float("inf")
+
+    benchmark.pedantic(routed_sweep, rounds=ROUNDS, iterations=1)
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["decisions"] = {
+        query: decisions[query].plan_name for query in queries
+    }
+
+    report = experiment_report(
+        "planner_adaptive",
+        f"Cost-routed execute vs forced compiled on the skewed catalogue "
+        f"workload ({len(queries)} queries, calibrated with "
+        f"{NUM_SHARDS}-shard scatter)",
+    )
+    report.add_row("fixed compiled", f"{fixed_time * 1000:8.1f} ms per sweep")
+    report.add_row("cost-routed", f"{routed_time * 1000:8.1f} ms per sweep")
+    report.add_row(
+        "speedup", f"{speedup:.1f}x (required >= {MIN_ADAPTIVE_SPEEDUP:.1f}x)"
+    )
+    for query in queries:
+        timings = ", ".join(
+            f"{name}={ms:.1f}" for name, ms in sorted(calibrations[query].items())
+        )
+        report.add_row(query, f"{decisions[query].plan_name}  [{timings} ms]")
+
+    assert speedup >= MIN_ADAPTIVE_SPEEDUP, (
+        f"cost-routed execution is only {speedup:.2f}x the fixed compiled plan "
+        f"on the skewed workload ({routed_time * 1000:.1f} ms vs "
+        f"{fixed_time * 1000:.1f} ms); decisions: "
+        + ", ".join(f"{q}->{d.plan_name}" for q, d in decisions.items())
+    )

@@ -6,8 +6,12 @@ interleaved round-robin) two ways:
 * **baseline** — sequential, cache-bypassing ``execute()`` calls, i.e. what a
   single-threaded caller paid before the service layer existed;
 * **service** — the same operation stream through per-dataset
-  :class:`repro.service.QueryService` instances at concurrency 8 with a warm
-  result cache.
+  :class:`repro.service.QueryService` instances with a warm result cache,
+  each sized by the planner's
+  :func:`~repro.engine.planner.default_service_workers` (scales with cores
+  under the GIL-releasing numpy kernels, the historical 8 under pure
+  Python); the executor configuration used lands in the benchmark's
+  ``extra_info`` and with it in the ``BENCH_<run>.json`` artifact.
 
 Both passes run against pre-built session artifacts, so the comparison is
 steady-state serving, not construction.  The acceptance bar is a ≥2x
@@ -50,10 +54,13 @@ def test_service_throughput(benchmark, experiment_report):
         dataset_id: Dataspace.from_dataset(dataset_id, h=SERVICE_H)
         for dataset_id in datasets
     }
+    # No explicit max_workers: the planner's backend-aware default sizes the
+    # pool (cores-scaled under numpy, the historical 8 under pure Python).
     cached = {
-        dataset_id: QueryService(session, max_workers=8)
+        dataset_id: QueryService(session)
         for dataset_id, session in sessions.items()
     }
+    concurrency = next(iter(cached.values())).executor_config()["max_workers"]
     uncached = {
         dataset_id: QueryService(session, max_workers=1, use_cache=False)
         for dataset_id, session in sessions.items()
@@ -67,12 +74,13 @@ def test_service_throughput(benchmark, experiment_report):
             session.snapshot(need_tree=False)
             session.compiled
         baseline = replay_workload(ops, concurrency=1, services=uncached)
-        service = replay_workload(ops, concurrency=8, services=cached, warm=True)
+        service = replay_workload(ops, concurrency=concurrency, services=cached, warm=True)
 
         def run_warm_round():
-            replay_workload(ops, concurrency=8, services=cached)
+            replay_workload(ops, concurrency=concurrency, services=cached)
 
         benchmark.pedantic(run_warm_round, rounds=3, iterations=1)
+        benchmark.extra_info["executor"] = next(iter(cached.values())).executor_config()
     finally:
         for item in list(cached.values()) + list(uncached.values()):
             item.close()
@@ -82,6 +90,7 @@ def test_service_throughput(benchmark, experiment_report):
         if baseline.throughput_qps > 0
         else float("inf")
     )
+    benchmark.extra_info["speedup"] = speedup
     report = experiment_report(
         "service_throughput",
         f"Concurrent warm-cache service vs sequential execute "
@@ -94,7 +103,7 @@ def test_service_throughput(benchmark, experiment_report):
         f"p99={baseline.latency_ms.get('p99', 0):.2f} ms",
     )
     report.add_row(
-        "service c=8",
+        f"service c={concurrency}",
         f"{service.throughput_qps:9.1f} q/s  "
         f"p50={service.latency_ms.get('p50', 0):.2f} ms  "
         f"p99={service.latency_ms.get('p99', 0):.2f} ms",

@@ -33,11 +33,25 @@ SCHEMA_VERSION = 1
 _STAT_FIELDS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
 
 
+def _normalise_extra(value):
+    """Round floats (ratios, latencies) so trajectory diffs stay stable."""
+    if isinstance(value, float):
+        return round(value, 4)
+    if isinstance(value, dict):
+        return {str(key): _normalise_extra(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_normalise_extra(item) for item in value]
+    return value
+
+
 def normalise_report(payload: dict) -> list[dict]:
     """One trajectory row per benchmark of a raw pytest-benchmark report.
 
     Rows are sorted by benchmark name so trajectory diffs are stable even
-    when pytest collection order changes.
+    when pytest collection order changes.  A benchmark's ``extra_info``
+    (speedup ratios, executor configuration) is carried through with floats
+    rounded, so the gates' measured ratios accumulate in the artifact
+    alongside the absolute timings.
     """
     rows: list[dict] = []
     for benchmark in payload.get("benchmarks", []):
@@ -48,6 +62,9 @@ def normalise_report(payload: dict) -> list[dict]:
         }
         for field in _STAT_FIELDS:
             row[field] = stats.get(field)
+        extra = benchmark.get("extra_info")
+        if extra:
+            row["extra_info"] = _normalise_extra(extra)
         rows.append(row)
     rows.sort(key=lambda row: row["name"] or "")
     return rows

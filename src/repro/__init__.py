@@ -165,7 +165,7 @@ from repro.store import (
     SqliteBlockStore,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",

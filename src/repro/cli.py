@@ -158,6 +158,8 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--top-k", type=int, default=None)
     explain.add_argument("--algorithm", "--plan", dest="algorithm", default="auto",
                          metavar="PLAN", help=plan_help)
+    explain.add_argument("--analyze", action="store_true",
+                         help="also report estimated vs. actual execution metrics")
     explain.add_argument("--json", action="store_true",
                          help="emit the report as a JSON object")
 
@@ -483,7 +485,9 @@ def _cmd_delta(args, out) -> int:
 
 def _cmd_explain(args, out) -> int:
     session = Dataspace.from_dataset(args.dataset, h=args.num_mappings)
-    report = session.explain(args.query, k=args.top_k, plan=_plan_name(args.algorithm))
+    report = session.explain(
+        args.query, k=args.top_k, plan=_plan_name(args.algorithm), analyze=args.analyze
+    )
     if args.json:
         out.write(json.dumps(report.to_dict(), indent=2) + "\n")
     else:

@@ -56,6 +56,7 @@ from repro.engine.cache import CacheKey
 from repro.engine.compiled import CompiledMappingSet
 from repro.engine.dataspace import Dataspace, EngineSnapshot
 from repro.engine.delta import MappingDelta
+from repro.engine.planner import recommend_scatter_workers
 from repro.exceptions import CorpusError, QueryError
 from repro.mapping.mapping_set import iter_mapping_ids, mapping_mask
 from repro.query.ptq import _canonicalize
@@ -445,7 +446,12 @@ class ShardedCorpus:
         self._sessions = list(sessions)
         self._shards_per_session = shards_per_session
         self.name = name or "+".join(names)
-        self._max_workers = max_workers or min(8, max(2, self.num_shards))
+        # Pool sizing is backend-aware: the numpy kernels release the GIL in
+        # their bitset sweeps, so the pool scales with the machine's cores;
+        # the pure-Python kernels keep the historical GIL-bound sizing.
+        self._max_workers = max_workers or recommend_scatter_workers(
+            self.num_shards, self._sessions[0].kernels
+        )
         self._lock = threading.Lock()
         # Every session's current state must fit simultaneously (plus slack
         # for one superseded generation), or a many-session corpus would
@@ -614,6 +620,14 @@ class ShardedCorpus:
         info["partitions_restored"] = self._partitions_restored
         return info
 
+    def executor_config(self) -> dict:
+        """The scatter executor's chosen configuration (for benchmarks/ops)."""
+        return {
+            "num_shards": self.num_shards,
+            "max_workers": self._max_workers,
+            "backend": self._sessions[0].kernels.name,
+        }
+
     # ------------------------------------------------------------------ #
     # Shard state
     # ------------------------------------------------------------------ #
@@ -764,6 +778,9 @@ class ShardedCorpus:
             result_cache = gathers[0].state.session.result_cache
             cached = result_cache.get(merged_key)
             if cached is not None:
+                gathers[0].state.session.planner.observe_cache_hit(
+                    gathers[0].prepared.cache_key
+                )
                 return self._from_cached(cached, gathers[0], k, signature, started)
             # Retain-on-miss across a delta: merged results carry
             # probabilities, so the guard is the full dirty-mapping mask
@@ -774,12 +791,30 @@ class ShardedCorpus:
                 gathers[0].prepared.required_target_mask(),
             )
             if cached is not None:
+                gathers[0].state.session.planner.observe_cache_hit(
+                    gathers[0].prepared.cache_key
+                )
                 return self._from_cached(
                     cached, gathers[0], k, signature, started, cache="retained"
                 )
             cache_state = "miss"
 
-        self._select(gathers, k)
+        # Exact top-k seeding: a completed selection at this very signature
+        # recorded its k-th best probability; replaying it as the starting
+        # threshold skips sessions whose bound cannot reach it — they could
+        # not have contributed anyway, so answers are unchanged (strict <
+        # preserves tie handling exactly).
+        planner = gathers[0].state.session.planner
+        seed_token: Optional[str] = None
+        seed: Optional[float] = None
+        if k is not None:
+            seed_token = repr(signature)
+            seed = planner.topk_seed(gathers[0].prepared.cache_key, k, seed_token)
+        threshold = self._select(gathers, k, seed=seed)
+        if seed_token is not None and threshold is not None:
+            planner.record_topk_threshold(
+                gathers[0].prepared.cache_key, k, seed_token, threshold
+            )
 
         reports: list[ShardReport] = []
         tasks: list[Callable[[], tuple[int, ShardReport, dict]]] = []
@@ -899,6 +934,20 @@ class ShardedCorpus:
             results[gathers[0].state.session.name] = cached_result
 
         reports.sort(key=lambda report: report.shard_id)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        if self.is_homogeneous:
+            # Feed the owning session's cost model: scatter latencies are
+            # recorded per fan-out under "scatter:<n>" plan keys.  Cache-hit
+            # paths returned earlier, so only genuine evaluations land here.
+            snapshot = gathers[0].state.snapshot
+            planner.observe_scatter(
+                gathers[0].prepared.cache_key,
+                self.num_shards,
+                elapsed_ms,
+                state=(snapshot.generation, snapshot.delta_epoch),
+                fan_out=fan_out,
+                skipped=skipped_bound + skipped_empty + skipped_local,
+            )
         return CorpusExecution(
             query=query_text,
             k=k,
@@ -912,7 +961,7 @@ class ShardedCorpus:
             duplicate_matches=raw_matches - merged_matches,
             cache=cache_state,
             generations=signature,
-            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+            elapsed_ms=elapsed_ms,
             shard_reports=tuple(reports),
             results=results,
             answers=tuple(item[3] for item in answers),
@@ -921,7 +970,9 @@ class ShardedCorpus:
     # ------------------------------------------------------------------ #
     # Gather internals
     # ------------------------------------------------------------------ #
-    def _select(self, gathers: list[_Gather], k: Optional[int]) -> None:
+    def _select(
+        self, gathers: list[_Gather], k: Optional[int], seed: Optional[float] = None
+    ) -> Optional[float]:
         """Fill each gather's ``selected`` mappings (global top-k when ``k``).
 
         Sessions are visited in descending order of their probability upper
@@ -931,12 +982,20 @@ class ShardedCorpus:
         step of the scatter-gather merge.  Ties rank by (corpus position,
         mapping id), which for a single session reproduces the engine's
         ``select_top_k`` ordering exactly.
+
+        ``seed`` pre-loads the threshold with the *exact* k-th best
+        probability a completed selection recorded at the identical corpus
+        state (see :meth:`gather`): a session skipped by the seed has every
+        probability strictly below the final k-th best, so it could never
+        place an answer in the pool — selection output is unchanged, only
+        the work of proving it is saved.  Returns the final k-th best
+        probability when the pool filled, else ``None``.
         """
         ordered = sorted(
             gathers, key=lambda g: (-g.state.max_probability, g.entry_index)
         )
         pool: list[tuple[float, int, int]] = []
-        threshold: Optional[float] = None
+        threshold: Optional[float] = seed if k is not None else None
         for g in ordered:
             if (
                 k is not None
@@ -958,7 +1017,7 @@ class ShardedCorpus:
             if len(pool) == k:
                 threshold = pool[-1][0]
         if k is None:
-            return
+            return None
         by_entry: dict[int, list[int]] = {}
         for _, entry_index, mapping_id in pool:
             by_entry.setdefault(entry_index, []).append(mapping_id)
@@ -970,6 +1029,7 @@ class ShardedCorpus:
                 mapping_set[mapping_id]
                 for mapping_id in sorted(by_entry.get(g.entry_index, []))
             ]
+        return pool[-1][0] if len(pool) == k else None
 
     def _static_report(self, shard: CorpusShard, status: str) -> ShardReport:
         return ShardReport(

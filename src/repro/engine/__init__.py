@@ -33,6 +33,17 @@ from repro.engine.delta import (
     apply_mapping_delta,
 )
 from repro.engine.locking import ReadWriteLock
+from repro.engine.planner import (
+    CostModel,
+    PlanDecision,
+    PlanEstimate,
+    QueryPlanner,
+    StatisticsCollector,
+    canonical_text,
+    default_service_workers,
+    normalize_query_text,
+    recommend_scatter_workers,
+)
 from repro.engine.plans import (
     BasicPlan,
     BlockTreePlan,
@@ -67,4 +78,13 @@ __all__ = [
     "plan_for",
     "register_plan",
     "available_plans",
+    "QueryPlanner",
+    "CostModel",
+    "PlanDecision",
+    "PlanEstimate",
+    "StatisticsCollector",
+    "canonical_text",
+    "normalize_query_text",
+    "recommend_scatter_workers",
+    "default_service_workers",
 ]

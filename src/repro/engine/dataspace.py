@@ -76,7 +76,8 @@ from repro.engine.cache import CacheKey, ResultCache
 from repro.engine.delta import DeltaReport, MappingDelta, apply_mapping_delta
 from repro.engine.kernels import Kernels, resolve_kernels
 from repro.engine.locking import ReadWriteLock
-from repro.engine.plans import QueryPlan, plan_for
+from repro.engine.planner import PlanDecision, QueryPlanner, canonical_text
+from repro.engine.plans import QueryPlan, available_plans, plan_for
 from repro.engine.prepared import PlanSpec, PreparedQuery, QueryBuilder
 from repro.exceptions import DataspaceError, StoreError
 from repro.mapping.generator import GenerationMethod, generate_top_h_mappings
@@ -248,6 +249,12 @@ class Dataspace:
         # best-effort, but every failure is counted and the first one warns.
         self._persist_failures = 0
         self._persist_failure_warned = False
+        # The cost-based planner: per-query statistics, the cost model and
+        # its bounded decision cache.  Scatter corpora the planner routes
+        # through are memoized per shard count (they hold thread pools).
+        self._planner = QueryPlanner()
+        self._scatter_lock = threading.Lock()
+        self._scatter_corpora: dict[int, object] = {}
 
     # ------------------------------------------------------------------ #
     # Alternative constructors
@@ -478,6 +485,9 @@ class Dataspace:
         for num_shards, layout in bundle.partitions.items():
             self._partition_layouts[num_shards] = (self._document_version, layout)
         self._restore_results(bundle.results)
+        # Planner statistics persist alongside the artifacts: a reopened
+        # session starts serving with its learned plan choices intact.
+        self._planner.adopt_payload(bundle.statistics)
 
     def _restore_results(self, rows: list[dict]) -> None:
         """Repopulate the result cache from persisted entries (best effort)."""
@@ -496,7 +506,7 @@ class Dataspace:
                     for mapping_id, probability, matches in row["answers"]
                 ]
                 key = CacheKey(
-                    query=twig.text,
+                    query=canonical_text(twig),
                     plan=key_fields["plan"],
                     k=key_fields["k"],
                     tau=key_fields["tau"],
@@ -1154,14 +1164,15 @@ class Dataspace:
                 for num_shards, (version, layout) in self._partition_layouts.items()
                 if version == snap.document_version
             }
+        signature = {
+            "generation": snap.generation,
+            "delta_epoch": snap.delta_epoch,
+            "document_version": snap.document_version,
+        }
         report = artifact_store.save_session(
             ref=ref or self._store_ref or self._default_store_ref(),
             config=self._store_config(),
-            signature={
-                "generation": snap.generation,
-                "delta_epoch": snap.delta_epoch,
-                "document_version": snap.document_version,
-            },
+            signature=signature,
             source_schema=self.source_schema,
             target_schema=self.target_schema,
             matching=snap.mapping_set.matching,
@@ -1170,6 +1181,7 @@ class Dataspace:
             compiled=compiled,
             partitions=partitions,
             results=self._result_entries(snap),
+            statistics=self._planner.statistics_payload(signature),
         )
         self._store = artifact_store
         self._store_ref = report["ref"]
@@ -1245,12 +1257,14 @@ class Dataspace:
 
         Accepts a :class:`TwigQuery`, a twig pattern string, or — on dataset
         sessions — one of the paper's query ids (``"Q1"``…``"Q10"``).
-        Preparing the same query text (or the same :class:`TwigQuery`
-        object) twice returns the same prepared query, so its resolve/filter
-        caches are shared; distinct twig objects are never conflated, even
-        when their text coincides.  The per-session prepared-query cache is
-        a bounded LRU, so serving arbitrary ad-hoc query texts cannot grow
-        session memory without limit.
+        Query texts are keyed by their *canonical* rendering (see
+        :mod:`repro.engine.planner.normalize`), so equivalent spellings —
+        whitespace, predicate order, label aliases — share one prepared
+        query, its resolve/filter caches and its planner statistics;
+        distinct twig objects are never conflated, even when their text
+        coincides.  The per-session prepared-query cache is a bounded LRU,
+        so serving arbitrary ad-hoc query texts cannot grow session memory
+        without limit.
         """
         if isinstance(query, TwigQuery):
             # A caller-supplied twig is keyed by identity: its structure may
@@ -1266,7 +1280,7 @@ class Dataspace:
                     self._twig_keys[twig] = key
         else:
             twig = self._as_twig(query)
-            key = twig.text
+            key = canonical_text(twig)
         prepared = self._prepared.get(key)
         if prepared is None:
             # First-writer-wins put: racing preparers all end up sharing the
@@ -1309,9 +1323,16 @@ class Dataspace:
         k: Optional[int] = None,
         plan: PlanSpec = None,
         use_cache: bool = True,
+        analyze: bool = False,
     ):
-        """Evaluate ``query`` and report plan choice, inputs and timings."""
-        return self.prepare(query).explain(k=k, plan=plan, use_cache=use_cache)
+        """Evaluate ``query`` and report plan choice, inputs and timings.
+
+        ``analyze=True`` adds the planner's estimated cardinalities and
+        latency next to this execution's measured actuals.
+        """
+        return self.prepare(query).explain(
+            k=k, plan=plan, use_cache=use_cache, analyze=analyze
+        )
 
     def batch(
         self,
@@ -1407,19 +1428,147 @@ class Dataspace:
         generalisation of the block tree's c-block sharing) and needs no
         block tree at all, so automatic selection never triggers a tree
         build.  All plans return identical answers, so the choice is purely
-        a performance strategy.
+        a performance strategy.  Query-aware selection (measured statistics
+        through the cost model) goes through :meth:`select_plan_for` with a
+        prepared query.
         """
         if plan is not None:
             return plan_for(plan), "forced by caller"
         return self._default_plan()
 
     def select_plan_for(
-        self, plan: PlanSpec, snapshot: EngineSnapshot
+        self,
+        plan: PlanSpec,
+        snapshot: EngineSnapshot,
+        *,
+        prepared: Optional[PreparedQuery] = None,
+        k: Optional[int] = None,
     ) -> Tuple[QueryPlan, str]:
-        """Like :meth:`select_plan`; the snapshot pins the artifacts evaluated against."""
+        """Like :meth:`select_plan`, but cost-based when a prepared query is given.
+
+        With ``prepared``, the session consults the planner's accumulated
+        statistics for that query and lets the cost model pick among the
+        in-process plans (the scatter route is decided earlier, in
+        :meth:`PreparedQuery.execute <repro.engine.prepared.PreparedQuery.execute>`).
+        Without statistics the decision degrades to the fixed default, so a
+        cold session behaves exactly as before the planner existed.
+        """
         if plan is not None:
             return plan_for(plan), "forced by caller"
+        if prepared is not None:
+            decision = self._planner.decide(
+                prepared.cache_key,
+                state=(snapshot.generation, snapshot.delta_epoch),
+                k=k,
+                allow_scatter=False,
+            )
+            return plan_for(decision.plan_name), decision.reason
         return self._default_plan()
+
+    # ------------------------------------------------------------------ #
+    # Cost-based planning
+    # ------------------------------------------------------------------ #
+    @property
+    def planner(self) -> QueryPlanner:
+        """The session's cost-based planner (statistics + decisions)."""
+        return self._planner
+
+    def plan_decision(
+        self,
+        prepared: PreparedQuery,
+        *,
+        k: Optional[int] = None,
+        allow_scatter: bool = False,
+        state: Optional[tuple[int, int]] = None,
+        collect_statistics: bool = True,
+    ) -> PlanDecision:
+        """The cost model's full decision for ``prepared`` at the current state.
+
+        ``state`` lets a caller that already holds a snapshot pass its
+        ``(generation, delta_epoch)`` instead of paying a second read-lock
+        acquisition on the hot execute path; that path also passes
+        ``collect_statistics=False`` to skip the serialized statistics
+        snapshot only ``explain()`` output reads.
+        """
+        if state is None:
+            with self._lock.read_locked():
+                state = (self._generation, self._delta_epoch)
+        return self._planner.decide(
+            prepared.cache_key,
+            state=state,
+            k=k,
+            allow_scatter=allow_scatter,
+            collect_statistics=collect_statistics,
+        )
+
+    def _scatter_corpus(self, num_shards: int):
+        """The memoized scatter-gather corpus the planner routes through."""
+        with self._scatter_lock:
+            corpus = self._scatter_corpora.get(num_shards)
+        if corpus is None:
+            corpus = self.shard(num_shards)
+            with self._scatter_lock:
+                existing = self._scatter_corpora.setdefault(num_shards, corpus)
+                corpus = existing
+        return corpus
+
+    def _scatter_execute(
+        self,
+        prepared: PreparedQuery,
+        decision: PlanDecision,
+        *,
+        k: Optional[int],
+        use_cache: bool,
+    ) -> PTQResult:
+        """Run ``prepared`` through the scatter-gather executor (byte-identical).
+
+        The corpus is addressed by the prepared query's canonical text —
+        idempotent under normalization, so the corpus resolves it back to
+        the *same* prepared query and its statistics.
+        """
+        corpus = self._scatter_corpus(decision.num_shards)
+        return corpus.execute(prepared.cache_key, k=k, use_cache=use_cache)
+
+    def calibrate(
+        self,
+        query: Union[str, TwigQuery],
+        *,
+        k: Optional[int] = None,
+        plans: Optional[Iterable[Union[str, QueryPlan]]] = None,
+        shard_counts: Iterable[int] = (),
+    ) -> dict:
+        """Measure every candidate strategy once to warm the cost model.
+
+        Runs ``query`` uncached under each in-process plan (default: all
+        registered plans) and, optionally, through scatter-gather at each of
+        ``shard_counts`` — feeding the planner real latencies so subsequent
+        un-forced executions pick the measured-fastest strategy.  Returns
+        ``{strategy: latency_ms}``.  All strategies are byte-identical by
+        contract, so calibration never changes any answer, only timings.
+        """
+        prepared = self.prepare(query)
+        plan_names = [
+            plan_for(candidate).name
+            for candidate in (plans if plans is not None else available_plans())
+        ]
+        report: dict[str, float] = {}
+        for name in plan_names:
+            started = time.perf_counter()
+            prepared.execute(k=k, plan=name, use_cache=False)
+            report[name] = (time.perf_counter() - started) * 1000.0
+        # Text-prepared queries scatter by canonical text (the corpus resolves
+        # it back to the same prepared query); hand-built twig objects carry
+        # an identity token instead of parseable text, so they go through the
+        # corpus by object — it resolves through this session's own prepare().
+        scatter_query: Union[str, TwigQuery] = (
+            prepared.cache_key if prepared._scatter_eligible() else prepared.query
+        )
+        for num_shards in shard_counts:
+            corpus = self._scatter_corpus(num_shards)
+            started = time.perf_counter()
+            corpus.execute(scatter_query, k=k, use_cache=False)
+            report[f"scatter:{num_shards}"] = (time.perf_counter() - started) * 1000.0
+        return report
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -1460,6 +1609,7 @@ class Dataspace:
                 info["num_blocks"] = self._block_tree.num_blocks
             if self._document is not None:
                 info["document_nodes"] = len(self._document)
+        info["planner"] = self._planner.report()
         info.update(self.cache_stats())
         return info
 

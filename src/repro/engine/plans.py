@@ -298,6 +298,12 @@ class ExplainReport:
     ``artifacts`` records per-artifact provenance — ``loaded`` (restored from
     a persistent store, with the deserialization time) versus ``built`` (cold
     derivation) — mirroring the cache-participation reporting.
+    ``planner`` records *why* the plan was selected: the cost estimate of
+    every candidate strategy, the winner, and the statistics snapshot the
+    cost model used (``None`` when the plan was forced by the caller).
+    ``analyze`` is populated by ``explain(analyze=True)``: the planner's
+    estimated cardinalities and latency next to the measured actuals of this
+    very execution.
     """
 
     query: str
@@ -318,6 +324,8 @@ class ExplainReport:
     cache_stats: Optional[dict] = None
     compiled_stats: Optional[dict] = None
     artifacts: Optional[dict] = None
+    planner: Optional[dict] = None
+    analyze: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable view of the report."""
@@ -340,6 +348,8 @@ class ExplainReport:
             "cache_stats": self.cache_stats,
             "compiled_stats": self.compiled_stats,
             "artifacts": self.artifacts,
+            "planner": self.planner,
+            "analyze": self.analyze,
         }
 
     def format(self) -> str:
@@ -372,6 +382,25 @@ class ExplainReport:
                 f"{stats.get('bitset_bytes', 0)} B bitsets; "
                 f"{stats.get('kernel_backend', 'python')} kernels)"
             )
+        if self.planner is not None:
+            estimates = ", ".join(
+                f"{row.get('plan')}={row.get('cost_ms')} ms"
+                f" ({row.get('observations')} obs)"
+                for row in self.planner.get("candidates", [])
+            )
+            lines.append(f"planner:    {self.planner.get('reason', '?')}")
+            if estimates:
+                lines.append(f"estimates:  {estimates}")
+        if self.analyze is not None:
+            estimated = self.analyze.get("estimated") or {}
+            actual = self.analyze.get("actual") or {}
+            parts = []
+            for field_name in sorted(set(estimated) | set(actual)):
+                parts.append(
+                    f"{field_name}={estimated.get(field_name, '?')}→"
+                    f"{actual.get(field_name, '?')}"
+                )
+            lines.append(f"analyze:    {'  '.join(parts)} (estimated→actual)")
         lines.append(f"timings:    {timings}")
         if self.cache is not None:
             stats = self.cache_stats or {}

@@ -201,6 +201,15 @@ class PreparedQuery:
         need_tree = plan is not None and plan_for(plan).uses_block_tree
         return self._dataspace.snapshot(need_tree=need_tree)
 
+    def _scatter_eligible(self) -> bool:
+        """Whether the cost model may route this query through scatter-gather.
+
+        Identity-keyed twigs (``<twig:N>``) are excluded: the scatter route
+        re-resolves the query from its canonical text, which an identity key
+        is not.
+        """
+        return not self._cache_key.startswith("<twig:")
+
     def execute(
         self,
         *,
@@ -217,7 +226,10 @@ class PreparedQuery:
             Optional top-k restriction (Definition 5).
         plan:
             Optional plan override (name or :class:`QueryPlan`); when
-            omitted the session selects one.
+            omitted the cost model selects a strategy from the query's
+            measured statistics (possibly the scatter-gather executor),
+            degrading to the fixed ``compiled`` default when cold.  All
+            strategies are byte-identical, so the choice only affects time.
         snapshot:
             Evaluate against this pre-captured snapshot instead of taking a
             fresh one (batch executors pass the batch's shared snapshot).
@@ -226,10 +238,37 @@ class PreparedQuery:
             Cached results are shared objects — treat them as read-only.
         """
         ds = self._dataspace
-        snap = self._snapshot_for(plan, snapshot)
-        chosen, _ = ds.select_plan_for(plan, snap)
+        decision = None
+        if plan is None and snapshot is None:
+            # One snapshot up front: its (generation, delta_epoch) keys the
+            # decision, and the common (non-tree) choices evaluate straight
+            # against it — only a tree-plan choice pays a second snapshot.
+            snap = ds.snapshot(need_tree=False)
+            decision = ds.plan_decision(
+                self,
+                k=k,
+                allow_scatter=self._scatter_eligible(),
+                state=(snap.generation, snap.delta_epoch),
+                collect_statistics=False,
+            )
+            if decision.executor == "scatter" and decision.num_shards:
+                return ds._scatter_execute(self, decision, k=k, use_cache=use_cache)
+        if decision is not None:
+            chosen = plan_for(decision.plan_name)
+            if chosen.uses_block_tree and snap.block_tree is None:
+                snap = ds.snapshot(need_tree=True)
+        else:
+            snap = self._snapshot_for(plan, snapshot)
+            chosen, _ = ds.select_plan_for(
+                plan, snap, prepared=self if plan is None else None, k=k
+            )
+            if chosen.uses_block_tree and snap.block_tree is None:
+                # A shared batch snapshot taken without the tree cannot run
+                # the tree plan; the default needs no tree.
+                chosen = plan_for("compiled")
         cache = ds.result_cache if use_cache else None
         key: Optional[CacheKey] = None
+        relevant = self.relevant_mappings(snap)
         if cache is not None:
             key = self._result_key(chosen, k, snap)
             cached = cache.get(key)
@@ -240,22 +279,30 @@ class PreparedQuery:
                 # target elements (one bitwise AND each).
                 cached = cache.retain(
                     key,
-                    mapping_mask(
-                        m.mapping_id for m in self.relevant_mappings(snap)
-                    ),
+                    mapping_mask(m.mapping_id for m in relevant),
                     self.required_target_mask(),
                 )
             if cached is not None:
+                ds.planner.observe_cache_hit(self._cache_key)
                 return cached
+        started = time.perf_counter()
         result = chosen.run(
             self._query,
             snap.mapping_set,
             snap.document,
             block_tree=snap.block_tree if chosen.uses_block_tree else None,
             embeddings=self.embeddings,
-            relevant=self.relevant_mappings(snap),
+            relevant=relevant,
             k=k,
             kernels=ds.kernels,
+        )
+        ds.planner.observe_execution(
+            self._cache_key,
+            chosen.name,
+            (time.perf_counter() - started) * 1000.0,
+            state=(snap.generation, snap.delta_epoch),
+            num_relevant=len(relevant),
+            num_embeddings=len(self.embeddings),
         )
         if cache is not None:
             result = cache.put(key, result)
@@ -268,11 +315,36 @@ class PreparedQuery:
         plan: PlanSpec = None,
         snapshot: Optional["EngineSnapshot"] = None,
         use_cache: bool = True,
+        analyze: bool = False,
     ) -> ExplainReport:
-        """Execute the query and report plan choice, inputs and stage timings."""
+        """Execute the query and report plan choice, inputs and stage timings.
+
+        Without a forced ``plan`` the report carries the planner's full
+        decision — per-candidate cost estimates, the winner, and the
+        statistics snapshot used.  With ``analyze=True`` it also compares
+        the planner's *estimated* cardinalities and latency against the
+        measured actuals of this very execution (``EXPLAIN ANALYZE``).
+        """
         ds = self._dataspace
-        snap = self._snapshot_for(plan, snapshot)
-        chosen, reason = ds.select_plan_for(plan, snap)
+        decision = None
+        if plan is None:
+            decision = ds.plan_decision(self, k=k, allow_scatter=False)
+        # The estimates are whatever the planner knew *before* this run.
+        pre_stats = (
+            decision.statistics
+            if decision is not None
+            else ds.planner.snapshot(self._cache_key)
+        )
+        if decision is not None:
+            chosen, reason = plan_for(decision.plan_name), decision.reason
+            snap = (
+                snapshot
+                if snapshot is not None
+                else ds.snapshot(need_tree=chosen.uses_block_tree)
+            )
+        else:
+            snap = self._snapshot_for(plan, snapshot)
+            chosen, reason = ds.select_plan_for(plan, snap)
         timings: dict[str, float] = {}
 
         started = time.perf_counter()
@@ -302,6 +374,7 @@ class PreparedQuery:
                 )
                 if result is not None:
                     cache_state = "retained"
+        evaluated = result is None
         if result is None:
             result = chosen.run(
                 self._query,
@@ -316,6 +389,17 @@ class PreparedQuery:
             if cache is not None:
                 result = cache.put(key, result)
         timings["evaluate"] = (time.perf_counter() - started) * 1000.0
+        if evaluated:
+            ds.planner.observe_execution(
+                self._cache_key,
+                chosen.name,
+                timings["evaluate"],
+                state=(snap.generation, snap.delta_epoch),
+                num_relevant=len(relevant),
+                num_embeddings=len(embeddings),
+            )
+        else:
+            ds.planner.observe_cache_hit(self._cache_key)
 
         num_selected = len(relevant) if k is None else min(k, len(relevant))
         anchored = (
@@ -329,6 +413,38 @@ class PreparedQuery:
             compiled_stats = snap.mapping_set.compile(ds.kernels).rewrite_stats(
                 embeddings, selected
             )
+            distinct = compiled_stats.get("num_distinct_rewrites")
+            if distinct is not None:
+                ds.planner.observe_rewrites(self._cache_key, int(distinct))
+        planner_info = None
+        if decision is not None:
+            planner_info = {
+                "winner": decision.plan_name,
+                "executor": decision.executor,
+                "reason": decision.reason,
+                "cached_decision": decision.cached,
+                "candidates": [estimate.to_dict() for estimate in decision.candidates],
+                "statistics": decision.statistics,
+            }
+        analyze_info = None
+        if analyze:
+            estimated: dict = {}
+            if pre_stats:
+                plan_estimates = pre_stats.get("plans", {}).get(chosen.name) or {}
+                ewma = plan_estimates.get("ewma_ms")
+                estimated = {
+                    "num_relevant": pre_stats.get("num_relevant"),
+                    "num_embeddings": pre_stats.get("num_embeddings"),
+                    "evaluate_ms": round(ewma, 3) if ewma is not None else None,
+                }
+            analyze_info = {
+                "estimated": estimated,
+                "actual": {
+                    "num_relevant": len(relevant),
+                    "num_embeddings": len(embeddings),
+                    "evaluate_ms": round(timings["evaluate"], 3),
+                },
+            }
         return ExplainReport(
             query=self.text,
             plan=chosen.name,
@@ -348,6 +464,8 @@ class PreparedQuery:
             cache_stats=ds.result_cache.stats().to_dict() if use_cache else None,
             compiled_stats=compiled_stats,
             artifacts=ds.artifact_provenance() or None,
+            planner=planner_info,
+            analyze=analyze_info,
         )
 
     def __repr__(self) -> str:
@@ -392,9 +510,11 @@ class QueryBuilder:
         """Evaluate with the builder's settings."""
         return self._prepared.execute(k=self._k, plan=self._plan, use_cache=self._use_cache)
 
-    def explain(self) -> ExplainReport:
-        """Evaluate and report how (plan, inputs, timings)."""
-        return self._prepared.explain(k=self._k, plan=self._plan, use_cache=self._use_cache)
+    def explain(self, *, analyze: bool = False) -> ExplainReport:
+        """Evaluate and report how (plan, inputs, timings; estimates when ``analyze``)."""
+        return self._prepared.explain(
+            k=self._k, plan=self._plan, use_cache=self._use_cache, analyze=analyze
+        )
 
     def __repr__(self) -> str:
         plan = self._plan.name if isinstance(self._plan, QueryPlan) else self._plan

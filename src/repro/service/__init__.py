@@ -32,8 +32,10 @@ from repro.engine.cache import CacheStats, ResultCache
 from repro.service.driver import (
     ReplayOp,
     ReplayReport,
+    build_mixed_workload,
     build_workload,
     replay_workload,
+    swap_reweight_delta,
     workload_queries,
 )
 from repro.service.service import QueryService
@@ -45,6 +47,8 @@ __all__ = [
     "ReplayOp",
     "ReplayReport",
     "build_workload",
+    "build_mixed_workload",
+    "swap_reweight_delta",
     "replay_workload",
     "workload_queries",
 ]

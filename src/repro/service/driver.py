@@ -3,7 +3,9 @@
 The driver turns the paper's D1–D10 datasets into serving workloads: it
 derives a deterministic query set for any dataset's target schema
 (:func:`workload_queries`), interleaves datasets into a mixed operation
-stream (:func:`build_workload`), and replays that stream against per-dataset
+stream (:func:`build_workload`, or :func:`build_mixed_workload` for a
+read/write mix that interleaves :meth:`~repro.engine.dataspace.Dataspace.apply_delta`
+writes), and replays that stream against per-dataset
 :class:`~repro.service.service.QueryService` instances at a configurable
 concurrency (:func:`replay_workload`), reporting throughput, p50/p95/p99
 latency and cache statistics as a :class:`ReplayReport`.
@@ -21,6 +23,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.engine.delta import MappingDelta
 from repro.exceptions import ReproError
 from repro.service.service import QueryService, percentile_summary
 
@@ -29,6 +32,8 @@ __all__ = [
     "ReplayReport",
     "workload_queries",
     "build_workload",
+    "build_mixed_workload",
+    "swap_reweight_delta",
     "replay_workload",
 ]
 
@@ -38,11 +43,24 @@ _DEFAULT_QUERIES_PER_DATASET = 6
 
 @dataclass(frozen=True)
 class ReplayOp:
-    """One operation of a replay stream: a query against one dataset."""
+    """One operation of a replay stream.
+
+    A *read* op (``delta is None``) executes ``query`` against the dataset's
+    service; a *write* op carries a
+    :class:`~repro.engine.delta.MappingDelta` and is applied through
+    :meth:`~repro.service.service.QueryService.apply_delta` (the ``query``
+    field is then just a display label).
+    """
 
     dataset_id: str
     query: str
     k: Optional[int] = None
+    delta: Optional[MappingDelta] = None
+
+    @property
+    def is_write(self) -> bool:
+        """``True`` when this op applies a mapping delta instead of reading."""
+        return self.delta is not None
 
 
 @dataclass(frozen=True)
@@ -60,6 +78,8 @@ class ReplayReport:
     elapsed_seconds: float
     throughput_qps: float
     errors: int
+    reads: int = 0
+    writes: int = 0
     latency_ms: dict[str, float] = field(default_factory=dict)
     per_dataset: dict[str, int] = field(default_factory=dict)
     cache: dict[str, int] = field(default_factory=dict)
@@ -73,6 +93,8 @@ class ReplayReport:
             "elapsed_seconds": round(self.elapsed_seconds, 4),
             "throughput_qps": round(self.throughput_qps, 2),
             "errors": self.errors,
+            "reads": self.reads,
+            "writes": self.writes,
             "latency_ms": dict(self.latency_ms),
             "per_dataset": dict(self.per_dataset),
             "cache": dict(self.cache),
@@ -82,8 +104,9 @@ class ReplayReport:
         """Human-readable multi-line rendering."""
         datasets = "  ".join(f"{d}={n}" for d, n in sorted(self.per_dataset.items()))
         latency = "  ".join(f"{name}={ms:.2f} ms" for name, ms in self.latency_ms.items())
+        mix = f" reads={self.reads} writes={self.writes}" if self.writes else ""
         lines = [
-            f"ops:         {self.num_ops} ({datasets})",
+            f"ops:         {self.num_ops} ({datasets}){mix}",
             f"concurrency: {self.concurrency} (cache {'warm' if self.warmed else 'cold'})",
             f"elapsed:     {self.elapsed_seconds:.3f} s",
             f"throughput:  {self.throughput_qps:.1f} queries/s",
@@ -165,6 +188,63 @@ def build_workload(
     return ops
 
 
+def swap_reweight_delta(service_or_session) -> MappingDelta:
+    """A deterministic, always-valid write: swap the two top probabilities.
+
+    Builds a :class:`~repro.engine.delta.MappingDelta` that reweights
+    mappings ``0`` and ``1`` to each other's *current* probabilities.  The
+    swap is mass-preserving by construction, and applying the same delta
+    twice is valid too (the pair's probability sum never changes), so the
+    delta can be replayed blindly — including during a warm-up pass.
+    """
+    session = getattr(service_or_session, "dataspace", service_or_session)
+    mapping_set = session.mapping_set
+    if len(mapping_set) < 2:
+        raise ValueError("swap_reweight_delta needs at least two mappings")
+    return MappingDelta.build(
+        reweight={0: mapping_set[1].probability, 1: mapping_set[0].probability}
+    )
+
+
+def build_mixed_workload(
+    dataset_ids: Sequence[str],
+    *,
+    queries_per_dataset: int = _DEFAULT_QUERIES_PER_DATASET,
+    repeats: int = 2,
+    k: Optional[int] = None,
+    deltas: Optional[dict[str, Sequence[MappingDelta]]] = None,
+) -> list[ReplayOp]:
+    """A read/write operation stream: queries with interleaved deltas.
+
+    Emits the same round-robin read stream as :func:`build_workload`, but
+    after each repeat pass appends one write op per dataset listed in
+    ``deltas`` (cycling through that dataset's delta sequence), so each
+    subsequent pass queries a mutated mapping set — the workload shape where
+    delta-epoch cache retention and planner decision invalidation are
+    exercised together.
+    """
+    deltas = deltas or {}
+    cursors = {dataset_id: 0 for dataset_id in deltas}
+    per_dataset = {
+        dataset_id: workload_queries(dataset_id, limit=queries_per_dataset)
+        for dataset_id in dataset_ids
+    }
+    ops: list[ReplayOp] = []
+    for _ in range(max(1, repeats)):
+        for index in range(queries_per_dataset):
+            for dataset_id in dataset_ids:
+                queries = per_dataset[dataset_id]
+                if index < len(queries):
+                    ops.append(ReplayOp(dataset_id, queries[index], k))
+        for dataset_id in dataset_ids:
+            sequence = deltas.get(dataset_id)
+            if sequence:
+                delta = sequence[cursors[dataset_id] % len(sequence)]
+                cursors[dataset_id] += 1
+                ops.append(ReplayOp(dataset_id, "<apply_delta>", delta=delta))
+    return ops
+
+
 def _run_ops(
     ops: Sequence[ReplayOp],
     services: dict[str, QueryService],
@@ -177,7 +257,10 @@ def _run_ops(
     def run_one(op: ReplayOp) -> Optional[float]:
         started = time.perf_counter()
         try:
-            services[op.dataset_id].execute(op.query, k=op.k)
+            if op.delta is not None:
+                services[op.dataset_id].apply_delta(op.delta)
+            else:
+                services[op.dataset_id].execute(op.query, k=op.k)
         except ReproError:
             return None
         return (time.perf_counter() - started) * 1000.0
@@ -255,6 +338,7 @@ def replay_workload(
             cache_totals["misses"] += stats.misses
             cache_totals["evictions"] += stats.evictions
         latency_ms = percentile_summary(latencies) if latencies else {}
+        writes = sum(1 for op in ops if op.is_write)
         return ReplayReport(
             num_ops=len(ops),
             concurrency=concurrency,
@@ -262,6 +346,8 @@ def replay_workload(
             elapsed_seconds=elapsed,
             throughput_qps=len(ops) / elapsed if elapsed > 0 else 0.0,
             errors=errors,
+            reads=len(ops) - writes,
+            writes=writes,
             latency_ms=latency_ms,
             per_dataset=per_dataset,
             cache=cache_totals,

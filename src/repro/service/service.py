@@ -92,7 +92,11 @@ class QueryService:
         callers (both are thread-safe).
     max_workers:
         Size of the service's thread pool (used by :meth:`submit`,
-        :meth:`submit_many` and :meth:`execute_many`).
+        :meth:`submit_many` and :meth:`execute_many`).  ``None`` (default)
+        sizes the pool for the session's kernel backend via
+        :func:`repro.engine.planner.default_service_workers` — the numpy
+        kernels release the GIL, so the pool scales with the machine's
+        cores; the pure-Python kernels keep the historical fixed 8.
     use_cache:
         Whether served queries consult the session's result cache
         (default ``True``).  Corpus-backed services cache under
@@ -109,12 +113,13 @@ class QueryService:
         self,
         dataspace: Union["Dataspace", "ShardedCorpus"],
         *,
-        max_workers: int = 8,
+        max_workers: Optional[int] = None,
         use_cache: bool = True,
     ) -> None:
-        if max_workers < 1:
+        if max_workers is not None and max_workers < 1:
             raise DataspaceError(f"max_workers must be at least 1, got {max_workers}")
         from repro.corpus import ShardedCorpus as _ShardedCorpus
+        from repro.engine.planner import default_service_workers
 
         self._corpus: Optional["ShardedCorpus"]
         if isinstance(dataspace, _ShardedCorpus):
@@ -128,6 +133,8 @@ class QueryService:
         else:
             self._corpus = None
             self._dataspace = dataspace
+        if max_workers is None:
+            max_workers = default_service_workers(self._dataspace.kernels)
         self._use_cache = use_cache
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix=f"ptq-{dataspace.name}"
@@ -183,6 +190,16 @@ class QueryService:
     def max_workers(self) -> int:
         """Thread-pool size."""
         return self._max_workers
+
+    def executor_config(self) -> dict:
+        """The service's chosen executor configuration (for benchmarks/ops)."""
+        config: dict = {
+            "max_workers": self._max_workers,
+            "backend": self._dataspace.kernels.name,
+        }
+        if self._corpus is not None:
+            config["corpus"] = self._corpus.executor_config()
+        return config
 
     def close(self, *, wait: bool = True) -> None:
         """Shut the pool down; queued work finishes when ``wait`` is true.

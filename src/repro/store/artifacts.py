@@ -384,6 +384,9 @@ def manifest_block_keys(manifest: dict) -> list[str]:
     results_key = manifest.get("results")
     if results_key:
         keys.append(results_key)
+    statistics_key = manifest.get("statistics")
+    if statistics_key:
+        keys.append(statistics_key)
     return keys
 
 
@@ -393,9 +396,10 @@ class SessionBundle:
 
     ``partitions`` maps shard counts to raw layout payloads (rebuilt lazily
     against the loaded document) and ``results`` holds raw result-entry rows
-    (the session re-parses query texts itself).  ``load_ms`` records the
-    per-artifact deserialization cost, surfaced by ``explain()`` as artifact
-    provenance.
+    (the session re-parses query texts itself).  ``statistics`` carries the
+    planner's persisted statistics payload (``None`` when the session saved
+    none).  ``load_ms`` records the per-artifact deserialization cost,
+    surfaced by ``explain()`` as artifact provenance.
     """
 
     ref: str
@@ -410,6 +414,7 @@ class SessionBundle:
     compiled_loaded: bool
     partitions: dict[int, dict] = field(default_factory=dict)
     results: list[dict] = field(default_factory=list)
+    statistics: Optional[dict] = None
     load_ms: dict[str, float] = field(default_factory=dict)
 
 
@@ -485,6 +490,7 @@ class ArtifactStore:
         compiled=None,
         partitions: Optional[dict[int, dict]] = None,
         results: Optional[Iterable[tuple]] = None,
+        statistics: Optional[dict] = None,
     ) -> dict:
         """Persist one session state under ``ref``; return a small report.
 
@@ -510,6 +516,7 @@ class ArtifactStore:
         result_rows = list(results) if results is not None else []
         if result_rows:
             results_key = self.put_payload(result_entries_payload(result_rows))
+        statistics_key = self.put_payload(statistics) if statistics else None
         manifest = {
             "kind": "dataspace",
             "format": MANIFEST_FORMAT,
@@ -518,6 +525,7 @@ class ArtifactStore:
             "artifacts": artifacts,
             "partitions": partition_keys,
             "results": results_key,
+            "statistics": statistics_key,
         }
         manifest_key = self.put_payload(manifest)
         self.blocks.set_ref(ref, manifest_key)
@@ -623,6 +631,9 @@ class ArtifactStore:
         results: list[dict] = []
         if manifest.get("results"):
             results = self.get_payload(manifest["results"])["entries"]
+        statistics: Optional[dict] = None
+        if manifest.get("statistics"):
+            statistics = self.get_payload(manifest["statistics"])
         return SessionBundle(
             ref=ref,
             manifest_key=manifest_key,
@@ -636,6 +647,7 @@ class ArtifactStore:
             compiled_loaded=compiled_loaded,
             partitions=partitions,
             results=results,
+            statistics=statistics,
             load_ms=load_ms,
         )
 

@@ -233,3 +233,44 @@ class TestBatchAndServiceEquivalence:
             == answer_set(batched)
             == answer_set(compiled)
         )
+
+
+class TestCostBasedPlannerEquivalence:
+    """The adaptive planner must never change an answer — not even a bit.
+
+    After a ``calibrate()`` pass the cost model holds measured latencies for
+    every in-process plan (and, when shard counts are calibrated, the
+    scatter-gather route), so the subsequent un-forced execution takes
+    whatever strategy the model picked.  Whatever it picks, the answers must
+    serialize byte-identically (``float.hex()``) to every fixed plan's — per
+    kernel backend, per shard count.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=15, deadline=None)
+    @given(scenario=query_scenarios(), num_shards=st.sampled_from([1, 2, 4, 7]))
+    def test_cost_routed_equals_every_fixed_plan(self, backend, scenario, num_shards):
+        session, query = open_session(scenario, kernels=backend)
+        fixed = {
+            plan: canonical_answers(session.execute(query, plan=plan, use_cache=False))
+            for plan in ("basic", "blocktree", "compiled")
+        }
+        assert fixed["basic"] == fixed["blocktree"] == fixed["compiled"]
+        session.calibrate(query, shard_counts=(num_shards,))
+        routed = canonical_answers(session.execute(query, use_cache=False))
+        decision = session.plan_decision(session.prepare(query), allow_scatter=True)
+        assert routed == fixed["compiled"], f"planner chose {decision.plan_name}"
+
+    @settings(max_examples=10, deadline=None)
+    @given(query_scenarios(), st.integers(1, 5), st.sampled_from([1, 2, 4, 7]))
+    def test_cost_routed_topk_identical(self, scenario, k, num_shards):
+        session, query = open_session(scenario)
+        fixed = canonical_answers(session.execute(query, k=k, plan="compiled", use_cache=False))
+        session.calibrate(query, k=k, shard_counts=(num_shards,))
+        routed = canonical_answers(session.execute(query, k=k, use_cache=False))
+        # Repeated scattered top-k replays seed the gather with the remembered
+        # exact threshold — answers must stay byte-identical regardless.
+        corpus = session.shard(num_shards)
+        reseeded = canonical_answers(corpus.execute(query, k=k, use_cache=False))
+        assert routed == fixed
+        assert reseeded == fixed

@@ -51,6 +51,11 @@ RAW_BENCHMARK = {
             "group": "alpha",
             "stats": {"min": 0.1, "max": 0.2, "mean": 0.15, "stddev": 0.01,
                       "median": 0.15, "rounds": 5, "iterations": 2},
+            "extra_info": {
+                "speedup": 2.123456789,
+                "executor": {"backend": "numpy", "max_workers": 8},
+                "ratios": [1.04999999, 2.0],
+            },
         },
     ],
 }
@@ -62,6 +67,15 @@ class TestPerfTrajectory:
         assert [row["name"] for row in rows] == sorted(row["name"] for row in rows)
         assert rows[0]["mean"] == 0.15
         assert "data" not in rows[0] and "data" not in rows[1]
+
+    def test_extra_info_ratios_are_normalised(self):
+        rows = perf_trajectory.normalise_report(RAW_BENCHMARK)
+        assert rows[0]["extra_info"] == {
+            "executor": {"backend": "numpy", "max_workers": 8},
+            "ratios": [1.05, 2.0],
+            "speedup": 2.1235,
+        }
+        assert "extra_info" not in rows[1]  # none recorded
 
     def test_build_trajectory_stamps_run(self):
         trajectory = perf_trajectory.build_trajectory(

@@ -573,3 +573,60 @@ class TestCorpusBackedService:
             warm = service.execute(ICN_QUERY)
         assert warm is cold
         assert figure_dataspace.result_cache.stats().hits >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Replay driver: mixed read/write streams
+# --------------------------------------------------------------------------- #
+class TestReplayDriver:
+    def test_mixed_workload_interleaves_deltas(self, figure_dataspace):
+        from repro.service import ReplayOp, replay_workload, swap_reweight_delta
+
+        delta = swap_reweight_delta(figure_dataspace)
+        before = figure_dataspace.delta_epoch
+        with QueryService(figure_dataspace, max_workers=2) as service:
+            ops = [
+                ReplayOp("fig", ICN_QUERY),
+                ReplayOp("fig", "<apply_delta>", delta=delta),
+                ReplayOp("fig", ICN_QUERY),
+                ReplayOp("fig", SCN_QUERY, k=2),
+            ]
+            assert [op.is_write for op in ops] == [False, True, False, False]
+            report = replay_workload(ops, concurrency=1, services={"fig": service})
+        assert report.errors == 0
+        assert report.reads == 3
+        assert report.writes == 1
+        assert report.to_dict()["writes"] == 1
+        assert "writes=1" in report.format()
+        assert figure_dataspace.delta_epoch == before + 1
+
+    def test_swap_reweight_delta_is_mass_preserving_and_replayable(
+        self, figure_dataspace
+    ):
+        from repro.service import swap_reweight_delta
+
+        delta = swap_reweight_delta(figure_dataspace)
+        p0 = figure_dataspace.mapping_set[0].probability
+        p1 = figure_dataspace.mapping_set[1].probability
+        figure_dataspace.apply_delta(delta)
+        assert figure_dataspace.mapping_set[0].probability == p1
+        assert figure_dataspace.mapping_set[1].probability == p0
+        # The same delta applies again without violating mass preservation.
+        figure_dataspace.apply_delta(delta)
+        assert figure_dataspace.mapping_set[0].probability == p1
+
+    def test_build_mixed_workload_cycles_deltas(self):
+        from repro.engine import MappingDelta
+        from repro.service import build_mixed_workload
+
+        deltas = [
+            MappingDelta.build(reweight={0: 0.5, 1: 0.5}),
+            MappingDelta.build(reweight={0: 0.6, 1: 0.4}),
+        ]
+        ops = build_mixed_workload(
+            ["D1"], queries_per_dataset=2, repeats=3, deltas={"D1": deltas}
+        )
+        writes = [op for op in ops if op.is_write]
+        assert len(writes) == 3
+        assert [op.delta for op in writes] == [deltas[0], deltas[1], deltas[0]]
+        assert all(not op.is_write or op.query == "<apply_delta>" for op in ops)
