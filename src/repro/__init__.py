@@ -29,6 +29,14 @@ a stale generation::
     with repro.QueryService(ds, max_workers=8) as service:
         results = service.execute_many(["Q1", "Q2", "Q7"], k=10)
 
+The network layer serves a session (or sharded corpus) over TCP with
+admission control, and the typed client speaks the same API remotely with
+the same result shapes and the same exceptions::
+
+    server = repro.ReproServer(ds)          # await server.start() / .serve()
+    with repro.connect("127.0.0.1", server.port) as client:
+        result = client.query("Q7", k=10)   # QueryResult, typed errors
+
 The pipeline stages also remain available as low-level free functions
 (``SchemaMatcher``, :func:`generate_top_h_mappings`,
 :func:`build_block_tree`, :func:`evaluate_ptq_blocktree`, ...) for callers
@@ -42,16 +50,31 @@ from repro.exceptions import (
     DataspaceError,
     DocumentConformanceError,
     DocumentError,
+    KernelError,
     MappingError,
     MatchingError,
     CorpusError,
+    PersistFailedWarning,
     QueryError,
     ReproError,
+    ReproWarning,
     RewriteError,
     SchemaError,
     SchemaParseError,
     StoreError,
+    StoreFallbackWarning,
     TwigParseError,
+)
+from repro.api import (
+    PROTOCOL_VERSION,
+    BadRequestError,
+    OverloadedError,
+    PayloadTooLargeError,
+    ProtocolError,
+    QueryAnswer,
+    QueryResult,
+    RequestTimeoutError,
+    ShuttingDownError,
 )
 from repro.schema import (
     Schema,
@@ -94,9 +117,6 @@ from repro.query import (
     PTQResult,
     TwigNode,
     TwigQuery,
-    evaluate_ptq_basic,
-    evaluate_ptq_blocktree,
-    evaluate_topk_ptq,
     filter_mappings,
     parse_twig,
     resolve_query,
@@ -164,8 +184,50 @@ from repro.store import (
     OverlayBlockStore,
     SqliteBlockStore,
 )
+from repro.net import ReproClient, ReproServer, connect
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
+
+#: Seed-era free functions still exported for compatibility; accessing them
+#: through the top-level namespace warns and points at the session API.  The
+#: underlying implementations remain available, silently, in ``repro.query``.
+_DEPRECATED_QUERY_FUNCTIONS = {
+    "evaluate_ptq_basic": 'Dataspace.execute(query, plan="basic")',
+    "evaluate_ptq_blocktree": 'Dataspace.execute(query, plan="blocktree")',
+    "evaluate_topk_ptq": "Dataspace.query(query).top_k(k).execute()",
+}
+
+_deprecated_cache: dict = {}
+
+
+def __getattr__(name: str):
+    """Serve deprecated seed functions with a :class:`DeprecationWarning`."""
+    if name in _DEPRECATED_QUERY_FUNCTIONS:
+        cached = _deprecated_cache.get(name)
+        if cached is not None:
+            return cached
+        import functools
+        import warnings
+
+        import repro.query as _query
+
+        func = getattr(_query, name)
+        replacement = _DEPRECATED_QUERY_FUNCTIONS[name]
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            warnings.warn(
+                f"repro.{name} is deprecated; use the session API instead "
+                f"(e.g. {replacement}). The low-level entry point remains "
+                f"available as repro.query.{name}.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return func(*args, **kwargs)
+
+        _deprecated_cache[name] = wrapper
+        return wrapper
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
     "__version__",
@@ -186,6 +248,24 @@ __all__ = [
     "DataspaceError",
     "CorpusError",
     "StoreError",
+    "KernelError",
+    "BadRequestError",
+    "ProtocolError",
+    "PayloadTooLargeError",
+    "OverloadedError",
+    "ShuttingDownError",
+    "RequestTimeoutError",
+    # structured warnings
+    "ReproWarning",
+    "StoreFallbackWarning",
+    "PersistFailedWarning",
+    # network front-end and typed client
+    "ReproServer",
+    "ReproClient",
+    "connect",
+    "PROTOCOL_VERSION",
+    "QueryAnswer",
+    "QueryResult",
     # persistent artifact store
     "ArtifactStore",
     "BlockStore",

@@ -1,0 +1,179 @@
+"""Wire-level error taxonomy: stable codes ⇄ exception classes, both ways.
+
+The serving stack needs two guarantees the bare exception hierarchy cannot
+give on its own:
+
+* **Every failure a caller can observe has a stable code.**  The engine's
+  exceptions (:mod:`repro.exceptions`) carry their code on the class; this
+  module adds the errors that only exist at the serving boundary — admission
+  shed, payload limits, framing violations, request deadlines — and builds
+  the complete registry.
+* **Codes map back to classes.**  A remote client that receives an error
+  payload re-raises the *same* exception type the engine would have raised
+  in process, so ``except repro.TwigParseError:`` works identically against
+  a :class:`~repro.net.client.ReproClient` and a local
+  :class:`~repro.engine.Dataspace`.
+
+:func:`wire_error` and :func:`error_from_wire` are the two directions of
+that mapping; :data:`CODE_TO_ERROR` is the registry (exported for the
+protocol documentation and the conformance tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "BadRequestError",
+    "ProtocolError",
+    "PayloadTooLargeError",
+    "OverloadedError",
+    "ShuttingDownError",
+    "RequestTimeoutError",
+    "CODE_TO_ERROR",
+    "error_code",
+    "error_for_code",
+    "wire_error",
+    "error_from_wire",
+]
+
+
+class BadRequestError(ReproError):
+    """A structurally invalid request: unknown operation, missing or
+    ill-typed fields, or an unsupported protocol version."""
+
+    code = "bad-request"
+
+
+class ProtocolError(ReproError):
+    """A violation of the binary framing or HTTP envelope itself (bad magic,
+    bad opcode, truncated header, malformed JSON payload).
+
+    Protocol errors are not recoverable within a connection: the server
+    reports the error and closes, since the stream position can no longer
+    be trusted."""
+
+    code = "protocol"
+
+
+class PayloadTooLargeError(ProtocolError):
+    """A frame or HTTP body exceeded the server's configured payload cap."""
+
+    code = "payload-too-large"
+
+
+class OverloadedError(ReproError):
+    """The server shed this request: in-flight and queued work are at their
+    admission-control caps.
+
+    ``retry_after`` is the server's backoff hint in seconds.  Shedding is
+    *typed and immediate* by design — an overloaded server answers with this
+    error instead of letting requests time out in an unbounded queue."""
+
+    code = "overloaded"
+
+    def __init__(self, message: str, *, retry_after: float = 0.1) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ShuttingDownError(OverloadedError):
+    """The server is draining: in-flight requests finish, new ones are
+    refused.  ``retry_after`` hints when a replacement worker may be up."""
+
+    code = "shutting-down"
+
+
+class RequestTimeoutError(ReproError):
+    """The request exceeded the server's per-request deadline.
+
+    The response is sent as soon as the deadline passes; the underlying
+    evaluation cannot be interrupted mid-kernel, so its (discarded) work may
+    continue briefly in the executor."""
+
+    code = "timeout"
+
+
+def _walk(cls: type) -> list[type]:
+    found = [cls]
+    for sub in cls.__subclasses__():
+        found.extend(_walk(sub))
+    return found
+
+
+def _build_registry() -> dict[str, type[ReproError]]:
+    registry: dict[str, type[ReproError]] = {}
+    for cls in _walk(ReproError):
+        code = cls.__dict__.get("code")
+        if code is None:
+            continue  # class inherits its parent's code; parent owns it
+        if code in registry:  # pragma: no cover - guarded by the test suite
+            raise RuntimeError(
+                f"duplicate error code {code!r}: {registry[code].__name__} "
+                f"and {cls.__name__}"
+            )
+        registry[code] = cls
+    return registry
+
+
+#: Stable code -> exception class, covering the whole taxonomy: the engine's
+#: errors (``repro.exceptions``) plus the serving-boundary errors above.
+CODE_TO_ERROR: dict[str, type[ReproError]] = _build_registry()
+
+
+def error_code(error: BaseException) -> str:
+    """The stable code of ``error`` (``"internal"`` for foreign exceptions)."""
+    if isinstance(error, ReproError):
+        return error.code
+    return ReproError.code
+
+
+def error_for_code(code: str) -> type[ReproError]:
+    """The exception class registered under ``code``.
+
+    Unknown codes (a newer server talking to an older client) degrade to
+    :class:`ReproError` rather than failing, so forward compatibility never
+    turns a typed error into a crash.
+    """
+    return CODE_TO_ERROR.get(code, ReproError)
+
+
+def wire_error(error: BaseException) -> dict:
+    """Serialize any exception into the protocol's error payload.
+
+    The payload is JSON-serialisable and deterministic for a given error:
+    ``{"code", "type", "message"}`` plus ``"retry_after"`` for admission
+    shed.  Foreign (non-:class:`ReproError`) exceptions map to the base
+    ``"internal"`` code with their class name preserved in ``type``.
+    """
+    payload = {
+        "code": error_code(error),
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is not None:
+        payload["retry_after"] = round(float(retry_after), 6)
+    return payload
+
+
+def error_from_wire(payload: dict) -> ReproError:
+    """Reconstruct the typed exception a wire error payload describes.
+
+    The inverse of :func:`wire_error`: the registered class for the payload's
+    code is instantiated with the transmitted message (and ``retry_after``
+    where the class carries one), so remote failures re-raise as the same
+    types in-process code would see.
+    """
+    code = str(payload.get("code", ReproError.code))
+    message = str(payload.get("message", ""))
+    cls = error_for_code(code)
+    if issubclass(cls, OverloadedError):
+        error: ReproError = cls(
+            message, retry_after=float(payload.get("retry_after", 0.1))
+        )
+    else:
+        error = cls(message)
+    return error

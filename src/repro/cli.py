@@ -15,6 +15,8 @@ The CLI exposes the engine's pipeline for quick, scriptable inspection::
     python -m repro corpus D1,D2,D7 "//ContactName" --top-k 5
     python -m repro delta D7 Q1 Q7 --touch 10    # incremental mapping delta
     python -m repro explain D7 Q7                # which plan would run, and why
+    python -m repro serve D7 --port 8750         # network server (see docs/serving.md)
+    python -m repro client query Q7 --port 8750 --top-k 5
 
 All dataset-bound commands are backed by one :class:`repro.engine.Dataspace`
 session per invocation, so the matching, mapping set and block tree are built
@@ -22,7 +24,9 @@ session per invocation, so the matching, mapping set and block tree are built
 the concurrent :class:`repro.service.QueryService` and reports throughput and
 result-cache hit rates; ``explain`` shows how the session's result cache
 participated.  ``query``, ``blocktree``, ``batch`` and ``explain`` accept
-``--json`` for machine-readable output.
+``--json`` for machine-readable output; every ``--json`` result payload uses
+the canonical codecs of :mod:`repro.api.serialize`, so CLI output, server
+responses and golden snapshots are the same bytes for the same answers.
 
 Every command writes to stdout and returns a non-zero exit code on invalid
 input, so the CLI composes well with shell pipelines.
@@ -36,6 +40,13 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from repro.api.serialize import (
+    delta_report_to_json,
+    execution_to_json,
+    explain_to_json,
+    result_to_json,
+    value_distribution_to_json,
+)
 from repro.engine import Dataspace, available_plans, plan_for
 from repro.exceptions import ReproError
 from repro.schema.corpus import SCHEMA_SIZES, available_schemas, load_corpus_schema
@@ -178,6 +189,52 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("--num-mappings", type=int, default=100)
     store.add_argument("--json", action="store_true",
                        help="emit the report as a JSON object")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a dataset session over TCP (HTTP + binary protocol)"
+    )
+    serve.add_argument("dataset", help="dataset id, e.g. D7")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default 0: pick a free port and print it)")
+    serve.add_argument("--num-mappings", type=int, default=100)
+    serve.add_argument("--shards", type=int, default=0,
+                       help="serve a sharded corpus with this many shards "
+                            "(default 0: plain session)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="admission cap on concurrently executing requests "
+                            "(default: the service's worker-pool size)")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="admission cap on queued requests (default 32); "
+                            "arrivals beyond both caps are shed with a typed "
+                            "'overloaded' error")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request deadline in seconds (default 30)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve with the session result cache bypassed")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="serve for a bounded time, then drain and exit "
+                            "(default: until interrupted)")
+
+    client = subparsers.add_parser(
+        "client", help="issue typed requests to a running repro server"
+    )
+    client.add_argument("op", choices=("query", "batch", "explain", "stats", "ping"),
+                        help="operation to perform")
+    client.add_argument("arguments", nargs="*",
+                        help="query ids (Q1..Q10) and/or twig pattern strings "
+                             "(query/explain take one, batch takes many)")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--top-k", type=int, default=None)
+    client.add_argument("--plan", default=None, metavar="PLAN",
+                        help="force an evaluation plan on the server")
+    client.add_argument("--no-cache", action="store_true",
+                        help="bypass the server's result cache for this request")
+    client.add_argument("--timeout", type=float, default=30.0,
+                        help="socket timeout in seconds (default 30)")
+    client.add_argument("--json", action="store_true",
+                        help="emit the canonical response payload as JSON")
     return parser
 
 
@@ -295,20 +352,9 @@ def _cmd_query(args, out) -> int:
             "num_mappings": args.num_mappings,
             "top_k": args.top_k,
             "elapsed_ms": round(elapsed * 1000, 3),
-            "num_answers": len(result),
             "num_non_empty": len(result.non_empty()),
-            "answers": [
-                {
-                    "mapping_id": answer.mapping_id,
-                    "probability": answer.probability,
-                    "num_matches": len(answer.matches),
-                }
-                for answer in result
-            ],
-            "value_distribution": [
-                {"value": value, "probability": probability}
-                for value, probability in distribution
-            ],
+            "result": result_to_json(result),
+            "value_distribution": value_distribution_to_json(result),
         }
         out.write(json.dumps(payload, indent=2) + "\n")
         return 0
@@ -358,11 +404,7 @@ def _cmd_batch(args, out) -> int:
             "elapsed_ms": round(elapsed * 1000, 3),
             "throughput_qps": round(throughput, 2),
             "results": [
-                {
-                    "query": query,
-                    "num_answers": len(result),
-                    "num_non_empty": len(result.non_empty()),
-                }
+                {"query": query, "result": result_to_json(result)}
                 for query, result in zip(args.queries, results)
             ],
             "service": stats,
@@ -404,7 +446,7 @@ def _cmd_corpus(args, out) -> int:
             "num_shards": corpus.num_shards,
             "num_mappings": args.num_mappings,
             "top_k": args.top_k,
-            "queries": [execution.to_dict() for execution in executions],
+            "queries": [execution_to_json(execution) for execution in executions],
         }
         out.write(json.dumps(payload, indent=2) + "\n")
         return 0
@@ -464,7 +506,7 @@ def _cmd_delta(args, out) -> int:
             "dataset": args.dataset.upper(),
             "num_mappings": args.num_mappings,
             "mode": args.mode,
-            "delta": report.to_dict(),
+            "delta": delta_report_to_json(report),
             "queries": states,
             "result_cache": cache_stats.to_dict(),
         }
@@ -489,7 +531,7 @@ def _cmd_explain(args, out) -> int:
         args.query, k=args.top_k, plan=_plan_name(args.algorithm), analyze=args.analyze
     )
     if args.json:
-        out.write(json.dumps(report.to_dict(), indent=2) + "\n")
+        out.write(json.dumps(explain_to_json(report), indent=2) + "\n")
     else:
         out.write(report.format() + "\n")
     return 0
@@ -549,6 +591,97 @@ def _cmd_store(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.net import ReproServer
+
+    if args.shards > 0:
+        from repro.workloads import open_corpus
+
+        target = open_corpus(args.dataset, shards=args.shards, h=args.num_mappings)
+    else:
+        target = Dataspace.from_dataset(args.dataset, h=args.num_mappings)
+    server = ReproServer(
+        target,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        request_timeout=args.timeout,
+        use_cache=not args.no_cache,
+    )
+
+    def announce(started) -> None:
+        out.write(f"serving {args.dataset.upper()} on "
+                  f"{started.host}:{started.port} "
+                  f"(max_inflight={started.server_stats()['max_inflight']}, "
+                  f"max_queue={args.max_queue})\n")
+        if hasattr(out, "flush"):
+            out.flush()
+
+    server.serve(max_seconds=args.max_seconds, on_start=announce)
+    return 0
+
+
+def _cmd_client(args, out) -> int:
+    from repro.net import connect
+
+    if args.op in ("query", "explain") and len(args.arguments) != 1:
+        out.write(f"error: '{args.op}' takes exactly one query\n")
+        return 2
+    if args.op == "batch" and not args.arguments:
+        out.write("error: 'batch' takes at least one query\n")
+        return 2
+    try:
+        with connect(args.host, args.port, timeout=args.timeout) as client:
+            if args.op == "ping":
+                client.ping()
+                out.write("ok\n")
+            elif args.op == "stats":
+                out.write(json.dumps(client.stats(), indent=2, sort_keys=True) + "\n")
+            elif args.op == "explain":
+                report = client.explain(
+                    args.arguments[0], k=args.top_k, plan=args.plan
+                )
+                if args.json:
+                    out.write(json.dumps(explain_to_json(report), indent=2) + "\n")
+                else:
+                    out.write(report.format() + "\n")
+            elif args.op == "batch":
+                results = client.query_batch(
+                    args.arguments, k=args.top_k, plan=args.plan,
+                    use_cache=not args.no_cache,
+                )
+                if args.json:
+                    payload = [
+                        {"query": result.query, "result": result.to_json()}
+                        for result in results
+                    ]
+                    out.write(json.dumps(payload, indent=2) + "\n")
+                else:
+                    for result in results:
+                        out.write(f"  {result.query:<40} {len(result)} answers "
+                                  f"({len(result.non_empty())} non-empty)\n")
+            else:  # query
+                result = client.query(
+                    args.arguments[0], k=args.top_k, plan=args.plan,
+                    use_cache=not args.no_cache,
+                )
+                if args.json:
+                    payload = {"query": result.query, "result": result.to_json()}
+                    out.write(json.dumps(payload, indent=2) + "\n")
+                else:
+                    out.write(f"{len(result)} answers "
+                              f"({len(result.non_empty())} non-empty)\n")
+                    for answer in list(result)[:10]:
+                        out.write(f"  mapping {answer.mapping_id:<4} "
+                                  f"p={answer.probability:.4f} "
+                                  f"matches={answer.num_matches}\n")
+    except OSError as error:
+        out.write(f"error: cannot reach {args.host}:{args.port}: {error}\n")
+        return 2
+    return 0
+
+
 _COMMANDS = {
     "schemas": _cmd_schemas,
     "show-schema": _cmd_show_schema,
@@ -562,6 +695,8 @@ _COMMANDS = {
     "delta": _cmd_delta,
     "explain": _cmd_explain,
     "store": _cmd_store,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 

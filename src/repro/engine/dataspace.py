@@ -79,7 +79,12 @@ from repro.engine.locking import ReadWriteLock
 from repro.engine.planner import PlanDecision, QueryPlanner, canonical_text
 from repro.engine.plans import QueryPlan, available_plans, plan_for
 from repro.engine.prepared import PlanSpec, PreparedQuery, QueryBuilder
-from repro.exceptions import DataspaceError, StoreError
+from repro.exceptions import (
+    DataspaceError,
+    PersistFailedWarning,
+    StoreError,
+    StoreFallbackWarning,
+)
 from repro.mapping.generator import GenerationMethod, generate_top_h_mappings
 from repro.mapping.mapping import Mapping
 from repro.mapping.mapping_set import MappingSet
@@ -383,7 +388,8 @@ class Dataspace:
         silent miss — that is the normal cold-start path.  A *corrupted*
         store — checksum failure, truncated or malformed payload, i.e. any
         :class:`StoreError` raised mid-load — also degrades to the cold
-        build, but emits a :class:`RuntimeWarning` naming the ref and the
+        build, but emits a :class:`~repro.exceptions.StoreFallbackWarning`
+        naming the ref and the
         failure so operators can see their persisted artifacts are being
         ignored rather than served.  Any other exception type is a bug, not
         a store miss, and propagates.
@@ -404,7 +410,7 @@ class Dataspace:
             warnings.warn(
                 f"artifact store failed loading session {ref!r} "
                 f"({exc}); falling back to a cold build",
-                RuntimeWarning,
+                StoreFallbackWarning,
                 stacklevel=3,
             )
             return None
@@ -824,7 +830,7 @@ class Dataspace:
                         f"delta write-through to store ref {self._store_ref!r} "
                         f"failed ({persist_error}); the in-memory session is "
                         "current but the store is stale",
-                        RuntimeWarning,
+                        PersistFailedWarning,
                         stacklevel=2,
                     )
         return DeltaReport(

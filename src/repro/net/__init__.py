@@ -1,0 +1,14 @@
+"""The network front-end: asyncio server, admission control, sync client.
+
+Layered strictly on :mod:`repro.api` (which defines *what* travels) — this
+package only decides *how*: length-prefixed binary frames and minimal
+HTTP/1.1 on one port (:mod:`~repro.net.server`), bounded admission with
+typed shed (:mod:`~repro.net.admission`), and a blocking typed client
+(:mod:`~repro.net.client`, surfaced as :func:`repro.connect`).
+"""
+
+from repro.net.admission import AdmissionController
+from repro.net.client import ReproClient, connect
+from repro.net.server import ReproServer
+
+__all__ = ["ReproServer", "ReproClient", "connect", "AdmissionController"]

@@ -1,0 +1,247 @@
+"""Bounded admission control: in-flight cap, short wait queue, typed shed.
+
+The server's overload policy in one component: at most ``max_inflight``
+requests execute at once, at most ``max_queue`` more may wait, and anything
+beyond that is *shed immediately* with a typed
+:class:`~repro.api.errors.OverloadedError` carrying a retry hint.  The
+alternative — an unbounded queue — converts overload into unbounded latency
+and eventual timeouts, which is strictly worse for every caller; a bounded
+queue keeps the latency of admitted requests predictable and gives shed
+callers an honest, machine-readable signal.
+
+The controller is a single-event-loop object (no locks): all state changes
+happen on the loop that runs the server.  Draining flips one flag, fails the
+queued waiters with :class:`~repro.api.errors.ShuttingDownError`, and waits
+for in-flight work to finish — the server's graceful-stop path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from contextlib import asynccontextmanager
+from typing import Deque, Optional
+
+from repro.api.errors import OverloadedError, ShuttingDownError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """FIFO admission with a hard in-flight cap and a bounded wait queue.
+
+    Parameters
+    ----------
+    max_inflight:
+        Requests allowed to execute concurrently.
+    max_queue:
+        Requests allowed to wait for a slot; arrivals beyond this are shed.
+    retry_after:
+        Backoff hint (seconds) attached to shed responses.
+    """
+
+    def __init__(
+        self, max_inflight: int, max_queue: int, *, retry_after: float = 0.1
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be at least 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be non-negative, got {max_queue}")
+        self._max_inflight = max_inflight
+        self._max_queue = max_queue
+        self._retry_after = retry_after
+        self._inflight = 0
+        self._waiters: Deque["asyncio.Future[None]"] = deque()
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._admitted = 0
+        self._shed = 0
+        self._completed = 0
+        self._peak_inflight = 0
+        self._peak_queued = 0
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    @property
+    def max_inflight(self) -> int:
+        """Current concurrent-execution cap."""
+        return self._max_inflight
+
+    @property
+    def max_queue(self) -> int:
+        """Current wait-queue cap."""
+        return self._max_queue
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing."""
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for a slot."""
+        return len(self._waiters)
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` has begun."""
+        return self._draining
+
+    async def acquire(self) -> None:
+        """Take an execution slot, waiting in FIFO order if one is queued.
+
+        Raises
+        ------
+        ShuttingDownError
+            When the controller is draining.
+        OverloadedError
+            When both the in-flight cap and the wait queue are full — the
+            typed shed that replaces queueing without bound.
+        """
+        if self._draining:
+            raise ShuttingDownError(
+                "the server is draining and not accepting new requests",
+                retry_after=self._retry_after,
+            )
+        if self._inflight < self._max_inflight and not self._waiters:
+            self._admit()
+            return
+        if len(self._waiters) >= self._max_queue:
+            self._shed += 1
+            raise OverloadedError(
+                f"server at capacity ({self._inflight} in flight, "
+                f"{len(self._waiters)} queued); retry after "
+                f"{self._retry_after:g}s",
+                retry_after=self._retry_after,
+            )
+        waiter: "asyncio.Future[None]" = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        self._peak_queued = max(self._peak_queued, len(self._waiters))
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            # The connection died while queued.  If the slot was already
+            # granted, hand it to the next waiter instead of leaking it.
+            if waiter.done() and not waiter.cancelled():
+                self._release_slot()
+            else:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+            raise
+
+    def _admit(self) -> None:
+        self._inflight += 1
+        self._admitted += 1
+        self._peak_inflight = max(self._peak_inflight, self._inflight)
+        self._idle.clear()
+
+    def release(self) -> None:
+        """Return a slot; the oldest queued waiter (if any) is admitted."""
+        self._completed += 1
+        self._release_slot()
+
+    def _release_slot(self) -> None:
+        self._inflight -= 1
+        self._wake_waiters()
+        if self._inflight == 0 and not self._waiters:
+            self._idle.set()
+
+    def _wake_waiters(self) -> None:
+        while self._waiters and self._inflight < self._max_inflight:
+            waiter = self._waiters.popleft()
+            if waiter.done():
+                continue  # cancelled while queued
+            self._admit()
+            waiter.set_result(None)
+
+    @asynccontextmanager
+    async def slot(self):
+        """``async with controller.slot():`` — acquire and always release."""
+        await self.acquire()
+        try:
+            yield self
+        finally:
+            self.release()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def reconfigure(
+        self,
+        *,
+        max_inflight: Optional[int] = None,
+        max_queue: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        """Adjust the caps live, under load.
+
+        Raising ``max_inflight`` admits queued waiters immediately; lowering
+        it never interrupts executing requests — the in-flight count simply
+        drains down to the new cap before further admissions.  Lowering
+        ``max_queue`` sheds nothing retroactively; it only tightens future
+        arrivals.
+        """
+        if max_inflight is not None:
+            if max_inflight < 1:
+                raise ValueError(
+                    f"max_inflight must be at least 1, got {max_inflight}"
+                )
+            self._max_inflight = max_inflight
+        if max_queue is not None:
+            if max_queue < 0:
+                raise ValueError(f"max_queue must be non-negative, got {max_queue}")
+            self._max_queue = max_queue
+        if retry_after is not None:
+            self._retry_after = retry_after
+        self._wake_waiters()
+
+    async def drain(self) -> None:
+        """Refuse new work, fail queued waiters, wait for in-flight work.
+
+        Queued requests receive :class:`~repro.api.errors.ShuttingDownError`
+        (they never started executing, so refusing them is safe); requests
+        already in flight run to completion.  Returns when the controller is
+        idle.  Idempotent.
+        """
+        self._draining = True
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_exception(
+                    ShuttingDownError(
+                        "the server is draining and not accepting new requests",
+                        retry_after=self._retry_after,
+                    )
+                )
+        if self._inflight == 0:
+            self._idle.set()
+        await self._idle.wait()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Admission counters for the server's ``stats`` operation."""
+        return {
+            "max_inflight": self._max_inflight,
+            "max_queue": self._max_queue,
+            "inflight": self._inflight,
+            "queued": len(self._waiters),
+            "admitted": self._admitted,
+            "completed": self._completed,
+            "shed": self._shed,
+            "peak_inflight": self._peak_inflight,
+            "peak_queued": self._peak_queued,
+            "draining": self._draining,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(max_inflight={self._max_inflight}, "
+            f"max_queue={self._max_queue}, inflight={self._inflight}, "
+            f"queued={len(self._waiters)})"
+        )

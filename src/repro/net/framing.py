@@ -1,0 +1,169 @@
+"""Length-prefixed binary framing for the network protocol.
+
+A frame is a fixed 12-byte header followed by ``length`` payload bytes::
+
+    offset  size  field
+    0       4     magic    b"RPRO"
+    4       1     version  FRAMING_VERSION (1)
+    5       1     opcode   one of the ``OP_*`` constants
+    6       2     reserved (must be zero; room for flags)
+    8       4     length   payload byte count, big-endian unsigned
+
+The magic doubles as the protocol discriminator: the server peeks a
+connection's first four bytes and routes ``b"RPRO"`` to this framing and
+anything that looks like an ASCII HTTP method to the HTTP handler — one port,
+two transports, same typed messages underneath.
+
+Framing violations (bad magic, unknown version or opcode, nonzero reserved
+bits, truncated header) raise :class:`~repro.api.errors.ProtocolError`;
+oversized payloads raise :class:`~repro.api.errors.PayloadTooLargeError`.
+After either, the stream position cannot be trusted and the connection must
+be closed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional
+
+from repro.api.errors import PayloadTooLargeError, ProtocolError
+
+__all__ = [
+    "MAGIC",
+    "FRAMING_VERSION",
+    "HEADER",
+    "HEADER_SIZE",
+    "DEFAULT_MAX_PAYLOAD",
+    "OP_REQUEST",
+    "OP_RESPONSE",
+    "OP_ERROR",
+    "OP_STREAM_ITEM",
+    "OP_STREAM_END",
+    "OP_PING",
+    "OP_PONG",
+    "OPCODES",
+    "encode_frame",
+    "decode_header",
+    "read_frame",
+]
+
+#: First four bytes of every frame; also the wire discriminator that routes a
+#: connection to the binary protocol instead of HTTP.
+MAGIC = b"RPRO"
+
+#: Version byte of the framing layer (bumped only for header-layout changes;
+#: envelope-level changes bump :data:`repro.api.messages.PROTOCOL_VERSION`).
+FRAMING_VERSION = 1
+
+#: Header layout: magic, version, opcode, reserved, payload length.
+HEADER = struct.Struct(">4sBBHI")
+HEADER_SIZE = HEADER.size
+
+#: Default cap on a single frame's payload (8 MiB) — large enough for any
+#: real batch response, small enough to bound per-connection memory.
+DEFAULT_MAX_PAYLOAD = 8 * 1024 * 1024
+
+OP_REQUEST = 1  #: client -> server: one encoded request envelope
+OP_RESPONSE = 2  #: server -> client: one encoded response envelope
+OP_ERROR = 3  #: server -> client: an encoded error-response envelope
+OP_STREAM_ITEM = 4  #: server -> client: one streamed answer payload
+OP_STREAM_END = 5  #: server -> client: end of a streamed result
+OP_PING = 6  #: client -> server: liveness probe (empty payload)
+OP_PONG = 7  #: server -> client: liveness acknowledgement (empty payload)
+
+#: Every opcode the framing layer accepts.
+OPCODES = frozenset(
+    {
+        OP_REQUEST,
+        OP_RESPONSE,
+        OP_ERROR,
+        OP_STREAM_ITEM,
+        OP_STREAM_END,
+        OP_PING,
+        OP_PONG,
+    }
+)
+
+
+def encode_frame(opcode: int, payload: bytes = b"") -> bytes:
+    """One complete frame: header plus payload.
+
+    Raises :class:`~repro.api.errors.ProtocolError` on an unknown opcode —
+    catching a programming error before it reaches the wire.
+    """
+    if opcode not in OPCODES:
+        raise ProtocolError(f"unknown frame opcode {opcode}")
+    return HEADER.pack(MAGIC, FRAMING_VERSION, opcode, 0, len(payload)) + payload
+
+
+def decode_header(
+    header: bytes, *, max_payload: int = DEFAULT_MAX_PAYLOAD
+) -> tuple[int, int]:
+    """Validate a 12-byte header; returns ``(opcode, payload_length)``.
+
+    Raises
+    ------
+    ProtocolError
+        On a short header, bad magic, unsupported framing version, unknown
+        opcode, or nonzero reserved bits.
+    PayloadTooLargeError
+        When the declared payload length exceeds ``max_payload``.
+    """
+    if len(header) != HEADER_SIZE:
+        raise ProtocolError(
+            f"truncated frame header: got {len(header)} of {HEADER_SIZE} bytes"
+        )
+    magic, version, opcode, reserved, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}; expected {MAGIC!r}")
+    if version != FRAMING_VERSION:
+        raise ProtocolError(
+            f"unsupported framing version {version}; this build speaks "
+            f"v{FRAMING_VERSION}"
+        )
+    if opcode not in OPCODES:
+        raise ProtocolError(f"unknown frame opcode {opcode}")
+    if reserved != 0:
+        raise ProtocolError(f"reserved header bits must be zero, got {reserved}")
+    if length > max_payload:
+        raise PayloadTooLargeError(
+            f"frame payload of {length} bytes exceeds the {max_payload}-byte cap"
+        )
+    return opcode, length
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    *,
+    max_payload: int = DEFAULT_MAX_PAYLOAD,
+    first_bytes: bytes = b"",
+) -> Optional[tuple[int, bytes]]:
+    """Read one frame from ``reader``; ``None`` on a clean EOF between frames.
+
+    ``first_bytes`` carries bytes the caller already consumed while peeking
+    at the protocol discriminator.  EOF in the *middle* of a frame (header or
+    payload) is a :class:`~repro.api.errors.ProtocolError` — the peer
+    vanished mid-message, which is different from an orderly close.
+    """
+    header = bytes(first_bytes)
+    if len(header) < HEADER_SIZE:
+        try:
+            header += await reader.readexactly(HEADER_SIZE - len(header))
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial and not header:
+                return None
+            raise ProtocolError(
+                "connection closed in the middle of a frame header"
+            ) from exc
+    opcode, length = decode_header(header, max_payload=max_payload)
+    if length == 0:
+        return opcode, b""
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed {len(exc.partial)} bytes into a "
+            f"{length}-byte frame payload"
+        ) from exc
+    return opcode, payload

@@ -23,6 +23,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.api.serialize import result_to_json
 from repro.engine import Dataspace
 from repro.engine.kernels import available_backends
 from repro.query.parser import parse_twig
@@ -57,20 +58,15 @@ def twig_for(query: str):
 
 
 def canonical_result(result) -> dict:
-    """Canonical, byte-stable serialisation of a PTQResult."""
-    answers = []
-    for answer in sorted(result, key=lambda a: a.mapping_id):
-        matches = sorted(
-            [[list(pair) for pair in match] for match in answer.matches]
-        )
-        answers.append(
-            {
-                "mapping_id": answer.mapping_id,
-                "probability": float(answer.probability).hex(),
-                "matches": matches,
-            }
-        )
-    return {"num_answers": len(answers), "answers": answers}
+    """Canonical, byte-stable serialisation of a PTQResult.
+
+    Delegates to the library-wide codec (:mod:`repro.api.serialize`) — the
+    same one the CLI's ``--json`` and the network server emit — so these
+    snapshots pin every serving surface at once.  The existing snapshot
+    files predate the shared codec and remain valid unchanged because the
+    codec emits exactly this historical shape.
+    """
+    return result_to_json(result)
 
 
 def serialize(dataset_id: str, results: dict[str, dict]) -> str:

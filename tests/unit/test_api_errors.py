@@ -1,0 +1,145 @@
+"""Tests for the wire-level error taxonomy (``repro.api.errors``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import exceptions
+from repro.api import (
+    CODE_TO_ERROR,
+    BadRequestError,
+    OverloadedError,
+    PayloadTooLargeError,
+    ProtocolError,
+    RequestTimeoutError,
+    ShuttingDownError,
+    error_code,
+    error_for_code,
+    error_from_wire,
+    wire_error,
+)
+from repro.api.errors import _walk
+
+
+class TestRegistry:
+    def test_every_code_maps_to_a_unique_class(self):
+        seen = {}
+        for code, cls in CODE_TO_ERROR.items():
+            assert cls.code == code
+            assert code not in seen
+            seen[code] = cls
+
+    def test_registry_covers_whole_hierarchy(self):
+        """Every concrete error class that declares a code is registered."""
+        for cls in _walk(exceptions.ReproError):
+            code = cls.__dict__.get("code")
+            if code is not None:
+                assert CODE_TO_ERROR[code] is cls
+
+    def test_engine_errors_present(self):
+        for code in (
+            "schema",
+            "schema-parse",
+            "document",
+            "matching",
+            "mapping",
+            "blocktree",
+            "query",
+            "twig-parse",
+            "dataset",
+            "dataspace",
+            "corpus",
+            "store",
+            "kernel",
+        ):
+            assert code in CODE_TO_ERROR
+
+    def test_serving_errors_present(self):
+        assert CODE_TO_ERROR["bad-request"] is BadRequestError
+        assert CODE_TO_ERROR["protocol"] is ProtocolError
+        assert CODE_TO_ERROR["payload-too-large"] is PayloadTooLargeError
+        assert CODE_TO_ERROR["overloaded"] is OverloadedError
+        assert CODE_TO_ERROR["shutting-down"] is ShuttingDownError
+        assert CODE_TO_ERROR["timeout"] is RequestTimeoutError
+
+    def test_codes_are_stable_slugs(self):
+        for code in CODE_TO_ERROR:
+            assert code == code.lower()
+            assert " " not in code
+
+    def test_serving_errors_are_repro_errors(self):
+        for cls in (
+            BadRequestError,
+            ProtocolError,
+            PayloadTooLargeError,
+            OverloadedError,
+            ShuttingDownError,
+            RequestTimeoutError,
+        ):
+            assert issubclass(cls, exceptions.ReproError)
+
+    def test_payload_too_large_is_protocol_error(self):
+        assert issubclass(PayloadTooLargeError, ProtocolError)
+
+    def test_shutting_down_is_overloaded(self):
+        assert issubclass(ShuttingDownError, OverloadedError)
+
+
+class TestCodeLookup:
+    def test_error_code_of_typed_error(self):
+        assert error_code(exceptions.TwigParseError("x")) == "twig-parse"
+        assert error_code(OverloadedError("x")) == "overloaded"
+
+    def test_error_code_of_foreign_exception(self):
+        assert error_code(ValueError("x")) == "internal"
+
+    def test_error_for_code_round_trip(self):
+        for code, cls in CODE_TO_ERROR.items():
+            assert error_for_code(code) is cls
+
+    def test_unknown_code_degrades_to_base(self):
+        assert error_for_code("not-a-real-code") is exceptions.ReproError
+
+
+class TestWireRoundTrip:
+    @pytest.mark.parametrize("code", sorted(CODE_TO_ERROR))
+    def test_every_class_survives_the_wire(self, code):
+        cls = CODE_TO_ERROR[code]
+        if issubclass(cls, OverloadedError):
+            original = cls("boom", retry_after=0.25)
+        else:
+            original = cls("boom")
+        restored = error_from_wire(wire_error(original))
+        assert type(restored) is cls
+        assert str(restored) == "boom"
+
+    def test_payload_shape(self):
+        payload = wire_error(exceptions.QueryError("bad plan"))
+        assert payload == {
+            "code": "query",
+            "type": "QueryError",
+            "message": "bad plan",
+        }
+
+    def test_retry_after_travels(self):
+        payload = wire_error(OverloadedError("shed", retry_after=0.5))
+        assert payload["retry_after"] == 0.5
+        restored = error_from_wire(payload)
+        assert isinstance(restored, OverloadedError)
+        assert restored.retry_after == 0.5
+
+    def test_retry_after_defaults_when_absent(self):
+        restored = error_from_wire({"code": "overloaded", "message": "shed"})
+        assert isinstance(restored, OverloadedError)
+        assert restored.retry_after == 0.1
+
+    def test_foreign_exception_maps_to_internal(self):
+        payload = wire_error(RuntimeError("oops"))
+        assert payload["code"] == "internal"
+        assert payload["type"] == "RuntimeError"
+        restored = error_from_wire(payload)
+        assert type(restored) is exceptions.ReproError
+
+    def test_empty_payload_degrades_gracefully(self):
+        restored = error_from_wire({})
+        assert isinstance(restored, exceptions.ReproError)

@@ -143,8 +143,11 @@ class TestCommands:
         payload = json.loads(output)
         assert payload["dataset"] == "D7"
         assert payload["query"] == "Order/DeliverTo/Contact/EMail"
-        assert payload["num_answers"] == len(payload["answers"]) == 50
-        assert {"mapping_id", "probability", "num_matches"} <= set(payload["answers"][0])
+        result = payload["result"]
+        assert result["num_answers"] == len(result["answers"]) == 50
+        assert {"mapping_id", "probability", "matches"} <= set(result["answers"][0])
+        # Probabilities travel in their exact hex encoding.
+        assert float.fromhex(result["answers"][0]["probability"]) >= 0.0
         assert payload["value_distribution"]
 
     def test_blocktree_json(self):
@@ -174,7 +177,7 @@ class TestCommands:
         payload = json.loads(output)
         assert payload["dataset"] == "D7"
         assert payload["total_ops"] == 2
-        assert [item["num_answers"] for item in payload["results"]] == [5, 5]
+        assert [item["result"]["num_answers"] for item in payload["results"]] == [5, 5]
         assert payload["service"]["completed"] == 2
         assert "result_cache" in payload["service"]
 

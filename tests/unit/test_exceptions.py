@@ -50,3 +50,67 @@ class TestHierarchy:
     def test_catching_base_class(self):
         with pytest.raises(exceptions.ReproError):
             raise exceptions.BlockTreeError("boom")
+
+
+class TestStableCodes:
+    """Every error class carries the stable code used on the wire."""
+
+    def test_base_code_is_internal(self):
+        assert exceptions.ReproError.code == "internal"
+
+    @pytest.mark.parametrize(
+        ("name", "code"),
+        [
+            ("SchemaError", "schema"),
+            ("SchemaParseError", "schema-parse"),
+            ("DocumentError", "document"),
+            ("DocumentConformanceError", "document-conformance"),
+            ("MatchingError", "matching"),
+            ("MappingError", "mapping"),
+            ("AssignmentError", "assignment"),
+            ("BlockTreeError", "blocktree"),
+            ("QueryError", "query"),
+            ("TwigParseError", "twig-parse"),
+            ("RewriteError", "rewrite"),
+            ("DatasetError", "dataset"),
+            ("DataspaceError", "dataspace"),
+            ("CorpusError", "corpus"),
+            ("StoreError", "store"),
+            ("KernelError", "kernel"),
+        ],
+    )
+    def test_declared_codes(self, name, code):
+        assert getattr(exceptions, name).code == code
+
+    def test_codes_are_unique(self):
+        declared = [
+            cls.__dict__["code"]
+            for cls in vars(exceptions).values()
+            if isinstance(cls, type)
+            and issubclass(cls, exceptions.ReproError)
+            and "code" in cls.__dict__
+        ]
+        assert len(declared) == len(set(declared))
+
+    def test_instance_reads_class_code(self):
+        assert exceptions.QueryError("x").code == "query"
+
+
+class TestWarnings:
+    def test_hierarchy(self):
+        assert issubclass(exceptions.ReproWarning, RuntimeWarning)
+        assert issubclass(exceptions.StoreFallbackWarning, exceptions.ReproWarning)
+        assert issubclass(exceptions.PersistFailedWarning, exceptions.ReproWarning)
+
+    def test_warnings_are_not_errors(self):
+        assert not issubclass(exceptions.ReproWarning, exceptions.ReproError)
+
+    def test_warning_codes(self):
+        assert exceptions.StoreFallbackWarning.code == "store-fallback"
+        assert exceptions.PersistFailedWarning.code == "persist-failed"
+
+    def test_catchable_via_base(self):
+        with pytest.warns(exceptions.ReproWarning):
+            import warnings
+
+            warnings.warn(exceptions.StoreFallbackWarning("fallback"))

@@ -1,0 +1,182 @@
+"""Tests for bounded in-flight admission control (``repro.net.admission``).
+
+The controller is single-event-loop; each test runs its scenario inside one
+``asyncio.run`` so acquisition order, queueing, and drain semantics are
+deterministic.  Slots are acquired/released explicitly (not via the
+``slot()`` context manager) where a test must hold one across awaits —
+an un-awaited context manager would release on garbage collection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import OverloadedError, ShuttingDownError
+from repro.net import AdmissionController
+
+
+class TestAdmission:
+    def test_admits_up_to_max_inflight(self):
+        async def run():
+            controller = AdmissionController(2, 4)
+            await controller.acquire()
+            await controller.acquire()
+            return controller.inflight, controller.queued
+
+        assert asyncio.run(run()) == (2, 0)
+
+    def test_sheds_when_queue_full(self):
+        async def run():
+            controller = AdmissionController(1, 0, retry_after=0.2)
+            await controller.acquire()
+            with pytest.raises(OverloadedError) as info:
+                await controller.acquire()
+            return info.value.retry_after, controller.stats()["shed"]
+
+        retry_after, shed = asyncio.run(run())
+        assert retry_after == 0.2
+        assert shed == 1
+
+    def test_release_admits_fifo(self):
+        async def run():
+            controller = AdmissionController(1, 4)
+            await controller.acquire()
+            order = []
+
+            async def waiter(tag):
+                await controller.acquire()
+                order.append(tag)
+                controller.release()
+
+            tasks = [asyncio.create_task(waiter(i)) for i in range(3)]
+            await asyncio.sleep(0)  # let all three enqueue, in creation order
+            assert controller.queued == 3
+            controller.release()
+            await asyncio.gather(*tasks)
+            return order
+
+        assert asyncio.run(run()) == [0, 1, 2]
+
+    def test_slot_context_manager_releases(self):
+        async def run():
+            controller = AdmissionController(1, 0)
+            async with controller.slot():
+                assert controller.inflight == 1
+            return controller.inflight
+
+        assert asyncio.run(run()) == 0
+
+    def test_cancelled_waiter_leaves_queue(self):
+        async def run():
+            controller = AdmissionController(1, 4)
+            await controller.acquire()
+            task = asyncio.create_task(controller.acquire())
+            await asyncio.sleep(0)
+            assert controller.queued == 1
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            return controller.queued
+
+        assert asyncio.run(run()) == 0
+
+
+class TestDrain:
+    def test_drain_refuses_queued_waiters(self):
+        async def run():
+            controller = AdmissionController(1, 4)
+            await controller.acquire()
+            waiter = asyncio.create_task(controller.acquire())
+            await asyncio.sleep(0)
+            drain = asyncio.create_task(controller.drain())
+            await asyncio.sleep(0)
+            refusal = await asyncio.gather(waiter, return_exceptions=True)
+            controller.release()  # the in-flight request finishes
+            await drain
+            return refusal[0], controller.draining
+
+        refusal, draining = asyncio.run(run())
+        assert isinstance(refusal, ShuttingDownError)
+        assert draining
+
+    def test_acquire_after_drain_is_refused(self):
+        async def run():
+            controller = AdmissionController(1, 4)
+            await controller.drain()
+            with pytest.raises(ShuttingDownError):
+                await controller.acquire()
+
+        asyncio.run(run())
+
+    def test_drain_waits_for_inflight(self):
+        async def run():
+            controller = AdmissionController(2, 4)
+            await controller.acquire()
+            drain = asyncio.create_task(controller.drain())
+            await asyncio.sleep(0)
+            assert not drain.done()  # still one in flight
+            controller.release()
+            await drain
+
+        asyncio.run(run())
+
+
+class TestReconfigure:
+    def test_raising_cap_admits_queued(self):
+        async def run():
+            controller = AdmissionController(1, 4)
+            await controller.acquire()
+            waiter = asyncio.create_task(controller.acquire())
+            await asyncio.sleep(0)
+            assert controller.queued == 1
+            controller.reconfigure(max_inflight=2)
+            await waiter
+            return controller.inflight, controller.queued
+
+        assert asyncio.run(run()) == (2, 0)
+
+    def test_lowering_cap_applies_to_new_work(self):
+        async def run():
+            controller = AdmissionController(4, 0)
+            await controller.acquire()
+            await controller.acquire()
+            controller.reconfigure(max_inflight=1)
+            # Existing slots are not revoked; new admission is refused.
+            assert controller.inflight == 2
+            with pytest.raises(OverloadedError):
+                await controller.acquire()
+
+        asyncio.run(run())
+
+    def test_retry_after_reconfigured(self):
+        async def run():
+            controller = AdmissionController(1, 0, retry_after=0.1)
+            await controller.acquire()
+            controller.reconfigure(retry_after=1.5)
+            with pytest.raises(OverloadedError) as info:
+                await controller.acquire()
+            return info.value.retry_after
+
+        assert asyncio.run(run()) == 1.5
+
+
+class TestStats:
+    def test_counters(self):
+        async def run():
+            controller = AdmissionController(1, 0)
+            await controller.acquire()
+            with pytest.raises(OverloadedError):
+                await controller.acquire()
+            controller.release()
+            return controller.stats()
+
+        stats = asyncio.run(run())
+        assert stats["max_inflight"] == 1
+        assert stats["max_queue"] == 0
+        assert stats["inflight"] == 0
+        assert stats["admitted"] == 1
+        assert stats["completed"] == 1
+        assert stats["shed"] == 1
+        assert stats["peak_inflight"] == 1
+        assert stats["draining"] is False

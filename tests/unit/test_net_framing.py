@@ -1,0 +1,159 @@
+"""Tests for the length-prefixed binary framing (``repro.net.framing``)."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.api import PayloadTooLargeError, ProtocolError
+from repro.net.framing import (
+    DEFAULT_MAX_PAYLOAD,
+    FRAMING_VERSION,
+    HEADER,
+    HEADER_SIZE,
+    MAGIC,
+    OP_ERROR,
+    OP_PING,
+    OP_PONG,
+    OP_REQUEST,
+    OP_RESPONSE,
+    OP_STREAM_END,
+    OP_STREAM_ITEM,
+    OPCODES,
+    decode_header,
+    encode_frame,
+    read_frame,
+)
+
+
+def feed(*chunks: bytes) -> asyncio.StreamReader:
+    """A StreamReader pre-loaded with ``chunks`` and a trailing EOF.
+
+    Must be called from inside a running event loop (StreamReader binds to
+    the current loop on construction).
+    """
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    reader.feed_eof()
+    return reader
+
+
+def read_one(*chunks: bytes, **kwargs):
+    async def run():
+        return await read_frame(feed(*chunks), **kwargs)
+
+    return asyncio.run(run())
+
+
+class TestEncodeDecode:
+    def test_header_layout(self):
+        frame = encode_frame(OP_REQUEST, b"abc")
+        assert len(frame) == HEADER_SIZE + 3
+        magic, version, opcode, reserved, length = HEADER.unpack(frame[:HEADER_SIZE])
+        assert magic == MAGIC
+        assert version == FRAMING_VERSION
+        assert opcode == OP_REQUEST
+        assert reserved == 0
+        assert length == 3
+        assert frame[HEADER_SIZE:] == b"abc"
+
+    def test_empty_payload(self):
+        opcode, length = decode_header(
+            encode_frame(OP_PING)[:HEADER_SIZE], max_payload=DEFAULT_MAX_PAYLOAD
+        )
+        assert opcode == OP_PING
+        assert length == 0
+
+    @pytest.mark.parametrize("opcode", sorted(OPCODES))
+    def test_all_opcodes_round_trip(self, opcode):
+        frame = encode_frame(opcode, b"x")
+        got, length = decode_header(frame[:HEADER_SIZE], max_payload=64)
+        assert got == opcode
+        assert length == 1
+
+    def test_opcode_values_are_stable(self):
+        """Wire compatibility: these numbers are part of the protocol."""
+        assert (OP_REQUEST, OP_RESPONSE, OP_ERROR) == (1, 2, 3)
+        assert (OP_STREAM_ITEM, OP_STREAM_END) == (4, 5)
+        assert (OP_PING, OP_PONG) == (6, 7)
+
+
+class TestHeaderRejection:
+    def test_short_header(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_header(b"RPRO", max_payload=64)
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_frame(OP_PING))
+        frame[:4] = b"HTTP"
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_header(bytes(frame[:HEADER_SIZE]), max_payload=64)
+
+    def test_bad_version(self):
+        header = HEADER.pack(MAGIC, FRAMING_VERSION + 1, OP_PING, 0, 0)
+        with pytest.raises(ProtocolError, match="version"):
+            decode_header(header, max_payload=64)
+
+    def test_bad_opcode(self):
+        header = HEADER.pack(MAGIC, FRAMING_VERSION, 99, 0, 0)
+        with pytest.raises(ProtocolError, match="opcode"):
+            decode_header(header, max_payload=64)
+
+    def test_nonzero_reserved(self):
+        header = HEADER.pack(MAGIC, FRAMING_VERSION, OP_PING, 7, 0)
+        with pytest.raises(ProtocolError, match="reserved"):
+            decode_header(header, max_payload=64)
+
+    def test_oversized_payload(self):
+        header = HEADER.pack(MAGIC, FRAMING_VERSION, OP_REQUEST, 0, 65)
+        with pytest.raises(PayloadTooLargeError):
+            decode_header(header, max_payload=64)
+
+    def test_payload_at_cap_is_accepted(self):
+        header = HEADER.pack(MAGIC, FRAMING_VERSION, OP_REQUEST, 0, 64)
+        assert decode_header(header, max_payload=64) == (OP_REQUEST, 64)
+
+
+class TestReadFrame:
+    def test_reads_a_frame(self):
+        got = read_one(encode_frame(OP_REQUEST, b"hello"), max_payload=64)
+        assert got == (OP_REQUEST, b"hello")
+
+    def test_reads_consecutive_frames(self):
+        async def run():
+            reader = feed(encode_frame(OP_PING), encode_frame(OP_REQUEST, b"x"))
+            first = await read_frame(reader, max_payload=64)
+            second = await read_frame(reader, max_payload=64)
+            third = await read_frame(reader, max_payload=64)
+            return first, second, third
+
+        first, second, third = asyncio.run(run())
+        assert first == (OP_PING, b"")
+        assert second == (OP_REQUEST, b"x")
+        assert third is None  # clean EOF between frames
+
+    def test_clean_eof_returns_none(self):
+        assert read_one(max_payload=64) is None
+
+    def test_eof_mid_header_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            read_one(encode_frame(OP_PING)[:5], max_payload=64)
+
+    def test_eof_mid_payload_is_protocol_error(self):
+        frame = encode_frame(OP_REQUEST, b"hello")
+        with pytest.raises(ProtocolError):
+            read_one(frame[:-2], max_payload=64)
+
+    def test_first_bytes_carry(self):
+        """A peeked prefix (protocol sniffing) is stitched back in."""
+        frame = encode_frame(OP_REQUEST, b"carry")
+        got = read_one(frame[4:], max_payload=64, first_bytes=frame[:4])
+        assert got == (OP_REQUEST, b"carry")
+
+    def test_oversized_frame_rejected_before_payload_read(self):
+        header = HEADER.pack(MAGIC, FRAMING_VERSION, OP_REQUEST, 0, 2**20)
+        with pytest.raises(PayloadTooLargeError):
+            read_one(header, max_payload=64)  # no payload bytes at all

@@ -2,16 +2,54 @@
 
 from __future__ import annotations
 
+import re
+import warnings
+from pathlib import Path
+
+import pytest
+
 import repro
+
+API_DOC = Path(__file__).resolve().parents[2] / "docs" / "api.md"
+
+#: Backticked identifiers in docs/api.md that are prose context, not exports.
+_DOC_CONTEXT_NAMES = {"repro", "DeprecationWarning"}
+
+
+def documented_names() -> set[str]:
+    """Single backticked identifiers in docs/api.md (dotted paths excluded)."""
+    text = API_DOC.read_text()
+    names = set(re.findall(r"`([A-Za-z_][A-Za-z0-9_]*)`", text))
+    return names - _DOC_CONTEXT_NAMES
 
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_no_private_names_leak(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert not name.startswith("_"), f"private name {name!r} in __all__"
+
+    def test_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_all_matches_api_docs(self):
+        """docs/api.md and ``repro.__all__`` are the same contract."""
+        documented = documented_names()
+        exported = set(repro.__all__)
+        assert documented - exported == set(), (
+            "documented but not exported — remove from docs/api.md or export"
+        )
+        assert exported - documented == set(), (
+            "exported but undocumented — add to docs/api.md"
+        )
 
     def test_key_entry_points_exposed(self):
         for name in (
@@ -28,6 +66,10 @@ class TestPublicApi:
             "Dataspace",
             "PreparedQuery",
             "QueryPlan",
+            "ReproServer",
+            "ReproClient",
+            "connect",
+            "PROTOCOL_VERSION",
         ):
             assert name in repro.__all__
 
@@ -60,3 +102,52 @@ class TestPublicApi:
             obj = getattr(repro, name)
             if inspect.isfunction(obj):
                 assert (obj.__doc__ or "").strip(), f"{name} lacks a docstring"
+
+
+class TestDeprecatedSeedFunctions:
+    """The seed free functions warn on call through the top-level namespace."""
+
+    DEPRECATED = ("evaluate_ptq_basic", "evaluate_ptq_blocktree", "evaluate_topk_ptq")
+
+    def test_access_does_not_warn(self):
+        """Merely importing/touching the name stays silent (re-exports,
+        ``from repro import *``, and hasattr probes must not spam)."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in self.DEPRECATED:
+                getattr(repro, name)
+
+    @pytest.mark.parametrize("name", DEPRECATED)
+    def test_call_warns_and_delegates(self, name):
+        import repro.query as query_module
+
+        func = getattr(repro, name)
+        with pytest.warns(DeprecationWarning, match=name):
+            with pytest.raises(TypeError):
+                func()  # wrong arity — warning fires before delegation
+        # The wrapper preserves identity metadata of the underlying function.
+        assert func.__name__ == name
+        assert func.__doc__ == getattr(query_module, name).__doc__
+
+    def test_low_level_path_stays_silent(self):
+        """``repro.query.*`` remains the un-deprecated low-level entry point."""
+        import repro.query as query_module
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in self.DEPRECATED:
+                assert callable(getattr(query_module, name))
+
+    def test_deprecated_call_still_works(self):
+        ds = repro.Dataspace.from_dataset("D1", h=10)
+        twig = repro.parse_twig("Q1", aliases=repro.QUERY_STRINGS)
+        with pytest.warns(DeprecationWarning):
+            result = repro.evaluate_ptq_blocktree(
+                twig, ds.mapping_set, ds.document, ds.block_tree
+            )
+        expected = ds.execute("Q1", plan="blocktree", use_cache=False)
+        assert {a.mapping_id for a in result} == {a.mapping_id for a in expected}
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.not_a_real_name  # noqa: B018
