@@ -24,10 +24,10 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-__all__ = ["normalise_report", "build_trajectory", "main"]
+__all__ = ["normalise_report", "gate_ratio_summary", "build_trajectory", "main"]
 
 #: Trajectory record schema version (bump on incompatible shape changes).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Benchmark statistics copied into a trajectory row (seconds).
 _STAT_FIELDS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
@@ -70,6 +70,31 @@ def normalise_report(payload: dict) -> list[dict]:
     return rows
 
 
+def gate_ratio_summary(rows: Sequence[dict]) -> dict:
+    """Promote each gate's measured speedup ratios into one top-level map.
+
+    Every ratio gate records its headline measurement in ``extra_info``
+    under a key ending in ``speedup`` or ``ratio``; collecting those into
+    ``gate_ratios`` (``{test_name: {key: value}}``) lets trajectory tooling
+    track the gates' headroom across runs without digging through each
+    benchmark row.
+    """
+    summary: dict[str, dict] = {}
+    for row in rows:
+        extra = row.get("extra_info") or {}
+        ratios = {
+            key: value
+            for key, value in extra.items()
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and (key.endswith("speedup") or key.endswith("ratio"))
+        }
+        if ratios:
+            name = (row.get("name") or "").rsplit("::", 1)[-1]
+            summary[name] = ratios
+    return summary
+
+
 def _machine_summary(payload: dict) -> dict:
     machine = payload.get("machine_info", {})
     return {
@@ -99,6 +124,7 @@ def build_trajectory(
         "timestamp": timestamp,
         "num_benchmarks": len(benchmarks),
         "machine": _machine_summary(reports[0]) if reports else {},
+        "gate_ratios": gate_ratio_summary(benchmarks),
         "benchmarks": benchmarks,
     }
 

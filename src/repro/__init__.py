@@ -75,6 +75,7 @@ from repro.api import (
     QueryResult,
     RequestTimeoutError,
     ShuttingDownError,
+    SubscriptionEvent,
 )
 from repro.schema import (
     Schema,
@@ -155,6 +156,8 @@ from repro.engine import (
     CompiledMappingSet,
     CompiledPlan,
     Dataspace,
+    DeltaBatch,
+    DeltaBatchReport,
     DeltaReport,
     EngineSnapshot,
     ExplainReport,
@@ -163,6 +166,8 @@ from repro.engine import (
     QueryBuilder,
     QueryPlan,
     ResultCache,
+    Subscription,
+    SubscriptionUpdate,
     apply_mapping_delta,
     available_plans,
     compile_mapping_set,
@@ -186,7 +191,7 @@ from repro.store import (
 )
 from repro.net import ReproClient, ReproServer, connect
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 #: Seed-era free functions still exported for compatibility; accessing them
 #: through the top-level namespace warns and points at the session API.  The
@@ -266,6 +271,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "QueryAnswer",
     "QueryResult",
+    "SubscriptionEvent",
     # persistent artifact store
     "ArtifactStore",
     "BlockStore",
@@ -278,6 +284,10 @@ __all__ = [
     "MappingDelta",
     "DeltaReport",
     "apply_mapping_delta",
+    "DeltaBatch",
+    "DeltaBatchReport",
+    "Subscription",
+    "SubscriptionUpdate",
     "PreparedQuery",
     "QueryBuilder",
     "QueryPlan",

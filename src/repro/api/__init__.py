@@ -31,6 +31,8 @@ from repro.api.messages import (
     BatchResponse,
     CalibrateRequest,
     CalibrateResponse,
+    DeltaBatchRequest,
+    DeltaBatchResponse,
     DeltaRequest,
     DeltaResponse,
     ErrorResponse,
@@ -44,6 +46,7 @@ from repro.api.messages import (
     Response,
     StatsRequest,
     StatsResponse,
+    SubscribeRequest,
     decode_request,
     decode_response,
     encode_message,
@@ -51,8 +54,11 @@ from repro.api.messages import (
 from repro.api.serialize import (
     QueryAnswer,
     QueryResult,
+    SubscriptionEvent,
     answer_to_json,
     canonical_json,
+    delta_batch_report_from_json,
+    delta_batch_report_to_json,
     delta_report_from_json,
     delta_report_to_json,
     execution_from_json,
@@ -61,6 +67,8 @@ from repro.api.serialize import (
     explain_to_json,
     result_from_json,
     result_to_json,
+    subscription_update_from_json,
+    subscription_update_to_json,
     value_distribution_to_json,
 )
 
@@ -83,6 +91,8 @@ __all__ = [
     "QueryRequest",
     "BatchRequest",
     "DeltaRequest",
+    "DeltaBatchRequest",
+    "SubscribeRequest",
     "ExplainRequest",
     "CalibrateRequest",
     "StatsRequest",
@@ -91,6 +101,7 @@ __all__ = [
     "QueryResponse",
     "BatchResponse",
     "DeltaResponse",
+    "DeltaBatchResponse",
     "ExplainResponse",
     "CalibrateResponse",
     "StatsResponse",
@@ -105,6 +116,7 @@ __all__ = [
     "canonical_json",
     "QueryAnswer",
     "QueryResult",
+    "SubscriptionEvent",
     "answer_to_json",
     "result_to_json",
     "result_from_json",
@@ -113,6 +125,10 @@ __all__ = [
     "explain_from_json",
     "delta_report_to_json",
     "delta_report_from_json",
+    "delta_batch_report_to_json",
+    "delta_batch_report_from_json",
+    "subscription_update_to_json",
+    "subscription_update_from_json",
     "execution_to_json",
     "execution_from_json",
 ]

@@ -19,6 +19,8 @@ from repro.api.messages import (
     BatchResponse,
     CalibrateRequest,
     CalibrateResponse,
+    DeltaBatchRequest,
+    DeltaBatchResponse,
     DeltaRequest,
     DeltaResponse,
     ExplainRequest,
@@ -31,8 +33,10 @@ from repro.api.messages import (
     Response,
     StatsRequest,
     StatsResponse,
+    SubscribeRequest,
 )
 from repro.api.serialize import (
+    delta_batch_report_to_json,
     delta_report_to_json,
     explain_to_json,
     result_to_json,
@@ -80,6 +84,13 @@ class ApiHandler:
             return self.batch(request)
         if isinstance(request, DeltaRequest):
             return self.apply_delta(request)
+        if isinstance(request, DeltaBatchRequest):
+            return self.apply_delta_batch(request)
+        if isinstance(request, SubscribeRequest):
+            raise BadRequestError(
+                "'subscribe' is a streaming operation; it is only served by "
+                "the binary protocol's subscription stream"
+            )
         if isinstance(request, ExplainRequest):
             return self.explain(request)
         if isinstance(request, CalibrateRequest):
@@ -144,6 +155,22 @@ class ApiHandler:
         delta = MappingDelta.from_payload(request.delta)
         report = self._service.apply_delta(delta)
         return DeltaResponse(report=delta_report_to_json(report))
+
+    def apply_delta_batch(self, request: DeltaBatchRequest) -> DeltaBatchResponse:
+        """Apply a coalesced delta batch; returns the canonical batch report."""
+        from repro.engine.delta import MappingDelta
+        from repro.engine.streaming import DeltaBatch
+
+        if not request.deltas:
+            raise BadRequestError("'deltas' must list at least one delta payload")
+        try:
+            batch = DeltaBatch.build(
+                MappingDelta.from_payload(item) for item in request.deltas
+            )
+        except (TypeError, AttributeError) as exc:
+            raise BadRequestError(f"malformed delta payload: {exc}") from exc
+        report = self._service.apply_delta_batch(batch)
+        return DeltaBatchResponse(report=delta_batch_report_to_json(report))
 
     def explain(self, request: ExplainRequest) -> ExplainResponse:
         """Explain (optionally analyze) one query against the session."""

@@ -31,6 +31,8 @@ __all__ = [
     "QueryRequest",
     "BatchRequest",
     "DeltaRequest",
+    "DeltaBatchRequest",
+    "SubscribeRequest",
     "ExplainRequest",
     "CalibrateRequest",
     "StatsRequest",
@@ -39,6 +41,7 @@ __all__ = [
     "QueryResponse",
     "BatchResponse",
     "DeltaResponse",
+    "DeltaBatchResponse",
     "ExplainResponse",
     "CalibrateResponse",
     "StatsResponse",
@@ -155,6 +158,37 @@ class DeltaRequest(Request):
 
 
 @dataclass(frozen=True)
+class DeltaBatchRequest(Request):
+    """Apply a coalesced batch of mapping deltas in one commit (writer side).
+
+    ``deltas`` is a sequence of canonical
+    :meth:`repro.engine.delta.MappingDelta.to_payload` payloads, applied in
+    order as one :class:`~repro.engine.streaming.DeltaBatch`: one patched
+    compile, one ``delta_epoch`` bump, one round of subscription
+    notifications.
+    """
+
+    op: ClassVar[str] = "apply-delta-batch"
+    deltas: tuple = ()
+
+
+@dataclass(frozen=True)
+class SubscribeRequest(Request):
+    """Register a standing query and stream its updates (binary protocol only).
+
+    The server answers with the subscription's initial
+    :class:`~repro.engine.streaming.SubscriptionUpdate` payload and then
+    streams one frame per non-empty update until the client ends the stream.
+    The HTTP transport rejects this operation — a request/response cycle
+    cannot carry an open-ended update stream.
+    """
+
+    op: ClassVar[str] = "subscribe"
+    query: str = ""
+    k: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class ExplainRequest(Request):
     """Report how a query would be (and was) evaluated."""
 
@@ -231,6 +265,15 @@ class DeltaResponse(Response):
 
 
 @dataclass(frozen=True)
+class DeltaBatchResponse(Response):
+    """The applied batch's report
+    (:func:`repro.api.serialize.delta_batch_report_to_json`)."""
+
+    op: ClassVar[str] = "apply-delta-batch"
+    report: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class ExplainResponse(Response):
     """The explain report payload
     (:func:`repro.api.serialize.explain_to_json`)."""
@@ -289,6 +332,8 @@ _REQUEST_TYPES: dict[str, Type[Request]] = {
         QueryRequest,
         BatchRequest,
         DeltaRequest,
+        DeltaBatchRequest,
+        SubscribeRequest,
         ExplainRequest,
         CalibrateRequest,
         StatsRequest,
@@ -302,6 +347,7 @@ _RESPONSE_TYPES: dict[str, Type[Response]] = {
         QueryResponse,
         BatchResponse,
         DeltaResponse,
+        DeltaBatchResponse,
         ExplainResponse,
         CalibrateResponse,
         StatsResponse,

@@ -34,12 +34,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.corpus.engine import CorpusExecution
     from repro.engine.delta import DeltaReport
     from repro.engine.plans import ExplainReport
+    from repro.engine.streaming import DeltaBatchReport, SubscriptionUpdate
     from repro.query.results import PTQAnswer, PTQResult
 
 __all__ = [
     "canonical_json",
     "QueryAnswer",
     "QueryResult",
+    "SubscriptionEvent",
     "answer_to_json",
     "result_to_json",
     "result_from_json",
@@ -48,6 +50,10 @@ __all__ = [
     "explain_from_json",
     "delta_report_to_json",
     "delta_report_from_json",
+    "delta_batch_report_to_json",
+    "delta_batch_report_from_json",
+    "subscription_update_to_json",
+    "subscription_update_from_json",
     "execution_to_json",
     "execution_from_json",
 ]
@@ -284,6 +290,172 @@ def delta_report_from_json(payload: dict) -> "DeltaReport":
         )
     except (KeyError, TypeError) as exc:
         raise BadRequestError(f"malformed delta report payload: {exc}") from exc
+
+
+def delta_batch_report_to_json(report: "DeltaBatchReport") -> dict:
+    """Canonical payload of a coalesced batch report (delegates to
+    ``to_dict``, which extends the delta-report payload with
+    ``num_deltas``)."""
+    return report.to_dict()
+
+
+def delta_batch_report_from_json(payload: dict) -> "DeltaBatchReport":
+    """Reconstruct a :class:`~repro.engine.streaming.DeltaBatchReport` from
+    its canonical payload."""
+    from repro.engine.streaming import DeltaBatchReport
+
+    try:
+        return DeltaBatchReport(
+            num_deltas=payload["num_deltas"],
+            delta_epoch=payload["delta_epoch"],
+            generation=payload["generation"],
+            num_mappings=payload["num_mappings"],
+            touched_mappings=payload["touched_mappings"],
+            structural_mappings=payload["structural_mappings"],
+            reweighted_mappings=payload["reweighted_mappings"],
+            replaced_mappings=payload["replaced_mappings"],
+            touched_targets=payload["touched_targets"],
+            posting_lists_touched=payload["posting_lists_touched"],
+            posting_lists_total=payload["posting_lists_total"],
+            compiled_incrementally=payload["compiled_incrementally"],
+            elapsed_ms=payload["elapsed_ms"],
+            persist_failed=payload.get("persist_failed", False),
+            persist_error=payload.get("persist_error"),
+        )
+    except (KeyError, TypeError) as exc:
+        raise BadRequestError(f"malformed batch report payload: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# Subscription updates
+# --------------------------------------------------------------------------- #
+def subscription_update_to_json(update: "SubscriptionUpdate") -> dict:
+    """Canonical payload of one standing-query notification.
+
+    ``added`` entries are full canonical answers (:func:`answer_to_json`,
+    with ``float.hex()`` probabilities); ``rescored`` pairs carry the new
+    probability in the same exact encoding; ``removed`` is the sorted list
+    of dropped mapping ids.  Equal updates encode to equal bytes, so the
+    golden fixtures and the differential replay suite can compare
+    notification streams byte for byte.
+    """
+    return {
+        "subscription_id": update.subscription_id,
+        "query": update.query,
+        "k": update.k,
+        "kind": update.kind,
+        "generation": update.generation,
+        "delta_epoch": update.delta_epoch,
+        "added": [answer_to_json(answer) for answer in update.added],
+        "removed": list(update.removed),
+        "rescored": [
+            {"mapping_id": mapping_id, "probability": float(probability).hex()}
+            for mapping_id, probability in update.rescored
+        ],
+    }
+
+
+@dataclass(frozen=True)
+class SubscriptionEvent:
+    """Typed client-side view of one standing-query notification.
+
+    Decoded from the :func:`subscription_update_to_json` payload; the client
+    folds events into its local result view with :meth:`apply`, which
+    mirrors :func:`repro.engine.streaming.apply_update` exactly — the replay
+    contract (initial rows plus every event equals from-scratch execution)
+    holds across the wire because both sides use ``float.hex()`` round-trips.
+    """
+
+    subscription_id: int
+    query: str
+    k: Optional[int]
+    kind: str
+    generation: int
+    delta_epoch: int
+    added: tuple[QueryAnswer, ...]
+    removed: tuple[int, ...]
+    rescored: tuple[tuple[int, str], ...]
+
+    @property
+    def is_initial(self) -> bool:
+        """``True`` for the baseline event that opens every subscription."""
+        return self.kind == "initial"
+
+    def is_empty_diff(self) -> bool:
+        """``True`` when the event carries no row changes at all."""
+        return not (self.added or self.removed or self.rescored)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SubscriptionEvent":
+        """Decode one canonical notification payload."""
+        try:
+            return cls(
+                subscription_id=int(payload["subscription_id"]),
+                query=str(payload["query"]),
+                k=payload["k"],
+                kind=str(payload["kind"]),
+                generation=int(payload["generation"]),
+                delta_epoch=int(payload["delta_epoch"]),
+                added=tuple(
+                    QueryAnswer.from_json(item) for item in payload["added"]
+                ),
+                removed=tuple(int(item) for item in payload["removed"]),
+                rescored=tuple(
+                    (int(item["mapping_id"]), str(item["probability"]))
+                    for item in payload["rescored"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BadRequestError(f"malformed subscription payload: {exc}") from exc
+
+    def to_json(self) -> dict:
+        """Re-encode the canonical payload this view was decoded from."""
+        return {
+            "subscription_id": self.subscription_id,
+            "query": self.query,
+            "k": self.k,
+            "kind": self.kind,
+            "generation": self.generation,
+            "delta_epoch": self.delta_epoch,
+            "added": [answer.to_json() for answer in self.added],
+            "removed": list(self.removed),
+            "rescored": [
+                {"mapping_id": mapping_id, "probability": probability}
+                for mapping_id, probability in self.rescored
+            ],
+        }
+
+    def apply(self, rows: list[QueryAnswer]) -> list[QueryAnswer]:
+        """Fold this event into a client-side result view.
+
+        Returns the updated rows sorted by descending probability then
+        mapping id — the same order the engine's
+        :func:`~repro.engine.streaming.apply_update` produces, so a client
+        replaying the event stream holds exactly the rows a from-scratch
+        re-execution would return.
+        """
+        by_id = {answer.mapping_id: answer for answer in rows}
+        for mapping_id in self.removed:
+            by_id.pop(mapping_id, None)
+        for mapping_id, probability_hex in self.rescored:
+            current = by_id.get(mapping_id)
+            if current is not None:
+                by_id[mapping_id] = QueryAnswer(
+                    mapping_id=mapping_id,
+                    probability_hex=probability_hex,
+                    matches=current.matches,
+                )
+        for answer in self.added:
+            by_id[answer.mapping_id] = answer
+        return sorted(
+            by_id.values(), key=lambda a: (-a.probability, a.mapping_id)
+        )
+
+
+def subscription_update_from_json(payload: dict) -> SubscriptionEvent:
+    """Decode a canonical notification payload into a
+    :class:`SubscriptionEvent` view."""
+    return SubscriptionEvent.from_json(payload)
 
 
 # --------------------------------------------------------------------------- #

@@ -216,6 +216,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve for a bounded time, then drain and exit "
                             "(default: until interrupted)")
 
+    subscribe = subparsers.add_parser(
+        "subscribe",
+        help="register a standing query on a running server and stream its updates",
+    )
+    subscribe.add_argument("query",
+                           help="a query id (Q1..Q10) or a twig pattern string")
+    subscribe.add_argument("--host", default="127.0.0.1")
+    subscribe.add_argument("--port", type=int, required=True)
+    subscribe.add_argument("--top-k", type=int, default=None)
+    subscribe.add_argument("--max-updates", type=int, default=0,
+                           help="stop after this many updates, the initial "
+                                "snapshot included (default 0: stream until "
+                                "interrupted or the socket timeout expires)")
+    subscribe.add_argument("--timeout", type=float, default=30.0,
+                           help="socket timeout waiting for the next update "
+                                "(default 30)")
+    subscribe.add_argument("--json", action="store_true",
+                           help="emit one canonical update payload per line")
+
     client = subparsers.add_parser(
         "client", help="issue typed requests to a running repro server"
     )
@@ -622,6 +641,45 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _cmd_subscribe(args, out) -> int:
+    import socket as _socket
+
+    from repro.net import connect
+
+    try:
+        with connect(args.host, args.port, timeout=args.timeout) as client:
+            stream = client.subscribe(args.query, k=args.top_k)
+            rows: list = []
+            delivered = 0
+            try:
+                for event in stream:
+                    rows = event.apply(rows)
+                    delivered += 1
+                    if args.json:
+                        out.write(json.dumps(event.to_json(), sort_keys=True) + "\n")
+                    else:
+                        out.write(
+                            f"[{event.kind}] epoch={event.delta_epoch} "
+                            f"+{len(event.added)} -{len(event.removed)} "
+                            f"~{len(event.rescored)} rows={len(rows)}\n"
+                        )
+                        for answer in rows[:5]:
+                            out.write(f"  mapping {answer.mapping_id:<4} "
+                                      f"p={answer.probability:.4f}\n")
+                    if hasattr(out, "flush"):
+                        out.flush()
+                    if args.max_updates and delivered >= args.max_updates:
+                        break
+            except (KeyboardInterrupt, _socket.timeout):
+                pass
+            finally:
+                stream.close()
+    except OSError as error:
+        out.write(f"error: cannot reach {args.host}:{args.port}: {error}\n")
+        return 2
+    return 0
+
+
 def _cmd_client(args, out) -> int:
     from repro.net import connect
 
@@ -696,6 +754,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "store": _cmd_store,
     "serve": _cmd_serve,
+    "subscribe": _cmd_subscribe,
     "client": _cmd_client,
 }
 

@@ -56,6 +56,7 @@ from repro.engine.cache import CacheKey
 from repro.engine.compiled import CompiledMappingSet
 from repro.engine.dataspace import Dataspace, EngineSnapshot
 from repro.engine.delta import MappingDelta
+from repro.engine.streaming import DeltaBatch
 from repro.engine.planner import recommend_scatter_workers
 from repro.exceptions import CorpusError, QueryError
 from repro.mapping.mapping_set import iter_mapping_ids, mapping_mask
@@ -588,6 +589,88 @@ class ShardedCorpus:
             f"no corpus session named {dataset!r}; datasets: "
             f"{[session.name for session in self._sessions]}"
         )
+
+    def apply_delta_batch(self, batch, *, dataset: Optional[str] = None):
+        """Apply a whole delta batch to one underlying session, as one epoch.
+
+        Batch companion of :meth:`apply_delta`: the selected session commits
+        a single ``delta_epoch`` bump for every member delta (see
+        :meth:`Dataspace.apply_delta_batch
+        <repro.engine.dataspace.Dataspace.apply_delta_batch>`), the document
+        partition is reused, and per-shard cached partials the batch's *net*
+        difference provably did not change keep serving.  Returns the
+        session's :class:`~repro.engine.streaming.DeltaBatchReport`.
+
+        Raises
+        ------
+        CorpusError
+            When ``dataset`` is omitted on a multi-dataset corpus or names
+            no member session.
+        """
+        session = self._session_for_write(dataset, "apply_delta_batch")
+        return session.apply_delta_batch(batch)
+
+    def _session_for_write(self, dataset: Optional[str], operation: str) -> Dataspace:
+        """Resolve the session a write targets (homogeneous default, by name)."""
+        if dataset is None:
+            if not self.is_homogeneous:
+                raise CorpusError(
+                    "this corpus spans multiple datasets; pass dataset=... to "
+                    f"{operation}"
+                )
+            return self._sessions[0]
+        for session in self._sessions:
+            if session.name == dataset:
+                return session
+        raise CorpusError(
+            f"no corpus session named {dataset!r}; datasets: "
+            f"{[session.name for session in self._sessions]}"
+        )
+
+    def dirty_shards(
+        self, batch, *, dataset: Optional[str] = None
+    ) -> dict[int, frozenset[int]]:
+        """Shard-level dirty routing: which shards can a batch touch, and where.
+
+        Maps shard id → the batch's edited *source* elements present in that
+        shard's document view, for the session the batch targets; shards
+        absent from the map provably cannot observe the batch structurally
+        (an edited correspondence influences a shard only through source
+        nodes the shard actually holds — the same containment the scatter
+        path uses to prune rewrites).  Reweight-only batches touch no source
+        element and route to no shard.  Accepts a
+        :class:`~repro.engine.streaming.DeltaBatch`, an iterable of deltas
+        or a single delta; purely informational — nothing is applied.
+        """
+        session = self._session_for_write(dataset, "dirty_shards")
+        if isinstance(batch, MappingDelta):
+            deltas: list[MappingDelta] = [batch]
+        elif isinstance(batch, DeltaBatch):
+            deltas = list(batch)
+        else:
+            deltas = list(batch)
+        mapping_set = session.mapping_set
+        sources: set[int] = set()
+        for delta in deltas:
+            for _mapping_id, key in delta.add:
+                sources.add(key[0])
+            for _mapping_id, key in delta.remove:
+                sources.add(key[0])
+            for mapping_id, pairs, _score in delta.replace:
+                for pair in mapping_set[mapping_id].correspondences:
+                    sources.add(pair[0])
+                for pair in pairs:
+                    sources.add(pair[0])
+        if not sources:
+            return {}
+        index = self._sessions.index(session)
+        state = self._session_state(index)
+        routing: dict[int, frozenset[int]] = {}
+        for shard in state.shards:
+            present = frozenset(sources & shard.document.present_elements)
+            if present:
+                routing[shard.shard_id] = present
+        return routing
 
     def close(self) -> None:
         """Shut down the corpus' scatter pool (idempotent)."""

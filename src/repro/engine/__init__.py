@@ -55,6 +55,16 @@ from repro.engine.plans import (
     register_plan,
 )
 from repro.engine.prepared import PreparedQuery, QueryBuilder
+from repro.engine.streaming import (
+    BatchEffect,
+    DeltaBatch,
+    DeltaBatchReport,
+    Subscription,
+    SubscriptionRegistry,
+    SubscriptionUpdate,
+    apply_delta_batch,
+    apply_update,
+)
 
 __all__ = [
     "Dataspace",
@@ -62,6 +72,14 @@ __all__ = [
     "MappingDelta",
     "DeltaReport",
     "apply_mapping_delta",
+    "DeltaBatch",
+    "DeltaBatchReport",
+    "BatchEffect",
+    "apply_delta_batch",
+    "SubscriptionUpdate",
+    "Subscription",
+    "SubscriptionRegistry",
+    "apply_update",
     "CacheKey",
     "CacheStats",
     "ResultCache",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, NamedTuple, Optional
+from typing import Any, Callable, Hashable, NamedTuple, Optional
 
 __all__ = ["CacheKey", "CacheStats", "ResultCache"]
 
@@ -235,16 +235,19 @@ class ResultCache:
 
     def retain(
         self,
-        key: "CacheKey",
+        key: Any,
         mapping_mask: int,
         target_mask: int,
         *,
         probability_sensitive: bool = True,
+        transform: Optional[Callable[[Any], Any]] = None,
     ) -> Optional[Any]:
         """Retain-on-miss: promote a pre-delta entry that provably survived.
 
-        Called after :meth:`get` missed for ``key`` (whose ``delta_epoch``
-        is the current epoch).  Walks back through earlier epochs of the
+        Called after :meth:`get` missed for ``key`` — any named-tuple key
+        with a ``delta_epoch`` field holding the current epoch (the result
+        cache's :class:`CacheKey`, the session filter cache's signature
+        key).  Walks back through earlier epochs of the
         *same* key, accumulating the recorded dirt of every intervening
         delta, and stops as soon as the accumulated dirt intersects the
         caller's masks — one bitwise AND per mask:
@@ -263,6 +266,16 @@ class ResultCache:
         correct for values that do not encode probabilities or
         probability-driven selections, such as full (``k=None``) per-shard
         match partials, which a pure reweight delta cannot change.
+
+        ``transform``, when given, is applied to the surviving value before
+        it is re-inserted under the current-epoch key; the transformed value
+        is what gets stored and returned.  This lets callers whose cached
+        values hold epoch-bound objects (e.g. the filter cache's
+        :class:`Mapping` lists, which must come from the *current* mapping
+        set) promote entries across epochs by re-anchoring them instead of
+        recomputing from scratch.  The callable runs under the cache lock
+        and must be cheap and non-reentrant (it must not call back into the
+        cache).
 
         A surviving entry is re-keyed to the current epoch (the old key is
         removed) and returned; ``None`` means nothing could be proven and
@@ -297,6 +310,8 @@ class ResultCache:
                 value = self._entries.get(old_key)
                 if value is not None:
                     del self._entries[old_key]
+                    if transform is not None:
+                        value = transform(value)
                     self._entries[key] = value
                     self._entries.move_to_end(key)
                     self._retained += 1

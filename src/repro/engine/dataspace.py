@@ -15,6 +15,7 @@ change                    invalidates
 ``h`` / ``method``        mapping set, block tree (generation bump)
 ``tau`` / block budgets   block tree only
 ``apply_delta(...)``      nothing wholesale — delta-epoch bump only
+``apply_delta_batch(…)``  same — one epoch bump for the whole batch
 ========================  =============================================
 
 Mapping evolution does **not** go through invalidation at all:
@@ -67,18 +68,26 @@ import time
 import warnings
 import weakref
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Iterable, NamedTuple, Optional, Tuple, Union
 
 from repro.core.blocktree import BlockTree, BlockTreeConfig, build_block_tree
 from repro.document.document import XMLDocument
 from repro.document.generator import generate_document
 from repro.engine.cache import CacheKey, ResultCache
-from repro.engine.delta import DeltaReport, MappingDelta, apply_mapping_delta
+from repro.engine.delta import DeltaReport, MappingDelta
 from repro.engine.kernels import Kernels, resolve_kernels
 from repro.engine.locking import ReadWriteLock
 from repro.engine.planner import PlanDecision, QueryPlanner, canonical_text
 from repro.engine.plans import QueryPlan, available_plans, plan_for
 from repro.engine.prepared import PlanSpec, PreparedQuery, QueryBuilder
+from repro.engine.streaming import (
+    DeltaBatch,
+    DeltaBatchReport,
+    Subscription,
+    SubscriptionRegistry,
+    SubscriptionUpdate,
+    apply_delta_batch,
+)
 from repro.exceptions import (
     DataspaceError,
     PersistFailedWarning,
@@ -113,6 +122,21 @@ _UNSET = object()
 #: session receiving ad-hoc query texts must not grow without limit.  An
 #: evicted query is simply re-prepared (and re-resolves) on next use.
 _PREPARED_CACHE_CAPACITY = 512
+
+
+class _FilterKey(NamedTuple):
+    """Filter-cache key: the shared ``filter_mappings`` prefix of one epoch.
+
+    A :class:`~typing.NamedTuple` with a ``delta_epoch`` field (like
+    :class:`~repro.engine.cache.CacheKey`) so
+    :meth:`~repro.engine.cache.ResultCache.retain` can probe earlier epochs
+    of the same signature and promote a surviving prefix instead of
+    recomputing it — closing the per-epoch filter recompute.
+    """
+
+    generation: int
+    signature: frozenset
+    delta_epoch: int
 
 
 @dataclass(frozen=True)
@@ -260,6 +284,9 @@ class Dataspace:
         self._planner = QueryPlanner()
         self._scatter_lock = threading.Lock()
         self._scatter_corpora: dict[int, object] = {}
+        # Standing queries: registered once, notified incrementally from the
+        # dirty masks of every committed delta batch (see engine.streaming).
+        self._subscriptions = SubscriptionRegistry(self)
 
     # ------------------------------------------------------------------ #
     # Alternative constructors
@@ -798,10 +825,48 @@ class Dataspace:
 
         >>> # ds.apply_delta(MappingDelta.build(reweight={0: 0.2, 1: 0.3}))
         """
+        return self._commit_batch(DeltaBatch.of(delta), as_batch=False)
+
+    def apply_delta_batch(
+        self, batch: Union[DeltaBatch, Iterable[MappingDelta]]
+    ) -> DeltaBatchReport:
+        """Apply a whole :class:`~repro.engine.streaming.DeltaBatch` as one epoch.
+
+        Every member delta is validated against the intermediate state its
+        predecessors left (exactly as if applied one by one via
+        :meth:`apply_delta`), but the session commits a *single*
+        ``delta_epoch`` bump with one incremental recompile of the net
+        difference — an edit a later delta of the batch reverts never
+        touches a posting list, and readers, cache retention and standing
+        queries observe one transition instead of ``len(batch)``.
+
+        Returns a :class:`~repro.engine.streaming.DeltaBatchReport` (a
+        :class:`~repro.engine.delta.DeltaReport` plus the coalesced-delta
+        count).
+
+        Raises
+        ------
+        MappingError
+            On an empty batch, or when any member delta is invalid for the
+            state it applies to; the session is left untouched either way.
+        """
+        normalized = batch if isinstance(batch, DeltaBatch) else DeltaBatch.build(batch)
+        report = self._commit_batch(normalized, as_batch=True)
+        assert isinstance(report, DeltaBatchReport)
+        return report
+
+    def _commit_batch(self, batch: DeltaBatch, *, as_batch: bool) -> DeltaReport:
+        """Shared commit path of :meth:`apply_delta` / :meth:`apply_delta_batch`.
+
+        ``as_batch`` only selects the report type: the single-delta path is
+        the batch path — a batch of one delta is bit-identical to the old
+        direct ``apply_mapping_delta`` call by construction (see
+        :func:`repro.engine.streaming.apply_delta_batch`).
+        """
         started = time.perf_counter()
         with self._lock.write_locked():
             mapping_set = self._build_mapping_set()
-            patched, effect = apply_mapping_delta(mapping_set, delta)
+            patched, effect = apply_delta_batch(mapping_set, batch)
             self._mapping_set = patched
             self._block_tree = None
             self._delta_epoch += 1
@@ -809,6 +874,16 @@ class Dataspace:
             generation = self._generation
             self._result_cache.record_delta(
                 epoch, effect.probability_mask, effect.dirty_target_mask
+            )
+            self._filter_cache.record_delta(
+                epoch, effect.probability_mask, effect.dirty_target_mask
+            )
+            self._subscriptions.on_commit(
+                epoch,
+                generation,
+                self._document_version,
+                effect,
+                self._snapshot_if_built(False),
             )
         persist_failed = False
         persist_error: Optional[str] = None
@@ -833,14 +908,18 @@ class Dataspace:
                         PersistFailedWarning,
                         stacklevel=2,
                     )
-        return DeltaReport(
+        # Standing queries advance after the write lock is released: the
+        # registry re-executes structural subscribers against the committed
+        # snapshot, which must not happen under the session write lock.
+        self._subscriptions.drain()
+        fields = dict(
             delta_epoch=epoch,
             generation=generation,
             num_mappings=len(patched),
             touched_mappings=effect.dirty_mask.bit_count(),
             structural_mappings=effect.structural_mask.bit_count(),
-            reweighted_mappings=len(delta.reweight),
-            replaced_mappings=len(delta.replace),
+            reweighted_mappings=effect.reweight_edits,
+            replaced_mappings=effect.replace_edits,
             touched_targets=len(effect.dirty_targets),
             posting_lists_touched=effect.posting_lists_touched,
             posting_lists_total=effect.posting_lists_total,
@@ -849,6 +928,9 @@ class Dataspace:
             persist_failed=persist_failed,
             persist_error=persist_error,
         )
+        if as_batch:
+            return DeltaBatchReport(num_deltas=effect.num_deltas, **fields)
+        return DeltaReport(**fields)
 
     def _check_document(self, document: XMLDocument) -> None:
         if document.schema is not self.source_schema:
@@ -1234,11 +1316,35 @@ class Dataspace:
         same relevant-mapping list, so the filter prefix is cached per
         ``(generation, required-target signature)`` and shared across every
         query and caller that hits those schema elements.
+
+        The prefix is also retained *across delta epochs*: on a miss at the
+        current epoch, an earlier epoch's entry for the same signature is
+        promoted when no intervening delta structurally touched the
+        signature's target elements — relevance depends only on coverage at
+        those elements, so the relevant-mapping *id list* is provably
+        unchanged.  The promoted list is re-anchored to the current mapping
+        set (same ids, current :class:`Mapping` objects), so reweighted
+        probabilities are always fresh.
         """
         snap = snapshot if snapshot is not None else self.snapshot(need_tree=False)
         signature = frozenset(frozenset(embedding.values()) for embedding in embeddings)
-        key = (snap.generation, snap.delta_epoch, signature)
+        key = _FilterKey(
+            generation=snap.generation, signature=signature, delta_epoch=snap.delta_epoch
+        )
         relevant = self._filter_cache.get(key)
+        if relevant is None:
+            required_mask = 0
+            for values in signature:
+                for target_id in values:
+                    required_mask |= 1 << target_id
+            mapping_set = snap.mapping_set
+            relevant = self._filter_cache.retain(
+                key,
+                0,
+                required_mask,
+                probability_sensitive=False,
+                transform=lambda rows: [mapping_set[m.mapping_id] for m in rows],
+            )
         if relevant is None:
             relevant = self._filter_cache.put(
                 key, filter_mappings(snap.mapping_set, embeddings)
@@ -1297,6 +1403,32 @@ class Dataspace:
     def query(self, query: Union[str, TwigQuery]) -> QueryBuilder:
         """Start a fluent query: ``ds.query("...").top_k(10).execute()``."""
         return QueryBuilder(self.prepare(query))
+
+    def subscribe(
+        self,
+        query: Union[str, TwigQuery],
+        *,
+        k: Optional[int] = None,
+        callback: Callable[[SubscriptionUpdate], None],
+    ) -> Subscription:
+        """Register ``query`` as a standing query; updates flow to ``callback``.
+
+        The query is executed once and an ``initial``
+        :class:`~repro.engine.streaming.SubscriptionUpdate` carrying the
+        full current result is delivered before this returns; every
+        subsequent :meth:`apply_delta` / :meth:`apply_delta_batch` commit
+        delivers an incremental diff (or nothing, when the batch provably
+        cannot have changed the result).  See
+        :class:`~repro.engine.streaming.SubscriptionRegistry` for the
+        classification rules and the delivery contract; cancel via the
+        returned handle.
+        """
+        return self._subscriptions.subscribe(query, k=k, callback=callback)
+
+    @property
+    def subscriptions(self) -> SubscriptionRegistry:
+        """The session's standing-query registry (see :meth:`subscribe`)."""
+        return self._subscriptions
 
     def shard(self, num_shards: int, *, max_workers: Optional[int] = None):
         """Open a :class:`~repro.corpus.ShardedCorpus` over this session.
@@ -1616,6 +1748,7 @@ class Dataspace:
             if self._document is not None:
                 info["document_nodes"] = len(self._document)
         info["planner"] = self._planner.report()
+        info["subscriptions"] = self._subscriptions.stats()
         info.update(self.cache_stats())
         return info
 

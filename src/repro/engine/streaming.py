@@ -1,0 +1,1081 @@
+"""Standing queries over delta batches: the engine's streaming write path.
+
+The delta engine (:mod:`repro.engine.delta`) made mapping evolution cheap for
+*readers* — caches retain provably-untouched entries across epochs — but each
+write still answered "what changed?" by making every reader re-execute.  This
+module turns ``apply_delta`` into a production write path with two pieces:
+
+* :class:`DeltaBatch` / :func:`apply_delta_batch` coalesce a *sequence* of
+  :class:`~repro.engine.delta.MappingDelta` edits into **one** patched compile
+  and a single ``delta_epoch`` bump.  Each delta is validated against the
+  intermediate state it applies to (exactly as if applied one by one), but
+  the compiled bitset artifact is patched once, from the *net* difference
+  between the first and last state — an add that a later delta removes never
+  touches a posting list.  A batch of one delta is bit-identical (compiled
+  columns and bookkeeping) to :func:`~repro.engine.delta.apply_mapping_delta`,
+  which is what lets the session route its single-delta path through here.
+
+* :class:`SubscriptionRegistry` inverts the cache-retention machinery: where
+  :meth:`~repro.engine.cache.ResultCache.retain` proves which cached results
+  a delta *cannot* touch, the registry proves which standing queries it
+  *must* notify.  A subscription registers a PTQ/top-k once (keyed by the
+  planner's canonical query text, so equivalent spellings share one standing
+  query) and each committed batch partitions the standing queries three ways:
+
+  ========================  ================================================
+  class                     condition / work
+  ========================  ================================================
+  **unaffected**            masks AND dirt == 0 — two integer ANDs, no work
+  **reweight-only**         probability column dirty, structure clean at the
+                            query's required targets — rescore cached rows
+                            and emit changed entries only, no re-execution
+  **structural**            required-target structure dirty — re-execute via
+                            the normal cost-routed path and diff
+  ========================  ================================================
+
+  Notifications are :class:`SubscriptionUpdate` diffs (added / removed /
+  rescored rows) with the guarantee that replaying the stream onto the
+  initial result set (:func:`apply_update`) reproduces, byte for byte, what
+  re-executing the standing query from scratch at the new epoch returns —
+  the differential property the streaming test harness pins across plans,
+  kernel backends and shard counts.
+
+Lifecycle and delivery contract
+-------------------------------
+``subscribe()`` executes the query once (the *baseline*) and delivers an
+``initial`` update carrying the full current result; every later update is a
+diff against the previous state the subscriber saw.  Updates are delivered
+in epoch order, at most once per committed epoch, and never for an epoch
+from before the subscription's baseline.  Consecutive epochs may be coalesced
+into one update (the diff then spans all of them — the replay contract is
+unaffected).  An update whose diff is empty is suppressed.  Callbacks run on
+the committing (or draining) thread and must be fast and non-blocking;
+exceptions are counted, never propagated.  ``configure()`` does not notify
+by itself — a reconfiguration surfaces as a ``structural`` update at the
+next committed delta batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional, Union
+
+from repro.engine.delta import (
+    DeltaReport,
+    MappingDelta,
+    apply_mapping_delta,
+    target_mask_of,
+)
+from repro.engine.plans import plan_for, select_top_k
+from repro.exceptions import MappingError, QueryError
+from repro.mapping.mapping_set import MappingSet, mapping_mask
+from repro.query.results import PTQAnswer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.dataspace import Dataspace, EngineSnapshot
+    from repro.engine.delta import DeltaEffect
+    from repro.engine.prepared import PreparedQuery
+    from repro.query.twig import TwigQuery
+
+__all__ = [
+    "DeltaBatch",
+    "BatchEffect",
+    "DeltaBatchReport",
+    "apply_delta_batch",
+    "SubscriptionUpdate",
+    "apply_update",
+    "Subscription",
+    "SubscriptionRegistry",
+]
+
+#: Bound on the registry's remembered per-epoch dirt entries; a standing
+#: query lagging further behind is conservatively re-executed (structural).
+_MAX_NOTIFY_LOG = 64
+
+#: Sort key of update rows: most probable first, ties by mapping id — the
+#: same order :class:`~repro.query.results.PTQResult` imposes on answers.
+def _row_order(row: PTQAnswer) -> tuple[float, int]:
+    """Sort key ordering answer rows like ``PTQResult`` does."""
+    return (-row.probability, row.mapping_id)
+
+
+# --------------------------------------------------------------------------- #
+# Delta batches
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DeltaBatch:
+    """An ordered sequence of deltas applied as one atomic epoch bump.
+
+    Each member delta is validated against the state left by its
+    predecessors — a batch behaves exactly like applying its deltas one by
+    one — but the whole batch commits as a *single* ``delta_epoch`` bump
+    with one incremental recompile of the net difference.
+
+    >>> batch = DeltaBatch.of(MappingDelta.build(reweight={0: 0.5, 1: 0.5}))
+    >>> len(batch)
+    1
+    """
+
+    deltas: tuple[MappingDelta, ...] = ()
+
+    @classmethod
+    def of(cls, *deltas: MappingDelta) -> "DeltaBatch":
+        """Build a batch from deltas given as positional arguments."""
+        return cls(deltas=tuple(deltas))
+
+    @classmethod
+    def build(cls, deltas: Iterable[MappingDelta]) -> "DeltaBatch":
+        """Build a batch from any iterable of deltas."""
+        return cls(deltas=tuple(deltas))
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+    def __iter__(self) -> Iterator[MappingDelta]:
+        return iter(self.deltas)
+
+    def is_empty(self) -> bool:
+        """``True`` when the batch holds no deltas (or only empty ones)."""
+        return all(delta.is_empty() for delta in self.deltas)
+
+    def touched_ids(self) -> frozenset[int]:
+        """Ids of every mapping any member delta touches in any way."""
+        ids: set[int] = set()
+        for delta in self.deltas:
+            ids |= delta.touched_ids()
+        return frozenset(ids)
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_payload`).
+
+        Member deltas keep their order — a batch is a *sequence*, so unlike
+        a single delta's canonical payload the list is not sorted.
+        """
+        return {"deltas": [delta.to_payload() for delta in self.deltas]}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DeltaBatch":
+        """Rebuild a batch from :meth:`to_payload` output."""
+        return cls(
+            deltas=tuple(
+                MappingDelta.from_payload(item) for item in payload.get("deltas", ())
+            )
+        )
+
+
+@dataclass(frozen=True)
+class BatchEffect:
+    """Coalesced bitmask summary of one applied delta batch.
+
+    The mask fields mirror :class:`~repro.engine.delta.DeltaEffect` but
+    describe the *net* first-to-last difference: an edit a later delta of
+    the same batch reverts contributes no dirt.  ``dirty_sources`` /
+    ``dirty_source_mask`` additionally record the edited *source* elements,
+    which shard-level dirty routing in the corpus layer keys on (a shard
+    holding none of the edited source elements cannot observe the batch
+    structurally).
+    """
+
+    num_deltas: int
+    reweight_edits: int
+    replace_edits: int
+    dirty_mask: int
+    structural_mask: int
+    probability_mask: int
+    dirty_target_mask: int
+    dirty_targets: frozenset[int]
+    dirty_sources: frozenset[int]
+    dirty_source_mask: int
+    posting_lists_touched: int
+    posting_lists_total: int
+    compiled_incrementally: bool
+
+
+@dataclass(frozen=True)
+class DeltaBatchReport(DeltaReport):
+    """A :class:`~repro.engine.delta.DeltaReport` for a whole batch.
+
+    Identical to the single-delta report — one epoch, one compile, the same
+    reuse accounting — plus ``num_deltas``, the number of member deltas the
+    epoch coalesced.  ``isinstance(report, DeltaReport)`` holds, so every
+    existing report consumer keeps working.
+    """
+
+    num_deltas: int = 1
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view of the report (adds ``num_deltas``)."""
+        payload = super().to_dict()
+        payload["num_deltas"] = self.num_deltas
+        return payload
+
+    def format(self) -> str:
+        """Human-readable rendering (adds the coalesced-delta count)."""
+        return super().format() + f"\ncoalesced:  {self.num_deltas} deltas"
+
+
+def apply_delta_batch(
+    mapping_set: MappingSet, batch: Union[DeltaBatch, Iterable[MappingDelta]]
+) -> tuple[MappingSet, BatchEffect]:
+    """Apply a batch of deltas to ``mapping_set``; one compile, net-diff masks.
+
+    Each delta is applied (and fully validated) against the intermediate
+    state left by its predecessors, on an *uncompiled* shadow of the input
+    set — so no intermediate compile work happens.  The compiled artifact is
+    then patched exactly once from the net first-to-last difference, and the
+    returned :class:`BatchEffect` masks describe that net difference.
+
+    A batch of one delta is bit-identical to
+    :func:`~repro.engine.delta.apply_mapping_delta`: the same patched
+    :class:`Mapping` objects, the same ``changed_pairs``, the same single
+    :meth:`CompiledMappingSet.patched
+    <repro.engine.compiled.CompiledMappingSet.patched>` call.
+
+    Raises
+    ------
+    MappingError
+        On an empty batch, or when any member delta is invalid against the
+        state it applies to (the input set is never mutated either way).
+
+    >>> # patched, effect = apply_delta_batch(ms, DeltaBatch.of(d1, d2))
+    """
+    deltas = list(batch.deltas) if isinstance(batch, DeltaBatch) else list(batch)
+    if not deltas:
+        raise MappingError("a delta batch must contain at least one delta")
+    original = list(mapping_set)
+    # Uncompiled shadow: apply_mapping_delta sees is_compiled == False and
+    # skips per-step compile patching; validation is per intermediate state.
+    shadow = MappingSet._patched(mapping_set.matching, original)
+    touched: set[int] = set()
+    structural: set[int] = set()
+    reweight_edits = 0
+    replace_edits = 0
+    for delta in deltas:
+        shadow, _ = apply_mapping_delta(shadow, delta)
+        touched |= delta.touched_ids()
+        structural |= delta.structural_ids()
+        reweight_edits += len(delta.reweight)
+        replace_edits += len(delta.replace)
+    final = list(shadow)
+
+    # Net first-to-last diff: exactly what apply_mapping_delta computes for
+    # a single delta, so the one-compile patch below is call-identical.
+    changed_pairs: dict[int, tuple[frozenset, frozenset]] = {}
+    probability_ids: list[int] = []
+    for mapping_id in sorted(touched):
+        old, new = original[mapping_id], final[mapping_id]
+        if new.correspondences != old.correspondences:
+            changed_pairs[mapping_id] = (old.correspondences, new.correspondences)
+        if new.probability != old.probability:
+            probability_ids.append(mapping_id)
+
+    dirty_targets: set[int] = set()
+    dirty_sources: set[int] = set()
+    edited_pairs: set = set()
+    for old_pairs, new_pairs in changed_pairs.values():
+        for pair in old_pairs ^ new_pairs:
+            edited_pairs.add(pair)
+            dirty_sources.add(pair[0])
+            dirty_targets.add(pair[1])
+
+    if mapping_set.is_compiled:
+        from repro.engine.compiled import CompiledMappingSet
+
+        compiled = CompiledMappingSet.patched(mapping_set.compile(), shadow, changed_pairs)
+        shadow._compiled = compiled
+        posting_total = len(compiled._pair_masks)
+    else:
+        posting_total = 0
+
+    effect = BatchEffect(
+        num_deltas=len(deltas),
+        reweight_edits=reweight_edits,
+        replace_edits=replace_edits,
+        dirty_mask=mapping_mask(sorted(touched)),
+        structural_mask=mapping_mask(sorted(structural)),
+        probability_mask=mapping_mask(probability_ids),
+        dirty_target_mask=target_mask_of(dirty_targets),
+        dirty_targets=frozenset(dirty_targets),
+        dirty_sources=frozenset(dirty_sources),
+        dirty_source_mask=target_mask_of(dirty_sources),
+        posting_lists_touched=len(edited_pairs),
+        posting_lists_total=posting_total,
+        compiled_incrementally=mapping_set.is_compiled,
+    )
+    return shadow, effect
+
+
+# --------------------------------------------------------------------------- #
+# Subscription updates and the replay contract
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SubscriptionUpdate:
+    """One incremental notification of a standing query.
+
+    ``kind`` is ``"initial"`` (the full baseline at registration),
+    ``"reweight"`` (probabilities moved, structure provably clean — only
+    ``rescored`` and, for top-k queries, membership churn) or
+    ``"structural"`` (the query was re-executed and diffed).  The diff
+    semantics (see :func:`apply_update`):
+
+    * ``removed`` — mapping ids whose row leaves the result;
+    * ``rescored`` — ``(mapping_id, probability)`` for rows whose matches
+      are unchanged but whose probability moved;
+    * ``added`` — full rows to upsert: genuinely new rows *and* rows whose
+      match set changed.
+
+    ``added`` rows are ordered like result answers (most probable first);
+    ``removed`` and ``rescored`` ascend by mapping id.
+    """
+
+    subscription_id: int
+    query: str
+    k: Optional[int]
+    kind: str
+    generation: int
+    delta_epoch: int
+    added: tuple[PTQAnswer, ...] = ()
+    removed: tuple[int, ...] = ()
+    rescored: tuple[tuple[int, float], ...] = ()
+
+    def is_empty_diff(self) -> bool:
+        """``True`` when the update changes nothing (candidate for suppression)."""
+        return not (self.added or self.removed or self.rescored)
+
+
+def apply_update(
+    rows: Iterable[PTQAnswer], update: SubscriptionUpdate
+) -> list[PTQAnswer]:
+    """Replay one update onto a row list; returns the new result rows.
+
+    This is the subscriber-side half of the differential contract: starting
+    from the ``initial`` update's rows and folding every subsequent update
+    through this function yields, byte for byte (``float.hex()`` on
+    probabilities), the rows a from-scratch execution of the standing query
+    returns at the update's epoch.
+
+    >>> # rows = apply_update(rows, update)
+    """
+    by_id = {row.mapping_id: row for row in rows}
+    for mapping_id in update.removed:
+        by_id.pop(mapping_id, None)
+    for mapping_id, probability in update.rescored:
+        old = by_id.get(mapping_id)
+        if old is not None:
+            by_id[mapping_id] = PTQAnswer(
+                mapping_id=mapping_id, probability=probability, matches=old.matches
+            )
+    for row in update.added:
+        by_id[row.mapping_id] = row
+    return sorted(by_id.values(), key=_row_order)
+
+
+# --------------------------------------------------------------------------- #
+# Standing queries and subscriptions
+# --------------------------------------------------------------------------- #
+class _StandingQuery:
+    """Registry-internal state of one registered (query, k) pair.
+
+    All mutable fields are guarded by the registry's table lock.
+    ``baseline`` maps mapping id to the row the subscribers currently hold;
+    ``relevant_ids`` / ``relevant_mask`` cache the filter prefix (refreshed
+    on structural updates) and ``required_mask`` the target elements the
+    query's embeddings need — the two integers the unaffected check ANDs.
+    """
+
+    __slots__ = (
+        "prepared",
+        "k",
+        "key",
+        "relevant_ids",
+        "relevant_mask",
+        "required_mask",
+        "baseline",
+        "last_epoch",
+        "generation",
+        "document_version",
+        "subscribers",
+    )
+
+    def __init__(
+        self,
+        prepared: "PreparedQuery",
+        k: Optional[int],
+        key: tuple[str, Optional[int]],
+        relevant_ids: tuple[int, ...],
+        required_mask: int,
+        baseline: dict[int, PTQAnswer],
+        last_epoch: int,
+        generation: int,
+        document_version: int,
+    ) -> None:
+        self.prepared = prepared
+        self.k = k
+        self.key = key
+        self.relevant_ids = relevant_ids
+        self.relevant_mask = mapping_mask(relevant_ids)
+        self.required_mask = required_mask
+        self.baseline = baseline
+        self.last_epoch = last_epoch
+        self.generation = generation
+        self.document_version = document_version
+        self.subscribers: dict[int, "Subscription"] = {}
+
+
+class Subscription:
+    """A live subscriber handle returned by ``subscribe()``.
+
+    Holds the subscriber's id, the standing query's canonical text and
+    ``k``, the ``initial`` update delivered at registration, and the most
+    recent update seen.  :meth:`cancel` detaches the subscriber; cancelling
+    from inside a notification callback is safe.
+    """
+
+    def __init__(
+        self,
+        registry: "SubscriptionRegistry",
+        standing: _StandingQuery,
+        subscription_id: int,
+        callback: Callable[[SubscriptionUpdate], None],
+    ) -> None:
+        self._registry = registry
+        self._standing = standing
+        self._id = subscription_id
+        self._callback = callback
+        self._active = True
+        self.initial: Optional[SubscriptionUpdate] = None
+        self.last_update: Optional[SubscriptionUpdate] = None
+        self.updates_delivered = 0
+
+    @property
+    def subscription_id(self) -> int:
+        """Registry-unique id of this subscriber."""
+        return self._id
+
+    @property
+    def query(self) -> str:
+        """Canonical text of the standing query."""
+        return self._standing.prepared.cache_key
+
+    @property
+    def k(self) -> Optional[int]:
+        """The standing query's top-k restriction (``None`` for full results)."""
+        return self._standing.k
+
+    @property
+    def active(self) -> bool:
+        """``False`` once :meth:`cancel` has detached the subscriber."""
+        return self._active
+
+    def cancel(self) -> bool:
+        """Detach this subscriber; returns whether it was still attached.
+
+        After cancellation no further updates are delivered.  The standing
+        query itself is dropped when its last subscriber cancels.
+        """
+        was_active = self._registry._cancel(self._standing, self._id)
+        self._active = False
+        return was_active
+
+    def _record(self, update: SubscriptionUpdate) -> None:
+        """Remember a delivered update on the handle (registry-internal)."""
+        if update.kind == "initial":
+            self.initial = update
+        self.last_update = update
+        self.updates_delivered += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Subscription(id={self._id}, query={self.query!r}, k={self.k}, "
+            f"active={self._active})"
+        )
+
+
+@dataclass(frozen=True)
+class _Notice:
+    """A committed state the registry must advance standing queries to."""
+
+    epoch: int
+    generation: int
+    document_version: int
+    snapshot: "EngineSnapshot"
+
+
+class SubscriptionRegistry:
+    """Standing queries of one session, notified from delta dirty masks.
+
+    Owned by a :class:`~repro.engine.dataspace.Dataspace`; the session calls
+    :meth:`on_commit` under its write lock when a delta batch commits and
+    :meth:`drain` after releasing it.  See the module docstring for the
+    three-way classification and the delivery contract.
+
+    Locking: the table lock (reentrant) guards the standing-query table and
+    all delivery, so each subscriber observes a total order of updates; the
+    pending queue and the per-epoch dirt log have their own leaf locks so
+    :meth:`on_commit` — which runs under the session's write lock — never
+    touches the table lock.  :meth:`drain` is single-flight: a drain
+    triggered from inside a notification callback (e.g. a callback that
+    applies another delta) returns immediately and the outer drain picks
+    the new notice up.
+    """
+
+    def __init__(self, dataspace: "Dataspace") -> None:
+        self._dataspace = dataspace
+        self._table: dict[tuple[str, Optional[int]], _StandingQuery] = {}
+        self._table_lock = threading.RLock()
+        self._pending: "deque[_Notice]" = deque()
+        self._pending_lock = threading.Lock()
+        self._log: "OrderedDict[int, tuple[int, int]]" = OrderedDict()
+        self._log_lock = threading.Lock()
+        self._drain_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._subscribed = 0
+        self._cancelled = 0
+        self._batches = 0
+        self._unaffected = 0
+        self._reweight_only = 0
+        self._structural = 0
+        self._notifications = 0
+        self._suppressed = 0
+        self._callback_errors = 0
+        self._update_errors = 0
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def subscribe(
+        self,
+        query: Union[str, "TwigQuery"],
+        *,
+        k: Optional[int] = None,
+        callback: Callable[[SubscriptionUpdate], None],
+    ) -> Subscription:
+        """Register a standing query; returns the live :class:`Subscription`.
+
+        The query is prepared (and keyed) by its canonical text, executed
+        once as the baseline, and the ``initial`` update is delivered to
+        ``callback`` before this method returns.  A second subscriber to an
+        already-standing (query, k) pair shares the standing query's state
+        and receives an ``initial`` built from it — no re-execution.
+
+        Raises
+        ------
+        QueryError
+            On a non-positive ``k``.
+        """
+        if k is not None and k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        ds = self._dataspace
+        prepared = ds.prepare(query)
+        snap = ds.snapshot(need_tree=False)
+        baseline = prepared.execute(k=k, snapshot=snap, use_cache=True)
+        relevant = prepared.relevant_mappings(snap)
+        required_mask = prepared.required_target_mask()
+        key = (prepared.cache_key, k)
+        with self._table_lock:
+            standing = self._table.get(key)
+            created = standing is None
+            if standing is None:
+                standing = _StandingQuery(
+                    prepared=prepared,
+                    k=k,
+                    key=key,
+                    relevant_ids=tuple(m.mapping_id for m in relevant),
+                    required_mask=required_mask,
+                    baseline={row.mapping_id: row for row in baseline.answers},
+                    last_epoch=snap.delta_epoch,
+                    generation=snap.generation,
+                    document_version=snap.document_version,
+                )
+                self._table[key] = standing
+            subscription_id = next(self._ids)
+            handle = Subscription(self, standing, subscription_id, callback)
+            standing.subscribers[subscription_id] = handle
+            initial = SubscriptionUpdate(
+                subscription_id=subscription_id,
+                query=prepared.cache_key,
+                k=k,
+                kind="initial",
+                generation=standing.generation,
+                delta_epoch=standing.last_epoch,
+                added=tuple(sorted(standing.baseline.values(), key=_row_order)),
+            )
+            handle._record(initial)
+            self._deliver_one(handle, initial)
+            with self._stats_lock:
+                self._subscribed += 1
+        if created:
+            # Close the registration race: a batch that committed between the
+            # baseline snapshot and the table insert drained before this
+            # standing query existed.  A synthetic notice at the *current*
+            # state catches it up; the epoch guard in _advance makes any
+            # overlap with real pending notices harmless.
+            current = ds.snapshot(need_tree=False)
+            if (
+                current.delta_epoch > snap.delta_epoch
+                or current.generation != snap.generation
+                or current.document_version != snap.document_version
+            ):
+                with self._pending_lock:
+                    self._pending.append(
+                        _Notice(
+                            epoch=current.delta_epoch,
+                            generation=current.generation,
+                            document_version=current.document_version,
+                            snapshot=current,
+                        )
+                    )
+        self.drain()
+        return handle
+
+    def _cancel(self, standing: _StandingQuery, subscription_id: int) -> bool:
+        """Detach one subscriber; drop the standing query when it empties."""
+        with self._table_lock:
+            handle = standing.subscribers.pop(subscription_id, None)
+            if handle is not None:
+                with self._stats_lock:
+                    self._cancelled += 1
+            if not standing.subscribers and self._table.get(standing.key) is standing:
+                del self._table[standing.key]
+        return handle is not None
+
+    # ------------------------------------------------------------------ #
+    # Commit plumbing (called by the session)
+    # ------------------------------------------------------------------ #
+    def on_commit(
+        self,
+        epoch: int,
+        generation: int,
+        document_version: int,
+        effect: Union[BatchEffect, "DeltaEffect"],
+        snapshot: Optional["EngineSnapshot"],
+    ) -> None:
+        """Record one committed batch; runs under the session's write lock.
+
+        Appends the epoch's dirt masks to the bounded log and enqueues a
+        notice carrying the committed snapshot.  Only leaf locks are taken
+        here — never the table lock — so commit latency stays independent of
+        subscriber count and no lock cycle with delivery is possible.
+        ``snapshot`` is ``None`` only when the session's document is not
+        built, in which case no standing query can exist yet.
+        """
+        with self._log_lock:
+            self._log[epoch] = (effect.probability_mask, effect.dirty_target_mask)
+            while len(self._log) > _MAX_NOTIFY_LOG:
+                self._log.popitem(last=False)
+        if snapshot is None:
+            return
+        with self._pending_lock:
+            self._pending.append(
+                _Notice(
+                    epoch=epoch,
+                    generation=generation,
+                    document_version=document_version,
+                    snapshot=snapshot,
+                )
+            )
+
+    def drain(self) -> int:
+        """Deliver every pending notice; returns how many were processed.
+
+        Single-flight and non-blocking: when another thread (or an enclosing
+        callback on this thread) is already draining, this returns ``0``
+        immediately — the active drain's re-check loop picks up any notice
+        enqueued meanwhile, so no notice is ever stranded.
+        """
+        processed = 0
+        while True:
+            with self._pending_lock:
+                if not self._pending:
+                    return processed
+            if not self._drain_lock.acquire(blocking=False):
+                return processed
+            try:
+                while True:
+                    with self._pending_lock:
+                        if not self._pending:
+                            break
+                        notice = self._pending.popleft()
+                    self._process(notice)
+                    processed += 1
+            finally:
+                self._drain_lock.release()
+
+    def _process(self, notice: _Notice) -> None:
+        """Advance every standing query to ``notice`` (under the table lock).
+
+        Per-standing-query statistics are accumulated in a notice-local
+        ``counts`` dict and flushed under the stats lock once, so a large
+        subscriber population costs one lock round-trip per notice instead
+        of several per standing query.
+        """
+        counts = {
+            "unaffected": 0,
+            "reweight_only": 0,
+            "structural": 0,
+            "suppressed": 0,
+            "notifications": 0,
+            "callback_errors": 0,
+            "update_errors": 0,
+        }
+        # Standing queries over the same relevant set share their top-k
+        # reselection for this notice (see _reweight_update).
+        memo: dict = {}
+        with self._table_lock:
+            for standing in list(self._table.values()):
+                try:
+                    self._advance(standing, notice, memo, counts)
+                except Exception:
+                    # One failing standing query never blocks the others;
+                    # the failure is counted and the query retries (from its
+                    # unchanged last_epoch) at the next notice.
+                    counts["update_errors"] += 1
+        with self._stats_lock:
+            self._batches += 1
+            self._unaffected += counts["unaffected"]
+            self._reweight_only += counts["reweight_only"]
+            self._structural += counts["structural"]
+            self._suppressed += counts["suppressed"]
+            self._notifications += counts["notifications"]
+            self._callback_errors += counts["callback_errors"]
+            self._update_errors += counts["update_errors"]
+
+    # ------------------------------------------------------------------ #
+    # Classification and incremental updates
+    # ------------------------------------------------------------------ #
+    def _accumulated_dirt(
+        self, standing: _StandingQuery, epoch: int
+    ) -> Optional[tuple[int, int]]:
+        """OR of the logged dirt over ``(last_epoch, epoch]``; ``None`` on a gap."""
+        probability_dirt = 0
+        target_dirt = 0
+        with self._log_lock:
+            for step in range(standing.last_epoch + 1, epoch + 1):
+                entry = self._log.get(step)
+                if entry is None:
+                    return None
+                probability_dirt |= entry[0]
+                target_dirt |= entry[1]
+        return probability_dirt, target_dirt
+
+    def _classify(self, standing: _StandingQuery, notice: _Notice) -> tuple[str, int]:
+        """Partition one standing query for one notice (see module docstring).
+
+        Returns ``(kind, probability_dirt)`` — the accumulated probability
+        dirt is handed to the reweight path so the rescore touches exactly
+        the dirty rows (``0`` for the other kinds, which don't consume it).
+        """
+        if (
+            notice.generation != standing.generation
+            or notice.document_version != standing.document_version
+        ):
+            return "structural", 0
+        dirt = self._accumulated_dirt(standing, notice.epoch)
+        if dirt is None:
+            return "structural", 0
+        probability_dirt, target_dirt = dirt
+        if target_dirt & standing.required_mask:
+            return "structural", 0
+        if probability_dirt & standing.relevant_mask:
+            return "reweight", probability_dirt
+        return "unaffected", 0
+
+    def _advance(
+        self,
+        standing: _StandingQuery,
+        notice: _Notice,
+        memo: Optional[dict] = None,
+        counts: Optional[dict] = None,
+    ) -> None:
+        """Move one standing query to ``notice``'s state, delivering its diff.
+
+        ``memo`` is the notice-scoped reselection cache shared by every
+        standing query processed for the same notice; ``counts`` is the
+        notice-local statistics accumulator (see :meth:`_process`).
+        """
+        if notice.epoch <= standing.last_epoch:
+            return
+        kind, probability_dirt = self._classify(standing, notice)
+        if kind == "unaffected":
+            standing.last_epoch = notice.epoch
+            self._count(counts, "unaffected")
+            return
+        # With one subscriber (the common case) the update is built carrying
+        # its id directly, skipping the per-subscriber copy below; ids start
+        # at 1, so the 0 placeholder never matches a real subscriber.
+        subscribers = list(standing.subscribers.items())
+        sole_id = subscribers[0][0] if len(subscribers) == 1 else 0
+        if kind == "reweight":
+            update = self._reweight_update(
+                standing, notice, probability_dirt, sole_id, memo
+            )
+            self._count(counts, "reweight_only")
+        else:
+            update = self._structural_update(standing, notice, sole_id)
+            self._count(counts, "structural")
+        standing.last_epoch = notice.epoch
+        standing.generation = notice.generation
+        standing.document_version = notice.document_version
+        if update.is_empty_diff():
+            self._count(counts, "suppressed")
+            return
+        for subscription_id, handle in subscribers:
+            delivered = (
+                update
+                if subscription_id == update.subscription_id
+                else replace(update, subscription_id=subscription_id)
+            )
+            handle._record(delivered)
+            self._deliver_one(handle, delivered, counts)
+
+    def _count(self, counts: Optional[dict], key: str) -> None:
+        """Bump one statistic, batched into ``counts`` when one is supplied."""
+        if counts is not None:
+            counts[key] += 1
+            return
+        with self._stats_lock:
+            setattr(self, f"_{key}", getattr(self, f"_{key}") + 1)
+
+    def _deliver_one(
+        self,
+        handle: Subscription,
+        update: SubscriptionUpdate,
+        counts: Optional[dict] = None,
+    ) -> None:
+        """Invoke one subscriber callback, counting (never raising) errors."""
+        self._count(counts, "notifications")
+        try:
+            handle._callback(update)
+        except Exception:
+            self._count(counts, "callback_errors")
+
+    def _reweight_update(
+        self,
+        standing: _StandingQuery,
+        notice: _Notice,
+        probability_dirt: int,
+        subscription_id: int = 0,
+        memo: Optional[dict] = None,
+    ) -> SubscriptionUpdate:
+        """Rescore cached rows from the new probability column; no re-execution.
+
+        Structure at the query's required targets is provably clean, so
+        every cached row's match set is still exact and the relevant-mapping
+        id set is unchanged; only probabilities (and, under a top-k
+        restriction, the top-k membership) can move.  Only mappings flagged
+        in ``probability_dirt`` can have moved, so the unrestricted rescore
+        walks exactly the dirty rows instead of scanning the whole baseline,
+        and both paths read the incrementally-patched compiled probability
+        column when one is available.  Top-k entrants — rows newly selected
+        into the top k — are the only thing evaluated, via one compiled-plan
+        run restricted to exactly those mappings.
+        """
+        mapping_set = notice.snapshot.mapping_set
+        compiled = mapping_set._compiled
+        removed: tuple[int, ...] = ()
+        added: list[PTQAnswer] = []
+        rescored: list[tuple[int, float]] = []
+        if standing.k is None:
+            baseline = standing.baseline
+            dirty = probability_dirt
+            while dirty:
+                low_bit = dirty & -dirty
+                dirty ^= low_bit
+                mapping_id = low_bit.bit_length() - 1
+                row = baseline.get(mapping_id)
+                if row is None:
+                    continue
+                probability = (
+                    compiled.probabilities[mapping_id]
+                    if compiled is not None
+                    else mapping_set[mapping_id].probability
+                )
+                if probability != row.probability:
+                    baseline[mapping_id] = PTQAnswer(
+                        mapping_id=mapping_id,
+                        probability=probability,
+                        matches=row.matches,
+                    )
+                    rescored.append((mapping_id, probability))
+        else:
+            if compiled is not None:
+                probabilities = compiled.probabilities
+                # Standing queries sharing a relevant set and k reuse one
+                # reselection per notice (memo is scoped to one _process).
+                memo_key = (standing.relevant_ids, standing.k)
+                new_ids = memo.get(memo_key) if memo is not None else None
+                if new_ids is None:
+                    new_ids = sorted(
+                        standing.relevant_ids,
+                        key=lambda mid: (-probabilities[mid], mid),
+                    )[: standing.k]
+                    if memo is not None:
+                        memo[memo_key] = new_ids
+
+                def probability_of(mapping_id: int) -> float:
+                    """Probability from the patched compiled column."""
+                    return probabilities[mapping_id]
+
+            else:
+                fresh = [
+                    mapping_set[mapping_id] for mapping_id in standing.relevant_ids
+                ]
+                new_ids = [
+                    mapping.mapping_id
+                    for mapping in select_top_k(fresh, standing.k)
+                ]
+
+                def probability_of(mapping_id: int) -> float:
+                    """Probability from the uncompiled mapping objects."""
+                    return mapping_set[mapping_id].probability
+
+            old = standing.baseline
+            entrant_ids = [mapping_id for mapping_id in new_ids if mapping_id not in old]
+            if not entrant_ids and len(new_ids) == len(old):
+                # Stable membership (no entrants, so new_ids is a subset of
+                # the old top k; equal sizes make it the same set): rescore
+                # the dirty rows in place exactly like the unrestricted path.
+                dirty = probability_dirt
+                while dirty:
+                    low_bit = dirty & -dirty
+                    dirty ^= low_bit
+                    mapping_id = low_bit.bit_length() - 1
+                    row = old.get(mapping_id)
+                    if row is None:
+                        continue
+                    probability = probability_of(mapping_id)
+                    if probability != row.probability:
+                        old[mapping_id] = PTQAnswer(
+                            mapping_id=mapping_id,
+                            probability=probability,
+                            matches=row.matches,
+                        )
+                        rescored.append((mapping_id, probability))
+                return SubscriptionUpdate(
+                    subscription_id=subscription_id,
+                    query=standing.prepared.cache_key,
+                    k=standing.k,
+                    kind="reweight",
+                    generation=notice.generation,
+                    delta_epoch=notice.epoch,
+                    added=(),
+                    removed=(),
+                    rescored=tuple(sorted(rescored)),
+                )
+            entrant_rows: dict[int, PTQAnswer] = {}
+            if entrant_ids:
+                result = plan_for("compiled").run(
+                    standing.prepared.query,
+                    mapping_set,
+                    notice.snapshot.document,
+                    embeddings=standing.prepared.embeddings,
+                    mappings=[mapping_set[mapping_id] for mapping_id in entrant_ids],
+                    kernels=self._dataspace.kernels,
+                )
+                entrant_rows = {row.mapping_id: row for row in result}
+            removed = tuple(sorted(set(old) - set(new_ids)))
+            new_baseline: dict[int, PTQAnswer] = {}
+            for mapping_id in new_ids:
+                if mapping_id in old:
+                    row = old[mapping_id]
+                    probability = probability_of(mapping_id)
+                    if probability != row.probability:
+                        row = PTQAnswer(
+                            mapping_id=mapping_id,
+                            probability=probability,
+                            matches=row.matches,
+                        )
+                        rescored.append((mapping_id, probability))
+                else:
+                    row = entrant_rows[mapping_id]
+                    added.append(row)
+                new_baseline[mapping_id] = row
+            standing.baseline = new_baseline
+        return SubscriptionUpdate(
+            subscription_id=subscription_id,
+            query=standing.prepared.cache_key,
+            k=standing.k,
+            kind="reweight",
+            generation=notice.generation,
+            delta_epoch=notice.epoch,
+            added=tuple(sorted(added, key=_row_order)),
+            removed=removed,
+            rescored=tuple(sorted(rescored)),
+        )
+
+    def _structural_update(
+        self,
+        standing: _StandingQuery,
+        notice: _Notice,
+        subscription_id: int = 0,
+    ) -> SubscriptionUpdate:
+        """Re-execute via the normal cost-routed path and diff against baseline."""
+        result = standing.prepared.execute(
+            k=standing.k, snapshot=notice.snapshot, use_cache=True
+        )
+        relevant = standing.prepared.relevant_mappings(notice.snapshot)
+        standing.relevant_ids = tuple(m.mapping_id for m in relevant)
+        standing.relevant_mask = mapping_mask(standing.relevant_ids)
+        rows = {row.mapping_id: row for row in result.answers}
+        old = standing.baseline
+        removed = tuple(sorted(set(old) - set(rows)))
+        added: list[PTQAnswer] = []
+        rescored: list[tuple[int, float]] = []
+        for mapping_id, row in rows.items():
+            previous = old.get(mapping_id)
+            if previous is None or previous.matches != row.matches:
+                added.append(row)
+            elif previous.probability != row.probability:
+                rescored.append((mapping_id, row.probability))
+        standing.baseline = rows
+        return SubscriptionUpdate(
+            subscription_id=subscription_id,
+            query=standing.prepared.cache_key,
+            k=standing.k,
+            kind="structural",
+            generation=notice.generation,
+            delta_epoch=notice.epoch,
+            added=tuple(sorted(added, key=_row_order)),
+            removed=removed,
+            rescored=tuple(sorted(rescored)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Counters of the registry: registrations, classification, delivery."""
+        with self._table_lock:
+            standing_queries = len(self._table)
+            subscribers = sum(len(sq.subscribers) for sq in self._table.values())
+        with self._stats_lock:
+            return {
+                "standing_queries": standing_queries,
+                "subscribers": subscribers,
+                "subscribed": self._subscribed,
+                "cancelled": self._cancelled,
+                "batches": self._batches,
+                "unaffected": self._unaffected,
+                "reweight_only": self._reweight_only,
+                "structural": self._structural,
+                "notifications": self._notifications,
+                "suppressed": self._suppressed,
+                "callback_errors": self._callback_errors,
+                "update_errors": self._update_errors,
+            }
+
+    def __len__(self) -> int:
+        with self._table_lock:
+            return len(self._table)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"SubscriptionRegistry(standing={stats['standing_queries']}, "
+            f"subscribers={stats['subscribers']}, "
+            f"notifications={stats['notifications']})"
+        )

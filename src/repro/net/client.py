@@ -25,6 +25,7 @@ from repro.api.errors import ProtocolError
 from repro.api.messages import (
     BatchRequest,
     CalibrateRequest,
+    DeltaBatchRequest,
     DeltaRequest,
     ErrorResponse,
     ExplainRequest,
@@ -33,15 +34,19 @@ from repro.api.messages import (
     Request,
     Response,
     StatsRequest,
+    SubscribeRequest,
     decode_response,
     encode_message,
 )
 from repro.api.serialize import (
     QueryAnswer,
     QueryResult,
+    SubscriptionEvent,
+    delta_batch_report_from_json,
     delta_report_from_json,
     explain_from_json,
     result_from_json,
+    subscription_update_from_json,
 )
 from repro.net import framing
 
@@ -175,6 +180,77 @@ class ReproClient:
         payload = delta if isinstance(delta, dict) else delta.to_payload()
         response = self._round_trip(DeltaRequest(delta=payload))
         return delta_report_from_json(response.report)
+
+    def apply_delta_batch(self, deltas):
+        """Apply a coalesced delta batch; returns the reconstructed
+        :class:`~repro.engine.streaming.DeltaBatchReport`.
+
+        Accepts a :class:`~repro.engine.streaming.DeltaBatch` or any iterable
+        of :class:`~repro.engine.delta.MappingDelta` objects / canonical
+        payload dicts; the server applies them in order as one commit."""
+        payloads = tuple(
+            item if isinstance(item, dict) else item.to_payload()
+            for item in deltas
+        )
+        response = self._round_trip(DeltaBatchRequest(deltas=payloads))
+        return delta_batch_report_from_json(response.report)
+
+    def subscribe(
+        self, query: str, *, k: Optional[int] = None
+    ) -> Iterator[SubscriptionEvent]:
+        """Register a standing query and iterate its update stream.
+
+        The first yielded :class:`~repro.api.serialize.SubscriptionEvent` is
+        the ``initial`` baseline; every later event is an incremental diff
+        whose :meth:`~repro.api.serialize.SubscriptionEvent.apply` folds it
+        into the caller's local rows.  Reading blocks until the server emits
+        the next update (subject to the connection timeout), and the
+        connection is dedicated to the stream while the generator is live:
+        ``close()`` the generator to cancel the subscription — it tells the
+        server to end the stream and resynchronises the connection, so the
+        client can issue further requests afterwards.
+        """
+        self._send_frame(
+            framing.OP_REQUEST, encode_message(SubscribeRequest(query=query, k=k))
+        )
+        try:
+            while True:
+                opcode, payload = self._read_frame()
+                if opcode == framing.OP_STREAM_ITEM:
+                    import json
+
+                    yield subscription_update_from_json(
+                        json.loads(payload.decode("utf-8"))
+                    )
+                elif opcode == framing.OP_STREAM_END:
+                    return
+                elif opcode == framing.OP_ERROR:
+                    response = decode_response(payload)
+                    assert isinstance(response, ErrorResponse)
+                    raise response.to_error()
+                else:
+                    raise ProtocolError(
+                        f"unexpected subscription frame opcode {opcode}"
+                    )
+        except GeneratorExit:
+            # The caller closed the generator: cancel server-side and discard
+            # in-flight updates until the server acknowledges the end of the
+            # stream, leaving the connection aligned on a frame boundary.
+            if not self._closed:
+                self._send_frame(framing.OP_STREAM_END)
+                while True:
+                    opcode, payload = self._read_frame()
+                    if opcode == framing.OP_STREAM_END:
+                        break
+                    if opcode == framing.OP_ERROR:
+                        response = decode_response(payload)
+                        assert isinstance(response, ErrorResponse)
+                        raise response.to_error()
+                    if opcode != framing.OP_STREAM_ITEM:
+                        raise ProtocolError(
+                            f"unexpected subscription frame opcode {opcode}"
+                        )
+            raise
 
     def explain(
         self,

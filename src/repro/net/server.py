@@ -46,10 +46,11 @@ from repro.api.messages import (
     Request,
     Response,
     StatsRequest,
+    SubscribeRequest,
     decode_request,
     encode_message,
 )
-from repro.api.serialize import canonical_json
+from repro.api.serialize import canonical_json, subscription_update_to_json
 from repro.exceptions import ReproError
 from repro.net import framing
 from repro.net.admission import AdmissionController
@@ -454,22 +455,40 @@ class ReproServer:
                 )
                 return
             self._requests_binary += 1
+            try:
+                request = decode_request(payload)
+            except Exception as error:
+                await self._write_frame(
+                    writer,
+                    framing.OP_ERROR,
+                    encode_message(ErrorResponse.from_exception(error)),
+                )
+                if isinstance(error, ProtocolError):
+                    return
+                continue
+            if isinstance(request, SubscribeRequest):
+                # Subscription streams are long-lived and idle between
+                # updates; they deliberately stay outside the busy counter
+                # (which tracks request/response work for drain) so an open
+                # subscription cannot stall ``stop()``.
+                if await self._serve_subscription(reader, writer, request):
+                    return
+                continue
             self._busy_enter()
             try:
-                close = await self._answer_binary(writer, payload)
+                close = await self._answer_binary(writer, request)
             finally:
                 self._busy_exit()
             if close:
                 return
 
     async def _answer_binary(
-        self, writer: asyncio.StreamWriter, payload: bytes
+        self, writer: asyncio.StreamWriter, request: Request
     ) -> bool:
-        """Decode, execute and answer one binary request.
+        """Execute and answer one decoded binary request.
 
         Returns ``True`` when the connection must close (protocol violation)."""
         try:
-            request = decode_request(payload)
             if isinstance(request, QueryRequest) and request.stream:
                 frames = await self._execute(request, _stream_frames)
             else:
@@ -489,6 +508,105 @@ class ReproServer:
         for opcode, data in frames:
             await self._write_frame(writer, opcode, data)
         return False
+
+    async def _serve_subscription(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request: SubscribeRequest,
+    ) -> bool:
+        """Serve one standing-query stream on this connection.
+
+        Registers the subscription on the service (the baseline execution
+        runs on the worker pool), then streams every notification — the
+        initial snapshot included — as one ``OP_STREAM_ITEM`` frame carrying
+        the canonical :func:`~repro.api.serialize.subscription_update_to_json`
+        payload.  The engine's commit path delivers updates on writer
+        threads; the callback hops them onto the event loop through a queue,
+        so the loop stays a pure byte router.  The client ends the stream by
+        sending ``OP_STREAM_END``; the server cancels the subscription,
+        acknowledges with ``OP_STREAM_END``, and the connection returns to
+        the normal request loop.  Returns ``True`` when the connection must
+        close instead.
+        """
+        assert self._loop is not None and self._executor is not None
+        loop = self._loop
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def deliver(update) -> None:
+            payload = canonical_json(subscription_update_to_json(update))
+            loop.call_soon_threadsafe(queue.put_nowait, payload)
+
+        def register():
+            return self._service.subscribe(
+                request.query, k=request.k, callback=deliver
+            )
+
+        try:
+            handle = await loop.run_in_executor(self._executor, register)
+        except Exception as error:
+            await self._write_frame(
+                writer,
+                framing.OP_ERROR,
+                encode_message(ErrorResponse.from_exception(error)),
+            )
+            return isinstance(error, ProtocolError)
+        frame_task = asyncio.ensure_future(
+            framing.read_frame(reader, max_payload=self._max_payload)
+        )
+        queue_task = asyncio.ensure_future(queue.get())
+        try:
+            while True:
+                done, _ = await asyncio.wait(
+                    {frame_task, queue_task}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if queue_task in done:
+                    await self._write_frame(
+                        writer, framing.OP_STREAM_ITEM, queue_task.result()
+                    )
+                    queue_task = asyncio.ensure_future(queue.get())
+                if frame_task not in done:
+                    continue
+                try:
+                    frame = frame_task.result()
+                except ProtocolError as error:
+                    await self._write_frame(
+                        writer,
+                        framing.OP_ERROR,
+                        encode_message(ErrorResponse.from_exception(error)),
+                    )
+                    return True
+                if frame is None:
+                    return True
+                opcode, _ = frame
+                if opcode == framing.OP_PING:
+                    await self._write_frame(writer, framing.OP_PONG)
+                    frame_task = asyncio.ensure_future(
+                        framing.read_frame(reader, max_payload=self._max_payload)
+                    )
+                    continue
+                if opcode != framing.OP_STREAM_END:
+                    await self._write_frame(
+                        writer,
+                        framing.OP_ERROR,
+                        encode_message(
+                            ErrorResponse.from_exception(
+                                ProtocolError(
+                                    f"subscribed clients may only send "
+                                    f"STREAM_END or PING frames, got opcode "
+                                    f"{opcode}"
+                                )
+                            )
+                        ),
+                    )
+                    return True
+                await self._write_frame(writer, framing.OP_STREAM_END)
+                return False
+        finally:
+            handle.cancel()
+            for task in (frame_task, queue_task):
+                if not task.done():
+                    task.cancel()
 
     async def _write_frame(
         self, writer: asyncio.StreamWriter, opcode: int, payload: bytes = b""

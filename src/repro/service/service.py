@@ -247,6 +247,40 @@ class QueryService:
             return self._corpus.apply_delta(delta)
         return self._dataspace.apply_delta(delta)
 
+    def apply_delta_batch(self, batch):
+        """Apply a whole delta batch as one atomic epoch bump.
+
+        Batch companion of :meth:`apply_delta`: every member delta is
+        validated in sequence but the session commits one ``delta_epoch``
+        bump with one incremental recompile of the net difference, and
+        standing queries are notified once for the whole batch.  Accepts a
+        :class:`~repro.engine.streaming.DeltaBatch` or any iterable of
+        deltas; returns the session's
+        :class:`~repro.engine.streaming.DeltaBatchReport`.
+        """
+        if self._corpus is not None:
+            return self._corpus.apply_delta_batch(batch)
+        return self._dataspace.apply_delta_batch(batch)
+
+    # ------------------------------------------------------------------ #
+    # Standing queries
+    # ------------------------------------------------------------------ #
+    def subscribe(self, query: QueryLike, *, k: Optional[int] = None, callback):
+        """Register ``query`` as a standing query on the served session.
+
+        Delegates to :meth:`Dataspace.subscribe
+        <repro.engine.dataspace.Dataspace.subscribe>`: the query executes
+        once, ``callback`` receives the ``initial``
+        :class:`~repro.engine.streaming.SubscriptionUpdate` before this
+        returns, and every delta batch applied through this service (or
+        directly on the session) delivers incremental diffs.  Returns the
+        :class:`~repro.engine.streaming.Subscription` handle.  Callbacks run
+        on the committing thread and must not block; for corpus-backed
+        services the subscription registers on the underlying session, so
+        batches applied via :meth:`apply_delta_batch` notify it either way.
+        """
+        return self._dataspace.subscribe(query, k=k, callback=callback)
+
     # ------------------------------------------------------------------ #
     # Execution paths
     # ------------------------------------------------------------------ #
@@ -432,6 +466,7 @@ class QueryService:
                 "max_workers": self._max_workers,
             }
         info["latency_ms"] = self.latency_percentiles()
+        info["subscriptions"] = self._dataspace.subscriptions.stats()
         info.update(self._dataspace.cache_stats())
         return info
 

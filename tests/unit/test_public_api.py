@@ -25,7 +25,7 @@ def documented_names() -> set[str]:
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.9.0"
+        assert repro.__version__ == "1.10.0"
 
     def test_all_names_resolve(self):
         for name in repro.__all__:

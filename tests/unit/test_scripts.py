@@ -77,6 +77,18 @@ class TestPerfTrajectory:
         }
         assert "extra_info" not in rows[1]  # none recorded
 
+    def test_gate_ratio_summary_promotes_ratio_keys(self):
+        rows = perf_trajectory.normalise_report(RAW_BENCHMARK)
+        rows[0]["extra_info"]["notify_speedup"] = 12.5
+        summary = perf_trajectory.gate_ratio_summary(rows)
+        # Only scalar *speedup/*ratio keys are promoted, keyed by test name;
+        # the list-valued "ratios" and the executor config stay out.
+        assert summary == {"test_a": {"notify_speedup": 12.5, "speedup": 2.1235}}
+
+    def test_build_trajectory_carries_gate_ratios(self):
+        trajectory = perf_trajectory.build_trajectory([RAW_BENCHMARK], run_id="9")
+        assert trajectory["gate_ratios"] == {"test_a": {"speedup": 2.1235}}
+
     def test_build_trajectory_stamps_run(self):
         trajectory = perf_trajectory.build_trajectory(
             [RAW_BENCHMARK], run_id="123", commit="abc", timestamp="2026-01-01T00:00:00Z"
